@@ -1,0 +1,88 @@
+"""Ablation: the ClusterGraph vs the naive deduction procedures.
+
+The paper's Algorithm 1 replaces path enumeration with union-find + a
+cluster-level edge set.  This benchmark quantifies that design choice on a
+shared workload: answer q deduction queries over n labeled pairs.
+
+* ClusterGraph — incremental, near-O(1) per query (the paper's design);
+* BFS search   — linear per query (polynomial reference);
+* path enumeration — exponential; only run on a tiny instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.deduction import deduce_by_path_enumeration, deduce_by_search
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Label, LabeledPair, Pair
+
+
+def build_workload(n_objects: int, n_pairs: int, n_queries: int, seed: int = 0):
+    rng = random.Random(seed)
+    entity_of = {f"o{i}": rng.randrange(max(n_objects // 6, 2)) for i in range(n_objects)}
+    truth = GroundTruthOracle(entity_of)
+    objects = sorted(entity_of)
+    labeled = []
+    seen = set()
+    while len(labeled) < n_pairs:
+        a, b = rng.sample(objects, 2)
+        pair = Pair(a, b)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        labeled.append(LabeledPair(pair, truth.label(pair)))
+    queries = [Pair(*rng.sample(objects, 2)) for _ in range(n_queries)]
+    return labeled, queries
+
+
+WORKLOAD = build_workload(n_objects=300, n_pairs=900, n_queries=500)
+TINY = build_workload(n_objects=10, n_pairs=14, n_queries=20, seed=1)
+
+
+def test_cluster_graph_deduction(benchmark):
+    labeled, queries = WORKLOAD
+
+    def run():
+        graph = ClusterGraph(labeled)
+        return [graph.deduce(q) for q in queries]
+
+    answers = benchmark(run)
+    assert len(answers) == len(queries)
+
+
+def test_bfs_deduction(benchmark):
+    labeled, queries = WORKLOAD
+
+    def run():
+        return [deduce_by_search(q, labeled) for q in queries]
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    # cross-validate against the ClusterGraph on the same workload
+    graph = ClusterGraph(labeled)
+    assert answers == [graph.deduce(q) for q in queries]
+
+
+def test_path_enumeration_deduction_tiny(benchmark):
+    labeled, queries = TINY
+
+    def run():
+        return [deduce_by_path_enumeration(q, labeled) for q in queries]
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert answers == [deduce_by_search(q, labeled) for q in queries]
+
+
+def test_path_enumeration_blows_up():
+    """The exponential behaviour the paper avoids: a modest dense matching
+    component already exceeds a 100k-path budget."""
+    labeled = [
+        LabeledPair(Pair(i, j), Label.MATCHING)
+        for i in range(12)
+        for j in range(i + 1, 12)
+    ]
+    with pytest.raises(RuntimeError):
+        deduce_by_path_enumeration(Pair(0, 11), labeled, max_paths=100_000)

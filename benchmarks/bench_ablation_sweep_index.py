@@ -1,0 +1,42 @@
+"""Ablation: incremental deduction-sweep index vs the naive full scan.
+
+The instant labeler re-checks pending pairs after every answer.  The
+:class:`~repro.core.sweep.PendingPairIndex` narrows each re-check to pairs
+whose endpoint clusters actually changed.  Both paths must produce identical
+results; the index must not be slower.
+"""
+
+from __future__ import annotations
+
+from repro.core.instant import AnswerPolicy, InstantLabeler
+from repro.core.ordering import expected_order
+
+
+def _workload(prepared, threshold=0.3):
+    return expected_order(prepared.candidates_above(threshold)), prepared.truth
+
+
+def test_instant_labeler_with_index(benchmark, paper_prepared):
+    order, truth = _workload(paper_prepared)
+    labeler = InstantLabeler(
+        instant_decision=True, answer_policy=AnswerPolicy.RANDOM, seed=0, use_index=True
+    )
+    run = benchmark.pedantic(lambda: labeler.run(order, truth), rounds=1, iterations=1)
+    assert run.trace[-1].n_available == 0
+
+
+def test_instant_labeler_naive_sweep(benchmark, paper_prepared):
+    order, truth = _workload(paper_prepared)
+    naive = InstantLabeler(
+        instant_decision=True,
+        answer_policy=AnswerPolicy.RANDOM,
+        seed=0,
+        use_index=False,
+    )
+    run = benchmark.pedantic(lambda: naive.run(order, truth), rounds=1, iterations=1)
+    # identical outcome to the indexed run
+    indexed = InstantLabeler(
+        instant_decision=True, answer_policy=AnswerPolicy.RANDOM, seed=0, use_index=True
+    ).run(order, truth)
+    assert run.result.labels() == indexed.result.labels()
+    assert run.trace == indexed.trace

@@ -1,0 +1,83 @@
+"""Micro-benchmarks for the core data structures.
+
+These quantify the constants behind the headline experiments: union-find
+throughput, incremental ClusterGraph insertion, deduction queries, and one
+Algorithm-3 selection scan.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Label, LabeledPair, Pair
+from repro.core.parallel import parallel_crowdsourced_pairs
+from repro.core.union_find import UnionFind
+
+N_OBJECTS = 3000
+N_PAIRS = 8000
+
+
+def _workload(seed: int = 0):
+    rng = random.Random(seed)
+    entity_of = {i: rng.randrange(N_OBJECTS // 10) for i in range(N_OBJECTS)}
+    truth = GroundTruthOracle(entity_of)
+    pairs = []
+    seen = set()
+    while len(pairs) < N_PAIRS:
+        a, b = rng.sample(range(N_OBJECTS), 2)
+        pair = Pair(a, b)
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(LabeledPair(pair, truth.label(pair)))
+    return pairs, truth
+
+
+PAIRS, TRUTH = _workload()
+
+
+def test_union_find_unions(benchmark):
+    edges = [(item.pair.left, item.pair.right) for item in PAIRS]
+
+    def run():
+        uf = UnionFind()
+        for a, b in edges:
+            uf.union(a, b)
+        return uf.n_components
+
+    components = benchmark(run)
+    assert components >= 1
+
+
+def test_cluster_graph_incremental_insert(benchmark):
+    def run():
+        graph = ClusterGraph()
+        for item in PAIRS:
+            graph.add(item.pair, item.label)
+        return graph
+
+    graph = benchmark(run)
+    assert graph.n_objects == N_OBJECTS or graph.n_objects > 0
+
+
+def test_cluster_graph_deduce_queries(benchmark):
+    graph = ClusterGraph(PAIRS)
+    rng = random.Random(1)
+    queries = [Pair(*rng.sample(range(N_OBJECTS), 2)) for _ in range(5000)]
+
+    def run():
+        return sum(1 for q in queries if graph.deduce(q) is not None)
+
+    deduced = benchmark(run)
+    assert 0 <= deduced <= len(queries)
+
+
+def test_algorithm3_selection_scan(benchmark):
+    order = [item.pair for item in PAIRS]
+
+    def run():
+        return parallel_crowdsourced_pairs(order, labeled={})
+
+    batch = benchmark(run)
+    assert 0 < len(batch) <= len(order)

@@ -1,0 +1,28 @@
+"""Figure 10 benchmark: dataset generation + cluster-size histograms.
+
+Regenerates the paper's Figure 10 panels and checks their defining shapes:
+the Paper dataset keeps a heavy-tailed histogram with a very large cluster,
+the Product dataset never exceeds size 6.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_cluster_sizes import run
+
+
+def test_figure10_paper(benchmark, paper_config):
+    result = benchmark.pedantic(run, args=(paper_config,), rounds=1, iterations=1)
+    sizes = result.series["cluster_sizes"]
+    counts = result.series["cluster_counts"]
+    assert max(sizes) >= 30, "scaled Cora must keep a large cluster"
+    assert counts[0] == max(counts), "singletons are the most common size"
+    print("\n" + result.render())
+
+
+def test_figure10_product(benchmark, product_config):
+    result = benchmark.pedantic(run, args=(product_config,), rounds=1, iterations=1)
+    sizes = result.series["cluster_sizes"]
+    assert max(sizes) <= 6, "Abt-Buy-like clusters never exceed 6"
+    histogram = dict(zip(sizes, result.series["cluster_counts"]))
+    assert histogram.get(2, 0) > histogram.get(3, 0), "2-clusters dominate"
+    print("\n" + result.render())

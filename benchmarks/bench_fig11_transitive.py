@@ -1,0 +1,28 @@
+"""Figure 11 benchmark: effectiveness of transitive relations.
+
+Regenerates the Transitive vs Non-Transitive sweep and checks the paper's
+shape: large savings on Paper (big clusters), modest threshold-dependent
+savings on Product.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_transitive_effectiveness import run
+
+
+def test_figure11_paper(benchmark, paper_config, paper_prepared):
+    result = benchmark.pedantic(run, args=(paper_config,), rounds=1, iterations=1)
+    for row in result.rows:
+        assert row["transitive"] <= row["non_transitive"]
+    at_03 = result.row_lookup(threshold=0.3)
+    assert at_03["savings_pct"] > 85.0, "paper reports ~95% savings on Paper"
+    print("\n" + result.render())
+
+
+def test_figure11_product(benchmark, product_config, product_prepared):
+    result = benchmark.pedantic(run, args=(product_config,), rounds=1, iterations=1)
+    savings = {row["threshold"]: row["savings_pct"] for row in result.rows}
+    assert savings[0.5] < 10.0, "tiny clusters save almost nothing at 0.5"
+    assert savings[0.1] > 10.0, "savings grow as the threshold drops"
+    assert savings[0.1] > savings[0.4]
+    print("\n" + result.render())

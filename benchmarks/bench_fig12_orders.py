@@ -1,0 +1,36 @@
+"""Figure 12 benchmark: crowdsourced pairs under different labeling orders.
+
+Checks the paper's ordering hierarchy: optimal <= expected <= random <=
+worst (up to noise), with the worst order blowing up at low thresholds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig12_labeling_orders import run
+
+
+def test_figure12_paper(benchmark, paper_config, paper_prepared):
+    result = benchmark.pedantic(run, args=(paper_config,), rounds=1, iterations=1)
+    for row in result.rows:
+        assert row["optimal"] <= row["expected"]
+        assert row["optimal"] <= row["random"]
+        assert row["expected"] <= row["worst"]
+    low = result.row_lookup(threshold=0.1)
+    assert low["worst"] > 3 * low["optimal"], "worst order must blow up"
+    print("\n" + result.render())
+
+
+def test_figure12_product(benchmark, product_config, product_prepared):
+    result = benchmark.pedantic(run, args=(product_config,), rounds=1, iterations=1)
+    for row in result.rows:
+        assert row["optimal"] <= row["expected"]
+        assert row["expected"] <= row["worst"]
+    print("\n" + result.render())
+
+
+def test_figure12_expected_tracks_optimal(benchmark, paper_config, paper_prepared):
+    """The heuristic order stays within a few percent of optimal — the
+    paper's justification for using it everywhere."""
+    result = benchmark.pedantic(run, args=(paper_config,), rounds=1, iterations=1)
+    for row in result.rows:
+        assert row["expected"] <= row["optimal"] * 1.25 + 5

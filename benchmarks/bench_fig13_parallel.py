@@ -1,0 +1,31 @@
+"""Figure 13 benchmark: parallel vs non-parallel iterations (threshold 0.3).
+
+The parallel labeler must compress C crowdsourced pairs from C one-pair
+iterations into a handful of front-loaded rounds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig13_14_parallel_iterations import run
+
+
+def test_figure13_paper(benchmark, paper_config, paper_prepared):
+    result = benchmark.pedantic(
+        run, args=(paper_config,), kwargs={"threshold": 0.3}, rounds=1, iterations=1
+    )
+    sizes = result.series["parallel_round_sizes"]
+    total = sum(sizes)
+    assert sizes[0] == max(sizes), "first round is the largest"
+    assert sizes[0] > total / 2, "rounds are front-loaded"
+    assert len(sizes) <= total / 5, "far fewer rounds than pairs"
+    print("\n" + result.render())
+
+
+def test_figure13_product(benchmark, product_config, product_prepared):
+    result = benchmark.pedantic(
+        run, args=(product_config,), kwargs={"threshold": 0.3}, rounds=1, iterations=1
+    )
+    sizes = result.series["parallel_round_sizes"]
+    assert sizes[0] == max(sizes)
+    assert len(sizes) < sum(sizes)
+    print("\n" + result.render())

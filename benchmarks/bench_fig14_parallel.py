@@ -1,0 +1,35 @@
+"""Figure 14 benchmark: parallel labeling at threshold 0.4.
+
+The paper's point for Figure 14: with a higher threshold the candidate graph
+is sparser, so the parallel labeler needs no more (usually fewer) iterations
+than at threshold 0.3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig13_14_parallel_iterations import run
+
+
+def test_figure14_paper(benchmark, paper_config, paper_prepared):
+    result = benchmark.pedantic(
+        run, args=(paper_config,), kwargs={"threshold": 0.4}, rounds=1, iterations=1
+    )
+    sizes = result.series["parallel_round_sizes"]
+    assert sizes[0] == max(sizes)
+    assert result.experiment_id == "figure14"
+    print("\n" + result.render())
+
+
+def test_figure14_fewer_or_equal_rounds_than_figure13(
+    benchmark, product_config, product_prepared
+):
+    at_04 = benchmark.pedantic(
+        run, args=(product_config,), kwargs={"threshold": 0.4}, rounds=1, iterations=1
+    )
+    at_03 = run(product_config, threshold=0.3)
+    rounds_04 = len(at_04.series["parallel_round_sizes"])
+    rounds_03 = len(at_03.series["parallel_round_sizes"])
+    assert rounds_04 <= rounds_03, (
+        f"higher threshold should not need more rounds ({rounds_04} vs {rounds_03})"
+    )
+    print("\n" + at_04.render())

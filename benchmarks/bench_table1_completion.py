@@ -1,0 +1,33 @@
+"""Table 1 benchmark: Parallel(ID) vs Non-Parallel completion time.
+
+Same HITs, same money; serial publication pays the crowd pickup latency per
+HIT while parallel publication overlaps it — the speedup must be substantial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1_completion_time import run
+
+
+def test_table1_paper(benchmark, paper_config, paper_prepared):
+    result = benchmark.pedantic(
+        run, args=(paper_config,), kwargs={"threshold": 0.3}, rounds=1, iterations=1
+    )
+    serial = result.row_lookup(strategy="non_parallel")
+    parallel = result.row_lookup(strategy="parallel_id")
+    assert parallel["n_hits"] == serial["n_hits"], "identical HITs by construction"
+    assert parallel["cost_usd"] == pytest.approx(serial["cost_usd"])
+    assert serial["hours"] > 2 * parallel["hours"], "parallel must be much faster"
+    print("\n" + result.render())
+
+
+def test_table1_product(benchmark, product_config, product_prepared):
+    result = benchmark.pedantic(
+        run, args=(product_config,), kwargs={"threshold": 0.3}, rounds=1, iterations=1
+    )
+    serial = result.row_lookup(strategy="non_parallel")
+    parallel = result.row_lookup(strategy="parallel_id")
+    assert serial["hours"] > parallel["hours"]
+    print("\n" + result.render())

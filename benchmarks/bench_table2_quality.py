@@ -1,0 +1,37 @@
+"""Table 2 benchmark: the end-to-end noisy-crowd comparison.
+
+Checks the paper's qualitative story: on the Paper dataset Transitive slashes
+HITs by an order of magnitude at a bounded quality cost; on Product the
+savings are small and quality stays close to the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2_quality import run
+
+
+def test_table2_paper(benchmark, paper_config, paper_prepared):
+    result = benchmark.pedantic(
+        run, args=(paper_config,), kwargs={"threshold": 0.3}, rounds=1, iterations=1
+    )
+    baseline = result.row_lookup(strategy="non_transitive")
+    transitive = result.row_lookup(strategy="transitive")
+    assert transitive["n_hits"] < baseline["n_hits"] * 0.25, "big HIT savings"
+    assert transitive["hours"] < baseline["hours"], "and much faster"
+    assert transitive["f_measure"] > baseline["f_measure"] - 15.0, (
+        "quality loss stays bounded"
+    )
+    print("\n" + result.render())
+
+
+def test_table2_product(benchmark, product_config, product_prepared):
+    result = benchmark.pedantic(
+        run, args=(product_config,), kwargs={"threshold": 0.3}, rounds=1, iterations=1
+    )
+    baseline = result.row_lookup(strategy="non_transitive")
+    transitive = result.row_lookup(strategy="transitive")
+    assert transitive["n_hits"] <= baseline["n_hits"], "small but real HIT savings"
+    assert abs(transitive["f_measure"] - baseline["f_measure"]) < 12.0, (
+        "quality essentially unchanged on tiny clusters"
+    )
+    print("\n" + result.render())

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the paper's experiments at a reduced dataset scale so the
+whole suite finishes in minutes; the full-scale numbers live in
+EXPERIMENTS.md.  Dataset preparation (generation + similarity scoring) is
+cached per session — the benchmarks measure the *labeling* work, which is
+what the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import PreparedDataset, prepare
+
+BENCH_SCALE = 0.2
+BENCH_THRESHOLDS = (0.5, 0.4, 0.3, 0.2, 0.1)
+
+
+def bench_config(dataset: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=dataset,
+        scale=BENCH_SCALE,
+        thresholds=BENCH_THRESHOLDS,
+        n_workers=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ExperimentConfig:
+    return bench_config("paper")
+
+
+@pytest.fixture(scope="session")
+def product_config() -> ExperimentConfig:
+    return bench_config("product")
+
+
+@pytest.fixture(scope="session")
+def paper_prepared(paper_config) -> PreparedDataset:
+    return prepare(paper_config)
+
+
+@pytest.fixture(scope="session")
+def product_prepared(product_config) -> PreparedDataset:
+    return prepare(product_config)

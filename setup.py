@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical project metadata lives in pyproject.toml.  This file exists so
+that environments without the ``wheel`` package (where PEP 517 editable
+installs fail with "invalid command 'bdist_wheel'") can still install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

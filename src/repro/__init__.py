@@ -1,0 +1,105 @@
+"""repro — reproduction of "Leveraging Transitive Relations for Crowdsourced
+Joins" (Wang, Li, Kraska, Franklin, Feng; SIGMOD 2013).
+
+The package implements the paper's hybrid transitive-relations +
+crowdsourcing labeling framework along with every substrate its evaluation
+depends on:
+
+* ``repro.core``        — ClusterGraph deduction, labeling orders, the
+                          sequential/parallel/instant labelers, and the
+                          framework facade.
+* ``repro.crowd``       — a simulated crowdsourcing platform (HIT batching,
+                          assignment replication, majority voting, worker
+                          accuracy and latency models, discrete-event timing).
+* ``repro.matcher``     — machine-based candidate generation: tokenizers,
+                          similarity functions, blocking, likelihoods.
+* ``repro.datasets``    — synthetic Cora-like ("Paper") and Abt-Buy-like
+                          ("Product") dataset generators.
+* ``repro.er``          — entity-resolution clustering and quality metrics.
+* ``repro.experiments`` — one runner per paper table/figure.
+* ``repro.ext``         — extensions from the paper's future-work list.
+
+Quickstart::
+
+    from repro import (CandidatePair, GroundTruthOracle, Pair,
+                       TransitiveJoinFramework)
+
+    candidates = [CandidatePair(Pair("iPad 2", "iPad two"), 0.9), ...]
+    oracle = GroundTruthOracle({"iPad 2": 1, "iPad two": 1, ...})
+    run = TransitiveJoinFramework(labeler="parallel").label(candidates, oracle)
+    print(run.result.n_crowdsourced, "pairs asked,",
+          run.result.n_deduced, "deduced for free")
+"""
+
+from .core import (
+    AnswerPolicy,
+    CandidatePair,
+    ClusterGraph,
+    ConflictPolicy,
+    CountingOracle,
+    ExpectedOrderSorter,
+    FrameworkRun,
+    GroundTruthOracle,
+    InstantLabeler,
+    Label,
+    LabeledPair,
+    LabelingResult,
+    NoisyOracle,
+    OptimalOrderSorter,
+    Pair,
+    ParallelLabeler,
+    Provenance,
+    RandomOrderSorter,
+    SequentialLabeler,
+    TransitiveJoinFramework,
+    UnionFind,
+    WorstOrderSorter,
+    candidate,
+    deduce_label,
+    expected_cost,
+    expected_order,
+    label_baseline,
+    label_parallel,
+    label_sequential,
+    label_with_transitivity,
+    make_pair,
+    optimal_order,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerPolicy",
+    "CandidatePair",
+    "ClusterGraph",
+    "ConflictPolicy",
+    "CountingOracle",
+    "ExpectedOrderSorter",
+    "FrameworkRun",
+    "GroundTruthOracle",
+    "InstantLabeler",
+    "Label",
+    "LabeledPair",
+    "LabelingResult",
+    "NoisyOracle",
+    "OptimalOrderSorter",
+    "Pair",
+    "ParallelLabeler",
+    "Provenance",
+    "RandomOrderSorter",
+    "SequentialLabeler",
+    "TransitiveJoinFramework",
+    "UnionFind",
+    "WorstOrderSorter",
+    "__version__",
+    "candidate",
+    "deduce_label",
+    "expected_cost",
+    "expected_order",
+    "label_baseline",
+    "label_parallel",
+    "label_sequential",
+    "label_with_transitivity",
+    "make_pair",
+    "optimal_order",
+]

@@ -1,0 +1,95 @@
+"""Consistency (realisability) of a pair labeling.
+
+A full assignment of matching/non-matching labels to a set of pairs is
+*consistent* when some partition of the objects into entities induces it:
+equivalently, when no non-matching edge connects two objects joined by a path
+of matching edges.  The expected-cost machinery (paper Section 4.2,
+Example 4) enumerates exactly the consistent assignments; the noisy-crowd
+experiments use these checks to quantify how inconsistent the crowd's raw
+answers were.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from .pairs import Label, LabeledPair, Pair
+from .union_find import UnionFind
+
+
+def is_consistent(labeled: Iterable[LabeledPair]) -> bool:
+    """True iff the labeling is realisable by some entity partition."""
+    return not find_violations(labeled)
+
+
+def find_violations(labeled: Iterable[LabeledPair]) -> List[Pair]:
+    """Return the non-matching pairs whose endpoints are transitively matched.
+
+    These are the edges that make the labeling unrealisable.  Matching edges
+    are never reported: any set of matching edges alone is always consistent.
+    """
+    items = list(labeled)
+    uf = UnionFind()
+    for item in items:
+        if item.label is Label.MATCHING:
+            uf.union(item.pair.left, item.pair.right)
+    violations = [
+        item.pair
+        for item in items
+        if item.label is Label.NON_MATCHING
+        and item.pair.left in uf
+        and item.pair.right in uf
+        and uf.connected(item.pair.left, item.pair.right)
+    ]
+    return violations
+
+
+def consistent_assignment_from_labels(
+    labels: Mapping[Pair, Label],
+) -> List[LabeledPair]:
+    """Convert a pair->label mapping to a list of LabeledPair values."""
+    return [LabeledPair(pair, label) for pair, label in labels.items()]
+
+
+def closure(labeled: Iterable[LabeledPair], universe: Iterable[Pair]) -> Dict[Pair, Label]:
+    """Transitive closure of ``labeled`` restricted to ``universe``.
+
+    For every pair in ``universe`` whose label is implied by ``labeled``
+    (Lemma 1), the implied label is returned; unimplied pairs are omitted.
+
+    Raises:
+        repro.core.cluster_graph.InconsistentLabelError: if ``labeled`` is
+            itself inconsistent.
+    """
+    from .cluster_graph import ClusterGraph  # local import to avoid a cycle
+
+    graph = ClusterGraph(labeled)
+    implied: Dict[Pair, Label] = {}
+    for pair in universe:
+        label = graph.deduce(pair)
+        if label is not None:
+            implied[pair] = label
+    return implied
+
+
+def entity_partition(labeled: Iterable[LabeledPair]) -> Tuple[List[set], List[Pair]]:
+    """Partition objects into entities implied by the matching edges.
+
+    Returns:
+        (clusters, violations): the connected components of the matching
+        subgraph, and any non-matching edges internal to a component (empty
+        for consistent labelings).
+    """
+    items = list(labeled)
+    uf = UnionFind()
+    for item in items:
+        uf.add(item.pair.left)
+        uf.add(item.pair.right)
+        if item.label is Label.MATCHING:
+            uf.union(item.pair.left, item.pair.right)
+    violations = [
+        item.pair
+        for item in items
+        if item.label is Label.NON_MATCHING and uf.connected(item.pair.left, item.pair.right)
+    ]
+    return uf.components(), violations

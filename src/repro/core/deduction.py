@@ -1,0 +1,147 @@
+"""Reference (specification-level) deduction procedures.
+
+Lemma 1 of the paper defines deducibility in terms of *paths* in the graph of
+labeled pairs:
+
+1. a path from ``o`` to ``o'`` consisting only of matching edges deduces the
+   pair as matching;
+2. a path containing exactly one non-matching edge deduces it as
+   non-matching;
+3. if every path contains more than one non-matching edge, nothing can be
+   deduced.
+
+The ClusterGraph (``repro.core.cluster_graph``) answers the same question in
+near-constant time; the functions here are the executable specification used
+to cross-validate it in tests and in the deduction ablation benchmark:
+
+* :func:`deduce_by_search` — a two-level BFS over (object, #non-matching
+  edges used) states; polynomial and exact.
+* :func:`deduce_by_path_enumeration` — the naive method the paper dismisses
+  as exponential (Section 3.2); enumerates simple paths.  Only usable on tiny
+  graphs, kept as the most literal reading of Lemma 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from .pairs import Label, LabeledPair, Pair
+
+
+def _build_adjacency(
+    labeled: Iterable[LabeledPair],
+) -> Dict[Hashable, List[Tuple[Hashable, Label]]]:
+    adjacency: Dict[Hashable, List[Tuple[Hashable, Label]]] = {}
+    for item in labeled:
+        a, b = item.pair.left, item.pair.right
+        adjacency.setdefault(a, []).append((b, item.label))
+        adjacency.setdefault(b, []).append((a, item.label))
+    return adjacency
+
+
+def deduce_by_search(pair: Pair, labeled: Iterable[LabeledPair]) -> Optional[Label]:
+    """Decide deducibility by BFS over (object, non-matching-count) states.
+
+    A state ``(v, k)`` with ``k`` in {0, 1} means ``v`` is reachable from the
+    source via a path using exactly ``k`` non-matching edges.  The pair is
+    matching if the target is reachable with ``k = 0``; non-matching if only
+    with ``k = 1``; undeducible otherwise.
+
+    Runs in O(V + E) time and is exact, unlike path enumeration.
+    """
+    adjacency = _build_adjacency(labeled)
+    source, target = pair.left, pair.right
+    if source not in adjacency or target not in adjacency:
+        return None
+    # visited[k] = objects reached using exactly k non-matching edges.
+    visited: Tuple[Set[Hashable], Set[Hashable]] = (set(), set())
+    queue: deque[Tuple[Hashable, int]] = deque([(source, 0)])
+    visited[0].add(source)
+    reachable = [False, False]
+    while queue:
+        node, used = queue.popleft()
+        if node == target:
+            reachable[used] = True
+            if reachable[0]:
+                break
+            continue
+        for neighbour, label in adjacency.get(node, ()):
+            next_used = used + (0 if label is Label.MATCHING else 1)
+            if next_used > 1:
+                continue
+            if neighbour not in visited[next_used]:
+                visited[next_used].add(neighbour)
+                queue.append((neighbour, next_used))
+    if reachable[0]:
+        return Label.MATCHING
+    if reachable[1]:
+        return Label.NON_MATCHING
+    return None
+
+
+def enumerate_simple_paths(
+    source: Hashable,
+    target: Hashable,
+    labeled: Iterable[LabeledPair],
+    max_paths: int = 1_000_000,
+) -> List[List[Label]]:
+    """Enumerate the edge-label sequences of all simple paths source->target.
+
+    This is the naive procedure the paper rejects as exponential; exposed for
+    the deduction ablation benchmark and for tests on small graphs.
+
+    Args:
+        max_paths: hard cap as a safety valve against combinatorial blow-up.
+
+    Raises:
+        RuntimeError: if more than ``max_paths`` paths are found.
+    """
+    adjacency = _build_adjacency(labeled)
+    paths: List[List[Label]] = []
+    if source not in adjacency or target not in adjacency:
+        return paths
+
+    stack: List[Hashable] = [source]
+    on_path: Set[Hashable] = {source}
+    labels: List[Label] = []
+
+    def visit(node: Hashable) -> None:
+        if node == target:
+            paths.append(list(labels))
+            if len(paths) > max_paths:
+                raise RuntimeError(f"more than {max_paths} simple paths")
+            return
+        for neighbour, label in adjacency.get(node, ()):
+            if neighbour in on_path:
+                continue
+            on_path.add(neighbour)
+            stack.append(neighbour)
+            labels.append(label)
+            visit(neighbour)
+            labels.pop()
+            stack.pop()
+            on_path.discard(neighbour)
+
+    visit(source)
+    return paths
+
+
+def deduce_by_path_enumeration(
+    pair: Pair, labeled: Iterable[LabeledPair], max_paths: int = 1_000_000
+) -> Optional[Label]:
+    """Literal Lemma-1 deduction via simple-path enumeration.
+
+    Exponential in the worst case; only for tiny graphs / cross-validation.
+    """
+    paths = enumerate_simple_paths(pair.left, pair.right, labeled, max_paths=max_paths)
+    best: Optional[int] = None
+    for path_labels in paths:
+        non_matching = sum(1 for label in path_labels if label is Label.NON_MATCHING)
+        if best is None or non_matching < best:
+            best = non_matching
+        if best == 0:
+            break
+    if best is None or best > 1:
+        return None
+    return Label.MATCHING if best == 0 else Label.NON_MATCHING

@@ -1,0 +1,221 @@
+"""Expected number of crowdsourced pairs for a labeling order (Section 4.2).
+
+When each pair carries an independent probability of being matching, the
+number of crowdsourced pairs required by an order ``omega`` is a random
+variable ``C(omega)``.  The paper (Example 4) computes its expectation by
+enumerating the *consistent* label assignments (transitivity rules out e.g.
+two matching edges and one non-matching edge on a triangle), weighting each
+by its probability, renormalising over the consistent mass, and summing the
+per-pair probabilities of being crowdsourced.
+
+Finding the order minimising ``E[C(omega)]`` is NP-hard (Vesdapunt et al.,
+VLDB 2014) — the original SIGMOD version's optimality claim was withdrawn in
+the revision we reproduce.  This module provides:
+
+* exact enumeration of consistent assignments with their weights;
+* exact ``E[C(omega)]`` for a given order (exponential in #pairs; fine for
+  the small instances it is meant for);
+* brute-force search for the expected-optimal order (factorial; tiny n), used
+  to validate the likelihood-descending heuristic in tests and benchmarks.
+
+Everything here is deliberately specification-grade: the production path uses
+the heuristic order from ``repro.core.ordering``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .cluster_graph import ClusterGraph
+from .oracle import MappingOracle
+from .pairs import CandidatePair, Label, Pair
+from .sequential import label_sequential
+from .union_find import UnionFind
+
+MAX_ENUMERATION_PAIRS = 20
+MAX_BRUTE_FORCE_PAIRS = 8
+
+
+def _check_enumerable(n_pairs: int) -> None:
+    if n_pairs > MAX_ENUMERATION_PAIRS:
+        raise ValueError(
+            f"exact enumeration over {n_pairs} pairs would visit 2^{n_pairs} "
+            f"assignments; the limit is {MAX_ENUMERATION_PAIRS}"
+        )
+
+
+def _assignment_is_consistent(pairs: Sequence[Pair], labels: Sequence[Label]) -> bool:
+    uf = UnionFind()
+    for pair, label in zip(pairs, labels):
+        if label is Label.MATCHING:
+            uf.union(pair.left, pair.right)
+    for pair, label in zip(pairs, labels):
+        if label is Label.NON_MATCHING and uf.connected(pair.left, pair.right):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class WeightedAssignment:
+    """One consistent labeling of the candidate pairs with its probability
+    weight (already renormalised over the consistent assignments)."""
+
+    labels: Tuple[Label, ...]
+    weight: float
+
+    def as_mapping(self, pairs: Sequence[Pair]) -> Dict[Pair, Label]:
+        return dict(zip(pairs, self.labels))
+
+
+def enumerate_consistent_assignments(
+    candidates: Sequence[CandidatePair],
+) -> List[WeightedAssignment]:
+    """All consistent assignments with renormalised probability weights.
+
+    Each pair is independently matching with its candidate likelihood; the
+    joint probability of an assignment is the product, and weights are
+    renormalised so the consistent assignments sum to 1 (exactly the
+    computation in the paper's Example 4).
+
+    Raises:
+        ValueError: if there are too many pairs to enumerate, or if no
+            consistent assignment has positive probability.
+    """
+    _check_enumerable(len(candidates))
+    pairs = [c.pair for c in candidates]
+    results: List[Tuple[Tuple[Label, ...], float]] = []
+    total = 0.0
+    for combo in itertools.product((Label.MATCHING, Label.NON_MATCHING), repeat=len(pairs)):
+        weight = 1.0
+        for cand, label in zip(candidates, combo):
+            weight *= cand.likelihood if label is Label.MATCHING else 1.0 - cand.likelihood
+        if weight == 0.0:
+            continue
+        if not _assignment_is_consistent(pairs, combo):
+            continue
+        results.append((combo, weight))
+        total += weight
+    if not results or total <= 0.0:
+        raise ValueError("no consistent assignment has positive probability")
+    return [WeightedAssignment(labels, weight / total) for labels, weight in results]
+
+
+def crowdsourced_count(
+    order: Sequence[CandidatePair], assignment: Dict[Pair, Label]
+) -> int:
+    """``C(omega)`` under a fixed true assignment — by simulating the
+    sequential labeler against a mapping oracle."""
+    return label_sequential(order, MappingOracle(assignment)).n_crowdsourced
+
+
+def crowdsourced_indicator(
+    order: Sequence[Pair], assignment: Dict[Pair, Label]
+) -> List[bool]:
+    """For each position i of ``order``: is pair i crowdsourced under the
+    assignment?  (True = crowdsourced, False = deduced.)"""
+    graph = ClusterGraph()
+    flags: List[bool] = []
+    for pair in order:
+        if graph.deducible(pair):
+            flags.append(False)
+        else:
+            flags.append(True)
+            graph.add(pair, assignment[pair])
+    return flags
+
+
+def expected_cost(order: Sequence[CandidatePair]) -> float:
+    """Exact ``E[C(omega)]`` over consistent assignments (Definition 3).
+
+    Exponential in the number of pairs; see :data:`MAX_ENUMERATION_PAIRS`.
+    """
+    assignments = enumerate_consistent_assignments(order)
+    pairs = [c.pair for c in order]
+    expectation = 0.0
+    for assignment in assignments:
+        mapping = assignment.as_mapping(pairs)
+        flags = crowdsourced_indicator(pairs, mapping)
+        expectation += assignment.weight * sum(flags)
+    return expectation
+
+
+def crowdsourcing_probabilities(order: Sequence[CandidatePair]) -> List[float]:
+    """P(pair i is crowdsourced) for each position — the summands of
+    ``E[C(omega)]`` shown in Example 4."""
+    assignments = enumerate_consistent_assignments(order)
+    pairs = [c.pair for c in order]
+    probabilities = [0.0] * len(pairs)
+    for assignment in assignments:
+        mapping = assignment.as_mapping(pairs)
+        flags = crowdsourced_indicator(pairs, mapping)
+        for i, crowdsourced in enumerate(flags):
+            if crowdsourced:
+                probabilities[i] += assignment.weight
+    return probabilities
+
+
+def brute_force_expected_optimal(
+    candidates: Sequence[CandidatePair],
+) -> Tuple[List[CandidatePair], float]:
+    """Exhaustively find an order minimising ``E[C(omega)]``.
+
+    Factorial in the number of pairs (limit :data:`MAX_BRUTE_FORCE_PAIRS`);
+    exists to validate the heuristic on small instances, since the general
+    problem is NP-hard.
+
+    Returns:
+        (best_order, best_expected_cost); ties broken by enumeration order.
+    """
+    if len(candidates) > MAX_BRUTE_FORCE_PAIRS:
+        raise ValueError(
+            f"brute force over {len(candidates)} pairs is {math.factorial(len(candidates))} "
+            f"orders; the limit is {MAX_BRUTE_FORCE_PAIRS}"
+        )
+    best_order: List[CandidatePair] | None = None
+    best_cost = math.inf
+    for permutation in itertools.permutations(candidates):
+        cost = expected_cost(permutation)
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_order = list(permutation)
+    assert best_order is not None, "at least one order must exist"
+    return best_order, best_cost
+
+
+def heuristic_gap(candidates: Sequence[CandidatePair]) -> Tuple[float, float]:
+    """(heuristic cost, optimal cost) for the likelihood-descending order vs
+    the brute-force expected optimum — the heuristic's optimality gap."""
+    from .ordering import expected_order  # local import to avoid a cycle
+
+    heuristic = expected_cost(expected_order(list(candidates)))
+    _, optimum = brute_force_expected_optimal(candidates)
+    return heuristic, optimum
+
+
+def sample_assignment(
+    candidates: Sequence[CandidatePair], u: float
+) -> Dict[Pair, Label]:
+    """Deterministically pick a consistent assignment by cumulative weight.
+
+    ``u`` in [0, 1) indexes the CDF over consistent assignments; useful for
+    property tests that need a valid ground truth drawn from the likelihood
+    model without an RNG dependency.
+    """
+    if not 0.0 <= u < 1.0:
+        raise ValueError(f"u must be in [0, 1), got {u}")
+    assignments = enumerate_consistent_assignments(candidates)
+    pairs = [c.pair for c in candidates]
+    cumulative = 0.0
+    for assignment in assignments:
+        cumulative += assignment.weight
+        if u < cumulative:
+            return assignment.as_mapping(pairs)
+    return assignments[-1].as_mapping(pairs)
+
+
+def consistent_assignments_count(candidates: Sequence[CandidatePair]) -> int:
+    """Number of consistent assignments with positive probability."""
+    return len(enumerate_consistent_assignments(candidates))

@@ -1,0 +1,134 @@
+"""Label oracles: where crowdsourced answers come from.
+
+The labeling algorithms in this package are written against a minimal
+:class:`LabelOracle` interface so the same code runs against a perfect
+ground-truth oracle (the paper's simulation sections), a noisy oracle, or the
+full discrete-event crowd platform in ``repro.crowd``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, Mapping, Protocol, runtime_checkable
+
+from .pairs import Label, Pair
+
+
+@runtime_checkable
+class LabelOracle(Protocol):
+    """Anything that can answer "is this pair matching?"."""
+
+    def label(self, pair: Pair) -> Label:
+        """Return the (possibly noisy) label of ``pair``."""
+        ...  # pragma: no cover - protocol
+
+
+class GroundTruthOracle:
+    """Answers from a ground-truth entity assignment.
+
+    Two objects match iff they are mapped to the same entity identifier.
+    Objects missing from the mapping are treated as singleton entities (they
+    match nothing).
+    """
+
+    def __init__(self, entity_of: Mapping[Hashable, Hashable]) -> None:
+        self._entity_of = entity_of
+
+    def label(self, pair: Pair) -> Label:
+        left = self._entity_of.get(pair.left, ("__singleton__", pair.left))
+        right = self._entity_of.get(pair.right, ("__singleton__", pair.right))
+        return Label.MATCHING if left == right else Label.NON_MATCHING
+
+    def is_matching(self, pair: Pair) -> bool:
+        return self.label(pair) is Label.MATCHING
+
+
+class FunctionOracle:
+    """Adapts a plain callable ``pair -> Label`` to the oracle interface."""
+
+    def __init__(self, fn: Callable[[Pair], Label]) -> None:
+        self._fn = fn
+
+    def label(self, pair: Pair) -> Label:
+        return self._fn(pair)
+
+
+class MappingOracle:
+    """Answers from an explicit pair->label mapping.
+
+    Raises:
+        KeyError: when asked about a pair not in the mapping — useful in
+            tests to assert that an algorithm only crowdsources expected
+            pairs.
+    """
+
+    def __init__(self, labels: Mapping[Pair, Label]) -> None:
+        self._labels = dict(labels)
+
+    def label(self, pair: Pair) -> Label:
+        return self._labels[pair]
+
+
+class NoisyOracle:
+    """Flips the base oracle's answer with a fixed error probability.
+
+    The flip decision for a pair is memoised: asking the same pair twice
+    returns the same answer, modelling a crowd consensus that has already
+    settled (for per-assignment noise use ``repro.crowd.worker``).
+    """
+
+    def __init__(self, base: LabelOracle, error_rate: float, seed: int = 0) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        self._base = base
+        self._error_rate = error_rate
+        self._rng = random.Random(seed)
+        self._memo: Dict[Pair, Label] = {}
+
+    def label(self, pair: Pair) -> Label:
+        if pair not in self._memo:
+            answer = self._base.label(pair)
+            if self._rng.random() < self._error_rate:
+                answer = answer.negate()
+            self._memo[pair] = answer
+        return self._memo[pair]
+
+
+class CountingOracle:
+    """Wrapper that counts and records queries — the "money meter".
+
+    Every call to :meth:`label` is one crowdsourced pair, the quantity the
+    paper minimises (Definition 1).
+    """
+
+    def __init__(self, base: LabelOracle) -> None:
+        self._base = base
+        self.calls: list[Pair] = []
+
+    @property
+    def n_calls(self) -> int:
+        return len(self.calls)
+
+    def label(self, pair: Pair) -> Label:
+        self.calls.append(pair)
+        return self._base.label(pair)
+
+    def asked(self, pair: Pair) -> bool:
+        return pair in self.calls
+
+
+def oracle_from(
+    source: "LabelOracle | Mapping[Hashable, Hashable] | Callable[[Pair], Label]",
+) -> LabelOracle:
+    """Coerce common ground-truth representations into a LabelOracle.
+
+    Accepts an oracle (returned unchanged), an ``object -> entity`` mapping,
+    or a callable ``pair -> Label``.
+    """
+    if isinstance(source, LabelOracle):
+        return source
+    if isinstance(source, Mapping):
+        return GroundTruthOracle(source)
+    if callable(source):
+        return FunctionOracle(source)
+    raise TypeError(f"cannot build an oracle from {type(source).__name__}")

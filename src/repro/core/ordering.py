@@ -1,0 +1,151 @@
+"""Labeling orders (paper Section 4).
+
+The order in which pairs are labeled determines how many must be
+crowdsourced.  The paper's results:
+
+* **Optimal** (Theorem 1): all matching pairs first, then all non-matching
+  pairs.  Requires ground truth, so it is an oracle-only upper bound on
+  savings.
+* **Expected / heuristic** (Section 4.2): decreasing machine-estimated match
+  likelihood.  Finding the truly expected-optimal order is NP-hard
+  (Vesdapunt et al., VLDB 2014); this heuristic is what the framework uses in
+  practice.
+* **Random** and **Worst** (non-matching first) serve as the paper's
+  baselines in Figure 12.
+
+Each sorter consumes candidate pairs and returns a new, sorted list; input
+order is used as a deterministic tie-break so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Protocol, Sequence, runtime_checkable
+
+from .oracle import LabelOracle
+from .pairs import CandidatePair, Label
+
+
+@runtime_checkable
+class Sorter(Protocol):
+    """The framework's Sorting component (paper Figure 4)."""
+
+    def sort(self, candidates: Sequence[CandidatePair]) -> List[CandidatePair]:
+        """Return the candidates in labeling order (a new list)."""
+        ...  # pragma: no cover - protocol
+
+
+class ExpectedOrderSorter:
+    """Heuristic order: decreasing likelihood of being a matching pair.
+
+    This is the order the paper recommends (and uses for all experiments
+    after Figure 12): since matching-first is optimal and true labels are
+    unknown, sort by the machine-based likelihood instead.
+    """
+
+    def sort(self, candidates: Sequence[CandidatePair]) -> List[CandidatePair]:
+        indexed = list(enumerate(candidates))
+        indexed.sort(key=lambda item: (-item[1].likelihood, item[0]))
+        return [cand for _, cand in indexed]
+
+
+class OptimalOrderSorter:
+    """Ground-truth order: all matching pairs, then all non-matching pairs.
+
+    Within each group the input order is preserved (any such order is optimal
+    by Lemma 3).  Only available in simulation, where truth is known.
+    """
+
+    def __init__(self, truth: LabelOracle) -> None:
+        self._truth = truth
+
+    def sort(self, candidates: Sequence[CandidatePair]) -> List[CandidatePair]:
+        matching = [c for c in candidates if self._truth.label(c.pair) is Label.MATCHING]
+        non_matching = [c for c in candidates if self._truth.label(c.pair) is Label.NON_MATCHING]
+        return matching + non_matching
+
+
+class WorstOrderSorter:
+    """Adversarial order: all non-matching pairs first (paper Figure 12)."""
+
+    def __init__(self, truth: LabelOracle) -> None:
+        self._truth = truth
+
+    def sort(self, candidates: Sequence[CandidatePair]) -> List[CandidatePair]:
+        matching = [c for c in candidates if self._truth.label(c.pair) is Label.MATCHING]
+        non_matching = [c for c in candidates if self._truth.label(c.pair) is Label.NON_MATCHING]
+        return non_matching + matching
+
+
+class RandomOrderSorter:
+    """Uniformly random order with a fixed seed (paper Figure 12 baseline)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def sort(self, candidates: Sequence[CandidatePair]) -> List[CandidatePair]:
+        shuffled = list(candidates)
+        random.Random(self._seed).shuffle(shuffled)
+        return shuffled
+
+
+class IdentityOrderSorter:
+    """Keeps the input order — for externally pre-sorted candidate lists."""
+
+    def sort(self, candidates: Sequence[CandidatePair]) -> List[CandidatePair]:
+        return list(candidates)
+
+
+def expected_order(candidates: Iterable[CandidatePair]) -> List[CandidatePair]:
+    """Sort by decreasing likelihood (convenience wrapper)."""
+    return ExpectedOrderSorter().sort(list(candidates))
+
+
+def optimal_order(
+    candidates: Iterable[CandidatePair], truth: LabelOracle
+) -> List[CandidatePair]:
+    """Matching pairs first, then non-matching (convenience wrapper)."""
+    return OptimalOrderSorter(truth).sort(list(candidates))
+
+
+def worst_order(
+    candidates: Iterable[CandidatePair], truth: LabelOracle
+) -> List[CandidatePair]:
+    """Non-matching pairs first (convenience wrapper)."""
+    return WorstOrderSorter(truth).sort(list(candidates))
+
+
+def random_order(candidates: Iterable[CandidatePair], seed: int = 0) -> List[CandidatePair]:
+    """Seeded random shuffle (convenience wrapper)."""
+    return RandomOrderSorter(seed).sort(list(candidates))
+
+
+SORTER_NAMES = {
+    "expected": ExpectedOrderSorter,
+    "identity": IdentityOrderSorter,
+}
+
+
+def make_sorter(
+    name: str,
+    truth: "LabelOracle | None" = None,
+    seed: int = 0,
+) -> Sorter:
+    """Build a sorter by name: expected, optimal, worst, random, identity.
+
+    ``optimal`` and ``worst`` need a ground-truth oracle.
+
+    Raises:
+        ValueError: for unknown names or a missing required oracle.
+    """
+    if name == "expected":
+        return ExpectedOrderSorter()
+    if name == "identity":
+        return IdentityOrderSorter()
+    if name == "random":
+        return RandomOrderSorter(seed)
+    if name in ("optimal", "worst"):
+        if truth is None:
+            raise ValueError(f"the {name!r} order requires a ground-truth oracle")
+        return OptimalOrderSorter(truth) if name == "optimal" else WorstOrderSorter(truth)
+    raise ValueError(f"unknown sorter {name!r}")

@@ -1,0 +1,75 @@
+"""Simulated crowdsourcing platform — the AMT substitute.
+
+Provides HIT batching, worker models, majority-vote aggregation, latency
+models, a discrete-event platform simulator, and campaign runners for the
+paper's Section 6.4 experiments.
+"""
+
+from .aggregation import (
+    agreement_rate,
+    aggregate_assignments,
+    majority_vote,
+    unanimous_or,
+)
+from .budget import DEFAULT_PRICE_PER_ASSIGNMENT, CostLedger, CostModel
+from .campaign import (
+    CampaignReport,
+    run_non_parallel,
+    run_non_transitive,
+    run_transitive,
+)
+from .hit import (
+    DEFAULT_ASSIGNMENTS,
+    DEFAULT_BATCH_SIZE,
+    HIT,
+    Assignment,
+    batch_pairs,
+    n_hits_needed,
+    pairs_of_hits,
+)
+from .latency import FixedLatency, LatencyModel, LognormalLatency, ZeroLatency
+from .platform import HITCompletion, PlatformStats, SimulatedPlatform
+from .worker import (
+    AmbiguityAwareWorker,
+    BernoulliWorker,
+    PerfectWorker,
+    QualificationTest,
+    Worker,
+    WorkerModel,
+    make_worker_pool,
+)
+
+__all__ = [
+    "AmbiguityAwareWorker",
+    "Assignment",
+    "BernoulliWorker",
+    "CampaignReport",
+    "CostLedger",
+    "CostModel",
+    "DEFAULT_ASSIGNMENTS",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_PRICE_PER_ASSIGNMENT",
+    "FixedLatency",
+    "HIT",
+    "HITCompletion",
+    "LatencyModel",
+    "LognormalLatency",
+    "PerfectWorker",
+    "PlatformStats",
+    "QualificationTest",
+    "SimulatedPlatform",
+    "Worker",
+    "WorkerModel",
+    "ZeroLatency",
+    "aggregate_assignments",
+    "agreement_rate",
+    "batch_pairs",
+    "majority_vote",
+    "make_worker_pool",
+    "n_hits_needed",
+    "pairs_of_hits",
+    "run_non_parallel",
+    "run_non_transitive",
+    "run_transitive",
+    "unanimous_or",
+]

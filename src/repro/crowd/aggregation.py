@@ -1,0 +1,87 @@
+"""Answer aggregation: turning replicated assignments into one label.
+
+Paper Section 6.4: "each HIT was replicated into three assignments ... the
+final decision for each pair was made by majority vote."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+from ..core.pairs import Label, Pair
+from .hit import Assignment
+
+
+def majority_vote(answers: Sequence[Label], tie_break: Label = Label.NON_MATCHING) -> Label:
+    """The label most workers gave; ties fall back to ``tie_break``.
+
+    The paper uses an odd replication factor (3) so ties cannot occur there;
+    the tie-break default is conservative (prefer not asserting a match).
+
+    Raises:
+        ValueError: when no answers were given.
+    """
+    if not answers:
+        raise ValueError("cannot aggregate zero answers")
+    counts = Counter(answers)
+    matching = counts.get(Label.MATCHING, 0)
+    non_matching = counts.get(Label.NON_MATCHING, 0)
+    if matching > non_matching:
+        return Label.MATCHING
+    if non_matching > matching:
+        return Label.NON_MATCHING
+    return tie_break
+
+
+def unanimous_or(answers: Sequence[Label], fallback: Label) -> Label:
+    """Strict aggregation: unanimous answers win, anything else falls back.
+
+    Raises:
+        ValueError: when no answers were given.
+    """
+    if not answers:
+        raise ValueError("cannot aggregate zero answers")
+    first = answers[0]
+    if all(answer is first for answer in answers):
+        return first
+    return fallback
+
+
+def aggregate_assignments(
+    assignments: Iterable[Assignment],
+    tie_break: Label = Label.NON_MATCHING,
+) -> dict[Pair, Label]:
+    """Majority-vote every pair across a HIT's completed assignments.
+
+    All assignments must belong to the same HIT (same pair set).
+
+    Raises:
+        ValueError: when assignments is empty or covers inconsistent HITs.
+    """
+    assignments = list(assignments)
+    if not assignments:
+        raise ValueError("cannot aggregate zero assignments")
+    pair_sets = {frozenset(a.hit.pairs) for a in assignments}
+    if len(pair_sets) != 1:
+        raise ValueError("assignments cover different HITs")
+    aggregated: dict[Pair, Label] = {}
+    for pair in assignments[0].hit.pairs:
+        votes: List[Label] = [a.answers[pair] for a in assignments]
+        aggregated[pair] = majority_vote(votes, tie_break=tie_break)
+    return aggregated
+
+
+def agreement_rate(assignments: Sequence[Assignment]) -> float:
+    """Fraction of pairs on which all assignments agree — a cheap quality
+    signal used by the experiment reports."""
+    assignments = list(assignments)
+    if not assignments:
+        raise ValueError("cannot compute agreement over zero assignments")
+    pairs = assignments[0].hit.pairs
+    unanimous = 0
+    for pair in pairs:
+        votes = {a.answers[pair] for a in assignments}
+        if len(votes) == 1:
+            unanimous += 1
+    return unanimous / len(pairs)

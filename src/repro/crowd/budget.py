@@ -1,0 +1,58 @@
+"""Cost accounting for crowdsourcing campaigns.
+
+Paper Section 6.4: "We paid workers 2 cents for completing each HIT ...
+each HIT was replicated into three assignments."  The money cost of a
+campaign is therefore ``n_hits * n_assignments * price_per_assignment``,
+which is why minimising crowdsourced pairs (hence HITs) is the paper's
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_PRICE_PER_ASSIGNMENT = 0.02  # dollars; the paper's 2 cents
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Pricing of published work.
+
+    Attributes:
+        price_per_assignment: dollars paid for one completed assignment.
+    """
+
+    price_per_assignment: float = DEFAULT_PRICE_PER_ASSIGNMENT
+
+    def __post_init__(self) -> None:
+        if self.price_per_assignment < 0:
+            raise ValueError("price_per_assignment must be non-negative")
+
+    def assignment_cost(self, n_assignments: int) -> float:
+        """Dollars for ``n_assignments`` completed assignments."""
+        if n_assignments < 0:
+            raise ValueError("n_assignments must be non-negative")
+        return n_assignments * self.price_per_assignment
+
+    def hit_cost(self, n_hits: int, assignments_per_hit: int) -> float:
+        """Dollars for ``n_hits`` HITs each replicated ``assignments_per_hit``
+        times."""
+        return self.assignment_cost(n_hits * assignments_per_hit)
+
+
+@dataclass
+class CostLedger:
+    """Running total of spend during a simulated campaign."""
+
+    model: CostModel
+    assignments_paid: int = 0
+
+    def charge_assignment(self) -> float:
+        """Record one completed assignment; returns its cost."""
+        self.assignments_paid += 1
+        return self.model.price_per_assignment
+
+    @property
+    def total(self) -> float:
+        """Dollars spent so far."""
+        return self.model.assignment_cost(self.assignments_paid)

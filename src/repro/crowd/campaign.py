@@ -1,0 +1,230 @@
+"""Crowdsourcing campaigns: labeling strategies driven by the platform.
+
+A *campaign* wires a labeling strategy to the discrete-event platform at HIT
+granularity, producing the quantities the paper's Section 6.4 tables report:
+number of HITs, completion time, money cost, and the final labels (from which
+quality is computed).  Three campaign styles cover the paper's comparisons:
+
+* :func:`run_non_transitive` — the baseline: publish every candidate pair at
+  once, take the crowd's (aggregated) word for each.
+* :func:`run_transitive` — the paper's framework at platform granularity:
+  publish the must-crowdsource pairs, deduce everything implied as answers
+  arrive, optionally re-deciding instantly after every HIT completion
+  (Parallel(ID)); without instant decision it re-publishes only when the
+  platform drains (round-based Parallel).  Publishable pairs are buffered
+  into *full* HITs of the platform's batch size — partial HITs are flushed
+  only when the platform would otherwise sit idle — so iterative publication
+  does not inflate the HIT count the paper's batching strategy saves.
+* :func:`run_non_parallel` — publish a fixed list of HITs strictly one at a
+  time (Table 1's Non-Parallel opponent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.cluster_graph import ClusterGraph, ConflictPolicy
+from ..core.pairs import CandidatePair, Label, Pair, Provenance
+from ..core.parallel import parallel_crowdsourced_pairs
+from .platform import SimulatedPlatform
+
+
+@dataclass
+class CampaignReport:
+    """Everything a Section-6.4 table needs about one campaign run.
+
+    Attributes:
+        labels: final label of every candidate pair.
+        provenance: how each pair was resolved (crowdsourced or deduced).
+        n_hits: HITs published.
+        n_assignments: assignments completed (n_hits * replication).
+        cost: dollars spent.
+        completion_hours: simulated wall-clock time when the last candidate
+            pair's label became known.
+        publish_events: (time, n_hits_published) per publish burst.
+        hit_batches: the pair composition of every published HIT, in
+            publication order (lets Table 1 replay identical HITs serially).
+        conflicts: pairs whose crowd answer contradicted the deduction graph
+            (possible only with noisy workers).
+    """
+
+    labels: Dict[Pair, Label] = field(default_factory=dict)
+    provenance: Dict[Pair, Provenance] = field(default_factory=dict)
+    n_hits: int = 0
+    n_assignments: int = 0
+    cost: float = 0.0
+    completion_hours: float = 0.0
+    publish_events: List[Tuple[float, int]] = field(default_factory=list)
+    hit_batches: List[List[Pair]] = field(default_factory=list)
+    conflicts: List[Pair] = field(default_factory=list)
+
+    @property
+    def n_crowdsourced(self) -> int:
+        return sum(1 for p in self.provenance.values() if p is Provenance.CROWDSOURCED)
+
+    @property
+    def n_deduced(self) -> int:
+        return sum(1 for p in self.provenance.values() if p is Provenance.DEDUCED)
+
+    def matches(self) -> Set[Pair]:
+        """Pairs labeled matching."""
+        return {pair for pair, label in self.labels.items() if label is Label.MATCHING}
+
+
+def _pairs_of(order: Sequence[CandidatePair | Pair]) -> List[Pair]:
+    return [item.pair if isinstance(item, CandidatePair) else item for item in order]
+
+
+def _finalize(report: CampaignReport, platform: SimulatedPlatform) -> CampaignReport:
+    report.n_hits = platform.stats.hits_published
+    report.n_assignments = platform.stats.assignments_completed
+    report.cost = platform.ledger.total
+    return report
+
+
+def run_non_transitive(
+    candidates: Sequence[CandidatePair | Pair],
+    platform: SimulatedPlatform,
+) -> CampaignReport:
+    """Publish every pair simultaneously; no deduction (paper's baseline)."""
+    pairs = _pairs_of(candidates)
+    report = CampaignReport()
+    hits = platform.publish_pairs(pairs)
+    report.hit_batches.extend(list(hit.pairs) for hit in hits)
+    report.publish_events.append((platform.now, len(hits)))
+    for completion in platform.run_to_completion():
+        for pair, label in completion.labels.items():
+            report.labels[pair] = label
+            report.provenance[pair] = Provenance.CROWDSOURCED
+        report.completion_hours = completion.completed_at
+    return _finalize(report, platform)
+
+
+def run_transitive(
+    candidates: Sequence[CandidatePair | Pair],
+    platform: SimulatedPlatform,
+    instant_decision: bool = True,
+    policy: ConflictPolicy = ConflictPolicy.FIRST_WINS,
+) -> CampaignReport:
+    """The paper's framework against the simulated platform.
+
+    The candidate order is taken as the labeling order (sort upstream with a
+    :class:`~repro.core.ordering.Sorter`).  With ``instant_decision`` the
+    must-crowdsource set is re-evaluated after *every* HIT completion
+    (Parallel(ID)); otherwise only when the platform has drained (Parallel).
+
+    Crowd answers always win for pairs that were published; deductions fill
+    in the rest.  With noisy workers the answers may be mutually inconsistent
+    — the FIRST_WINS policy keeps the first-inserted edges and logs
+    conflicts, mirroring how cascaded deduction errors arise in the paper's
+    Table 2.
+    """
+    order = _pairs_of(candidates)
+    batch_size = platform.batch_size
+    report = CampaignReport()
+    labeled: Dict[Pair, Label] = {}
+    graph = ClusterGraph(policy=policy)
+    published: Set[Pair] = set()  # on the platform, or buffered for it
+    buffer: List[Pair] = []  # selected pairs awaiting a full HIT
+    unlabeled: List[Pair] = list(order)
+
+    def publish_chunk(chunk: List[Pair]) -> None:
+        hits = platform.publish_pairs(chunk)
+        report.hit_batches.extend(list(hit.pairs) for hit in hits)
+        report.publish_events.append((platform.now, len(hits)))
+
+    def flush(force: bool) -> None:
+        nonlocal buffer
+        while len(buffer) >= batch_size:
+            publish_chunk(buffer[:batch_size])
+            buffer = buffer[batch_size:]
+        if force and buffer:
+            publish_chunk(buffer)
+            buffer = []
+
+    def select_new() -> None:
+        batch = parallel_crowdsourced_pairs(order, labeled, exclude=published)
+        if batch:
+            buffer.extend(batch)
+            published.update(batch)
+        flush(force=False)
+
+    def sweep() -> None:
+        """Deduce unresolved pairs; buffered pairs may be rescued (they are
+        not on the platform yet), published ones are answered regardless."""
+        nonlocal unlabeled, buffer
+        rescued: Set[Pair] = set()
+        still: List[Pair] = []
+        buffered = set(buffer)
+        for pair in unlabeled:
+            if pair in labeled:
+                continue
+            if pair in published and pair not in buffered:
+                still.append(pair)
+                continue
+            deduced = graph.deduce(pair)
+            if deduced is not None:
+                labeled[pair] = deduced
+                report.labels[pair] = deduced
+                report.provenance[pair] = Provenance.DEDUCED
+                if pair in buffered:
+                    rescued.add(pair)
+                    published.discard(pair)
+            else:
+                still.append(pair)
+        unlabeled = still
+        if rescued:
+            buffer = [pair for pair in buffer if pair not in rescued]
+
+    select_new()
+    flush(force=True)  # the first round goes out even if it is a partial HIT
+    while unlabeled:
+        if platform.n_outstanding_hits == 0:
+            select_new()
+            flush(force=True)
+        completion = platform.step()
+        assert completion is not None, "campaign stalled with pairs unlabeled"
+        for pair, label in completion.labels.items():
+            published.discard(pair)
+            labeled[pair] = label
+            report.labels[pair] = label
+            report.provenance[pair] = Provenance.CROWDSOURCED
+            if not graph.add(pair, label):
+                report.conflicts.append(pair)
+        report.completion_hours = completion.completed_at
+        sweep()
+        if unlabeled and instant_decision:
+            select_new()
+    # Any still-outstanding HITs are paid for regardless; record their
+    # answers as they land (they do not extend the completion time, which is
+    # defined by the last *needed* label).
+    for completion in platform.run_to_completion():
+        for pair, label in completion.labels.items():
+            if pair not in report.labels:
+                report.labels[pair] = label
+                report.provenance[pair] = Provenance.CROWDSOURCED
+    return _finalize(report, platform)
+
+
+def run_non_parallel(
+    hits_pairs: Sequence[Sequence[Pair]],
+    platform: SimulatedPlatform,
+) -> CampaignReport:
+    """Publish pre-batched HITs strictly one at a time (Table 1 baseline).
+
+    Each inner sequence is one HIT's pairs; the next HIT is published only
+    after the previous one fully completes.
+    """
+    report = CampaignReport()
+    for chunk in hits_pairs:
+        hits = platform.publish_pairs(list(chunk))
+        report.hit_batches.extend(list(hit.pairs) for hit in hits)
+        report.publish_events.append((platform.now, len(hits)))
+        completion = platform.step()
+        assert completion is not None, "published HIT never completed"
+        for pair, label in completion.labels.items():
+            report.labels[pair] = label
+            report.provenance[pair] = Provenance.CROWDSOURCED
+        report.completion_hours = completion.completed_at
+    return _finalize(report, platform)

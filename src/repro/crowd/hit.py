@@ -1,0 +1,117 @@
+"""HITs (Human Intelligence Tasks) and assignments.
+
+On AMT (paper Section 2.1) a HIT is the unit of published work.  Section 6.4
+batches 20 pairs into one HIT, replicates each HIT into 3 assignments, and
+aggregates per pair by majority vote.  These value types model that structure
+for the simulated platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..core.pairs import Label, Pair
+
+DEFAULT_BATCH_SIZE = 20
+DEFAULT_ASSIGNMENTS = 3
+
+
+@dataclass(frozen=True)
+class HIT:
+    """A published task containing one or more pairs to label.
+
+    Attributes:
+        hit_id: platform-unique identifier.
+        pairs: the pairs a worker labels in this HIT (batching strategy).
+        n_assignments: how many distinct workers must complete the HIT.
+    """
+
+    hit_id: int
+    pairs: Tuple[Pair, ...]
+    n_assignments: int = DEFAULT_ASSIGNMENTS
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("a HIT must contain at least one pair")
+        if self.n_assignments < 1:
+            raise ValueError("a HIT needs at least one assignment")
+        if len(set(self.pairs)) != len(self.pairs):
+            raise ValueError("a HIT must not contain duplicate pairs")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self.pairs)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One worker's completed pass over a HIT.
+
+    Attributes:
+        hit: the HIT that was worked on.
+        worker_id: who completed it.
+        answers: the worker's label for every pair in the HIT.
+        accepted_at: simulation time the worker picked the HIT up.
+        submitted_at: simulation time the answers came back.
+    """
+
+    hit: HIT
+    worker_id: int
+    answers: Dict[Pair, Label]
+    accepted_at: float = 0.0
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        missing = set(self.hit.pairs) - set(self.answers)
+        if missing:
+            raise ValueError(f"assignment is missing answers for {sorted(map(repr, missing))}")
+
+    @property
+    def duration(self) -> float:
+        return self.submitted_at - self.accepted_at
+
+
+def batch_pairs(
+    pairs: Sequence[Pair],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    n_assignments: int = DEFAULT_ASSIGNMENTS,
+    first_hit_id: int = 0,
+) -> List[HIT]:
+    """Pack pairs into HITs of at most ``batch_size`` pairs each, preserving
+    order (the paper's batching strategy [14, 25]).
+
+    Raises:
+        ValueError: for a non-positive batch size.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    hits: List[HIT] = []
+    for start in range(0, len(pairs), batch_size):
+        chunk = tuple(pairs[start : start + batch_size])
+        hits.append(
+            HIT(
+                hit_id=first_hit_id + len(hits),
+                pairs=chunk,
+                n_assignments=n_assignments,
+            )
+        )
+    return hits
+
+
+def n_hits_needed(n_pairs: int, batch_size: int = DEFAULT_BATCH_SIZE) -> int:
+    """ceil(n_pairs / batch_size): the paper's HIT-count arithmetic, e.g.
+    29281 pairs / 20 per HIT -> 1465 HITs (Table 2a)."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return -(-n_pairs // batch_size)
+
+
+def pairs_of_hits(hits: Iterable[HIT]) -> List[Pair]:
+    """All pairs covered by ``hits``, in HIT order."""
+    flat: List[Pair] = []
+    for hit in hits:
+        flat.extend(hit.pairs)
+    return flat

@@ -1,0 +1,271 @@
+"""The simulated crowdsourcing platform: a discrete-event AMT stand-in.
+
+This is the substrate for the paper's Section 6.4 experiments.  It models:
+
+* HIT publication (pairs batched per the paper's batching strategy);
+* a finite worker pool, each worker with a behaviour model and speed;
+* per-assignment pickup delay + work time (see ``repro.crowd.latency``);
+* assignment replication with distinct workers per HIT;
+* majority-vote aggregation when a HIT's last assignment lands;
+* cost accounting per completed assignment.
+
+The API is pull-based: callers ``publish_pairs(...)`` and then repeatedly
+``step()`` to advance simulated time to the next completed HIT, reacting by
+publishing more work — exactly the shape of the paper's iterative labeling
+campaigns.  ``repro.crowd.campaign`` provides the campaign controllers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.oracle import LabelOracle
+from ..core.pairs import Label, Pair
+from .aggregation import aggregate_assignments
+from .budget import CostLedger, CostModel
+from .hit import DEFAULT_ASSIGNMENTS, DEFAULT_BATCH_SIZE, HIT, Assignment, batch_pairs
+from .latency import LatencyModel, LognormalLatency
+from .worker import Worker
+
+
+@dataclass(frozen=True)
+class HITCompletion:
+    """Returned by :meth:`SimulatedPlatform.step` when a HIT finishes.
+
+    Attributes:
+        hit: the completed HIT.
+        labels: majority-vote label per pair.
+        completed_at: simulation time (hours) of the last assignment.
+        assignments: the raw assignments (for agreement diagnostics).
+    """
+
+    hit: HIT
+    labels: Dict[Pair, Label]
+    completed_at: float
+    assignments: Tuple[Assignment, ...]
+
+
+@dataclass
+class PlatformStats:
+    """Aggregate counters maintained by the platform."""
+
+    hits_published: int = 0
+    assignments_completed: int = 0
+    pairs_published: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits_published": self.hits_published,
+            "assignments_completed": self.assignments_completed,
+            "pairs_published": self.pairs_published,
+        }
+
+
+class SimulatedPlatform:
+    """Discrete-event simulation of an AMT-like platform.
+
+    Args:
+        workers: the worker pool; must contain at least ``n_assignments``
+            workers or HITs can never complete.
+        truth: oracle giving the true label of any pair (workers distort it
+            according to their behaviour model).
+        likelihoods: optional machine likelihoods per pair, forwarded to
+            ambiguity-aware worker models (default 0.5).
+        latency: latency model (defaults to calibrated lognormal).
+        cost_model: pricing.
+        batch_size: pairs per HIT (paper: 20).
+        n_assignments: replication per HIT (paper: 3).
+        tie_break: label used on aggregation ties (only possible with an
+            even replication factor).
+        seed: RNG seed controlling latency draws and worker choice.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        truth: LabelOracle,
+        likelihoods: Optional[Dict[Pair, float]] = None,
+        latency: Optional[LatencyModel] = None,
+        cost_model: Optional[CostModel] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        n_assignments: int = DEFAULT_ASSIGNMENTS,
+        tie_break: Label = Label.NON_MATCHING,
+        seed: int = 0,
+    ) -> None:
+        if len(workers) < n_assignments:
+            raise ValueError(
+                f"{n_assignments} assignments per HIT need at least that many "
+                f"workers; got {len(workers)}"
+            )
+        self._workers = list(workers)
+        self._truth = truth
+        self._likelihoods = likelihoods or {}
+        self._latency = latency if latency is not None else LognormalLatency()
+        self.ledger = CostLedger(cost_model or CostModel())
+        self._batch_size = batch_size
+        self._n_assignments = n_assignments
+        self._tie_break = tie_break
+        self._rng = random.Random(seed)
+
+        self._now = 0.0
+        self._hit_counter = itertools.count()
+        self._event_counter = itertools.count()
+        # (finish_time, tiebreak, worker_index, assignment)
+        self._events: List[Tuple[float, int, int, Assignment]] = []
+        self._worker_free_at: List[float] = [0.0] * len(self._workers)
+        self._worker_busy: List[bool] = [False] * len(self._workers)
+        # Pending (hit, remaining assignment slots); worker ids that served it.
+        self._pending: List[HIT] = []
+        self._slots_left: Dict[int, int] = {}
+        self._served_by: Dict[int, Set[int]] = {}
+        self._completed_assignments: Dict[int, List[Assignment]] = {}
+        self._incomplete_hits: Set[int] = set()
+        self.stats = PlatformStats()
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in hours."""
+        return self._now
+
+    @property
+    def batch_size(self) -> int:
+        """Pairs per HIT (the batching strategy's granularity)."""
+        return self._batch_size
+
+    @property
+    def n_outstanding_hits(self) -> int:
+        """HITs published but not yet fully completed."""
+        return len(self._incomplete_hits)
+
+    def publish_pairs(self, pairs: Sequence[Pair]) -> List[HIT]:
+        """Batch ``pairs`` into HITs and publish them now."""
+        hits = batch_pairs(
+            pairs,
+            batch_size=self._batch_size,
+            n_assignments=self._n_assignments,
+            first_hit_id=next(self._hit_counter),
+        )
+        # keep the counter ahead of the ids just allocated
+        for _ in range(max(len(hits) - 1, 0)):
+            next(self._hit_counter)
+        for hit in hits:
+            self._publish_hit(hit)
+        return hits
+
+    def _publish_hit(self, hit: HIT) -> None:
+        self._pending.append(hit)
+        self._slots_left[hit.hit_id] = hit.n_assignments
+        self._served_by[hit.hit_id] = set()
+        self._completed_assignments[hit.hit_id] = []
+        self._incomplete_hits.add(hit.hit_id)
+        self.stats.hits_published += 1
+        self.stats.pairs_published += len(hit)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # event engine
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Hand pending assignment slots to free workers."""
+        progress = True
+        while progress:
+            progress = False
+            free = [
+                i
+                for i in range(len(self._workers))
+                if not self._worker_busy[i]
+            ]
+            if not free:
+                return
+            self._rng.shuffle(free)
+            for worker_index in free:
+                slot = self._find_slot_for(worker_index)
+                if slot is None:
+                    continue
+                self._start_assignment(worker_index, slot)
+                progress = True
+
+    def _find_slot_for(self, worker_index: int) -> Optional[HIT]:
+        worker = self._workers[worker_index]
+        for hit in self._pending:
+            if self._slots_left.get(hit.hit_id, 0) <= 0:
+                continue
+            if worker.worker_id in self._served_by[hit.hit_id]:
+                continue
+            return hit
+        return None
+
+    def _start_assignment(self, worker_index: int, hit: HIT) -> None:
+        worker = self._workers[worker_index]
+        self._slots_left[hit.hit_id] -= 1
+        if self._slots_left[hit.hit_id] == 0:
+            self._pending = [h for h in self._pending if h.hit_id != hit.hit_id]
+        self._served_by[hit.hit_id].add(worker.worker_id)
+        start = max(self._now, self._worker_free_at[worker_index])
+        start += self._latency.pickup_delay(self._rng)
+        duration = self._latency.work_time(self._rng, len(hit)) / worker.speed
+        finish = start + duration
+        answers = {
+            pair: worker.answer(
+                pair,
+                self._truth.label(pair),
+                self._likelihoods.get(pair, 0.5),
+            )
+            for pair in hit.pairs
+        }
+        assignment = Assignment(
+            hit=hit,
+            worker_id=worker.worker_id,
+            answers=answers,
+            accepted_at=start,
+            submitted_at=finish,
+        )
+        self._worker_busy[worker_index] = True
+        heapq.heappush(
+            self._events, (finish, next(self._event_counter), worker_index, assignment)
+        )
+
+    def step(self) -> Optional[HITCompletion]:
+        """Advance simulated time to the next *HIT* completion.
+
+        Processes assignment-completion events in time order; whenever a
+        HIT's last assignment lands, aggregates by majority vote and returns.
+        Returns None when no work is outstanding.
+        """
+        while self._events:
+            finish, _, worker_index, assignment = heapq.heappop(self._events)
+            self._now = finish
+            self._worker_busy[worker_index] = False
+            self._worker_free_at[worker_index] = finish
+            self.ledger.charge_assignment()
+            self.stats.assignments_completed += 1
+            hit_id = assignment.hit.hit_id
+            done = self._completed_assignments[hit_id]
+            done.append(assignment)
+            self._dispatch()
+            if len(done) == assignment.hit.n_assignments:
+                self._incomplete_hits.discard(hit_id)
+                labels = aggregate_assignments(done, tie_break=self._tie_break)
+                return HITCompletion(
+                    hit=assignment.hit,
+                    labels=labels,
+                    completed_at=finish,
+                    assignments=tuple(done),
+                )
+        return None
+
+    def run_to_completion(self) -> List[HITCompletion]:
+        """Drain every outstanding HIT; returns completions in time order."""
+        completions: List[HITCompletion] = []
+        while True:
+            completion = self.step()
+            if completion is None:
+                return completions
+            completions.append(completion)

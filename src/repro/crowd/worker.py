@@ -1,0 +1,245 @@
+"""Worker models: how simulated crowd workers answer pair-labeling tasks.
+
+The paper's simulation sections assume perfectly correct answers; the AMT
+experiments (Section 6.4) face real worker error, mitigated by qualification
+tests and 3-way majority voting.  This module provides worker behaviours from
+perfect to likelihood-aware-noisy so both regimes can be simulated.
+
+Two error regimes matter for reproducing Table 2:
+
+* *idiosyncratic* — each worker errs independently; replication + majority
+  voting suppress this kind of noise;
+* *systematic* — the pair itself is confusing ("iPad 2" vs a refurbished
+  listing), so most workers give the same wrong answer and majority voting
+  cannot help.  Systematic errors are what transitive deduction amplifies:
+  one wrong consensus on a representative pair cascades into every label
+  deduced from it, which is exactly the quality-loss mechanism the paper
+  reports on the Cora dataset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from ..core.pairs import Label, Pair
+
+
+def _pair_unit_interval(pair: Pair, salt: int) -> float:
+    """A deterministic uniform-[0,1) value per (pair, salt) — the shared coin
+    behind systematic errors."""
+    digest = hashlib.md5(f"{salt}:{pair.left!r}|{pair.right!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@runtime_checkable
+class WorkerModel(Protocol):
+    """Strategy deciding what a worker answers for one pair."""
+
+    def answer(self, pair: Pair, true_label: Label, likelihood: float) -> Label:
+        """The worker's answer given the truth and the machine likelihood.
+
+        ``likelihood`` is the matcher's match probability for the pair —
+        ambiguity-aware models use it as a difficulty proxy (pairs near 0.5
+        are genuinely harder for humans too).
+        """
+        ...  # pragma: no cover - protocol
+
+
+class PerfectWorker:
+    """Always answers correctly — the paper's simulation assumption."""
+
+    def answer(self, pair: Pair, true_label: Label, likelihood: float) -> Label:
+        return true_label
+
+
+class BernoulliWorker:
+    """Errs independently with probability ``1 - accuracy`` on every pair."""
+
+    def __init__(self, accuracy: float, seed: int = 0) -> None:
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        self.accuracy = accuracy
+        self._rng = random.Random(seed)
+
+    def answer(self, pair: Pair, true_label: Label, likelihood: float) -> Label:
+        if self._rng.random() < self.accuracy:
+            return true_label
+        return true_label.negate()
+
+
+class AmbiguityAwareWorker:
+    """Error rate grows with pair ambiguity, optionally biased toward
+    false positives.
+
+    A pair whose machine likelihood sits near 0.5 is typically ambiguous for
+    humans as well ("iPad 2" vs "iPad 3rd Gen refurbished"); a pair near 0 or
+    1 is easy.  The error probability interpolates between ``base_error`` (at
+    likelihood 0 or 1) and ``ambiguous_error`` (at likelihood 0.5):
+
+        error(l) = base_error + (ambiguous_error - base_error) * (1 - 2|l - 0.5|)
+
+    ``false_positive_bias`` multiplies the error rate on truly non-matching
+    pairs: crowds confronted with two similar-looking records over-report
+    "matching" (the paper's Cora run shows this — 68.8 % precision even
+    without transitivity).  ``false_negative_bias`` is the mirror image for
+    truly matching pairs: crowds miss matches whose listings look different
+    (the paper's Abt-Buy run: 68.9 % recall at 95.7 % precision).
+    """
+
+    def __init__(
+        self,
+        base_error: float = 0.02,
+        ambiguous_error: float = 0.25,
+        false_positive_bias: float = 1.0,
+        false_negative_bias: float = 1.0,
+        systematic_fraction: float = 0.0,
+        salt: int = 0,
+        seed: int = 0,
+    ) -> None:
+        """Args:
+            systematic_fraction: share of the error probability realised as
+                a *pair-intrinsic* error — decided by a coin shared by every
+                worker constructed with the same ``salt``, so majority voting
+                cannot out-vote it.  The remainder stays idiosyncratic.
+            salt: identifies the crowd population's shared confusions.
+        """
+        for name, value in (("base_error", base_error), ("ambiguous_error", ambiguous_error)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if false_positive_bias < 0 or false_negative_bias < 0:
+            raise ValueError("bias multipliers must be non-negative")
+        if not 0.0 <= systematic_fraction <= 1.0:
+            raise ValueError("systematic_fraction must be in [0, 1]")
+        self.base_error = base_error
+        self.ambiguous_error = ambiguous_error
+        self.false_positive_bias = false_positive_bias
+        self.false_negative_bias = false_negative_bias
+        self.systematic_fraction = systematic_fraction
+        self.salt = salt
+        self._rng = random.Random(seed)
+
+    def error_probability(self, likelihood: float, true_label: Label = Label.MATCHING) -> float:
+        ambiguity = 1.0 - 2.0 * abs(likelihood - 0.5)
+        error = self.base_error + (self.ambiguous_error - self.base_error) * ambiguity
+        if true_label is Label.NON_MATCHING:
+            error *= self.false_positive_bias
+        else:
+            error *= self.false_negative_bias
+        return min(error, 0.95)
+
+    def answer(self, pair: Pair, true_label: Label, likelihood: float) -> Label:
+        error = self.error_probability(likelihood, true_label)
+        systematic = error * self.systematic_fraction
+        if _pair_unit_interval(pair, self.salt) < systematic:
+            return true_label.negate()
+        idiosyncratic = error * (1.0 - self.systematic_fraction)
+        if self._rng.random() < idiosyncratic:
+            return true_label.negate()
+        return true_label
+
+
+@dataclass(frozen=True)
+class QualificationTest:
+    """The paper's quality-control gate: three specified pairs a worker must
+    label correctly before doing real HITs (Section 6.4)."""
+
+    n_questions: int = 3
+
+    def passes(self, worker: WorkerModel, seed: int = 0) -> bool:
+        """Run the test: unambiguous probe pairs (likelihood 0 or 1).
+
+        A perfect worker always passes; a worker with accuracy ``a`` passes
+        with probability roughly ``a ** n_questions``.
+        """
+        rng = random.Random(seed)
+        for question in range(self.n_questions):
+            truth = Label.MATCHING if rng.random() < 0.5 else Label.NON_MATCHING
+            probe = Pair(f"__qual_{seed}_{question}_a", f"__qual_{seed}_{question}_b")
+            easy_likelihood = 1.0 if truth is Label.MATCHING else 0.0
+            if worker.answer(probe, truth, easy_likelihood) is not truth:
+                return False
+        return True
+
+
+@dataclass
+class Worker:
+    """A platform worker: a behaviour model plus a work-speed multiplier.
+
+    Attributes:
+        worker_id: platform-unique id.
+        model: answering behaviour.
+        speed: relative working speed (2.0 finishes assignments twice as
+            fast as the latency model's baseline).
+    """
+
+    worker_id: int
+    model: WorkerModel
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+
+    def answer(self, pair: Pair, true_label: Label, likelihood: float) -> Label:
+        return self.model.answer(pair, true_label, likelihood)
+
+
+def make_worker_pool(
+    n_workers: int,
+    accuracy: Optional[float] = None,
+    ambiguity_aware: bool = False,
+    base_error: float = 0.02,
+    ambiguous_error: float = 0.25,
+    false_positive_bias: float = 1.0,
+    false_negative_bias: float = 1.0,
+    systematic_fraction: float = 0.0,
+    qualification: Optional[QualificationTest] = None,
+    seed: int = 0,
+) -> list[Worker]:
+    """Build a pool of workers with per-worker RNG streams.
+
+    Args:
+        n_workers: pool size (before qualification filtering).
+        accuracy: if given, workers are :class:`BernoulliWorker` with this
+            accuracy; otherwise perfect unless ``ambiguity_aware``.
+        ambiguity_aware: use :class:`AmbiguityAwareWorker` instead.
+        false_positive_bias: error multiplier on truly non-matching pairs
+            (ambiguity-aware workers only).
+        false_negative_bias: error multiplier on truly matching pairs
+            (ambiguity-aware workers only).
+        systematic_fraction: share of errors that are pair-intrinsic and
+            shared by the whole pool (majority voting cannot remove them).
+        qualification: if given, only workers that pass are included.
+        seed: master seed; worker ``i`` uses ``seed * 10007 + i``.
+
+    Returns:
+        The qualified workers with speeds drawn from a modest spread.
+    """
+    if accuracy is not None and ambiguity_aware:
+        raise ValueError("choose either a fixed accuracy or ambiguity_aware, not both")
+    rng = random.Random(seed)
+    pool: list[Worker] = []
+    for i in range(n_workers):
+        worker_seed = seed * 10007 + i
+        if ambiguity_aware:
+            model: WorkerModel = AmbiguityAwareWorker(
+                base_error=base_error,
+                ambiguous_error=ambiguous_error,
+                false_positive_bias=false_positive_bias,
+                false_negative_bias=false_negative_bias,
+                systematic_fraction=systematic_fraction,
+                salt=seed,
+                seed=worker_seed,
+            )
+        elif accuracy is not None:
+            model = BernoulliWorker(accuracy=accuracy, seed=worker_seed)
+        else:
+            model = PerfectWorker()
+        if qualification is not None and not qualification.passes(model, seed=worker_seed):
+            continue
+        speed = rng.uniform(0.6, 1.6)
+        pool.append(Worker(worker_id=i, model=model, speed=speed))
+    return pool

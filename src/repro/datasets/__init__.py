@@ -1,0 +1,30 @@
+"""Synthetic evaluation datasets: Cora-like "Paper" and Abt-Buy-like
+"Product" corpora with cluster-size histograms matching paper Figure 10."""
+
+from .corruption import Corruptor, heavy_corruptor, light_corruptor
+from .distributions import (
+    ClusterSizeSpec,
+    histogram_of,
+    paper_spec,
+    product_spec,
+)
+from .io import load_dataset, save_dataset
+from .paper_like import generate_paper_dataset
+from .product_like import generate_product_dataset
+from .schema import Dataset, Record
+
+__all__ = [
+    "ClusterSizeSpec",
+    "Corruptor",
+    "Dataset",
+    "Record",
+    "generate_paper_dataset",
+    "generate_product_dataset",
+    "heavy_corruptor",
+    "histogram_of",
+    "light_corruptor",
+    "load_dataset",
+    "paper_spec",
+    "product_spec",
+    "save_dataset",
+]

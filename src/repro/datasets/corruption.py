@@ -1,0 +1,131 @@
+"""Corruption operators: how duplicate records diverge from their canonical
+form.
+
+Real duplicate bibliography entries differ by citation style, abbreviations,
+typos, and truncation; product listings differ by token order, spec noise,
+and formatting.  The :class:`Corruptor` applies a configurable mix of these
+operators with an *intensity* knob, which is what controls how much of the
+within-cluster pair mass stays above a given likelihood threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def typo(word: str, rng: random.Random) -> str:
+    """One random character edit: swap, delete, insert, or substitute."""
+    if len(word) < 2:
+        return word + rng.choice(_ALPHABET)
+    op = rng.randrange(4)
+    i = rng.randrange(len(word) - 1)
+    if op == 0:  # swap adjacent
+        return word[:i] + word[i + 1] + word[i] + word[i + 2 :]
+    if op == 1:  # delete
+        return word[:i] + word[i + 1 :]
+    if op == 2:  # insert
+        return word[:i] + rng.choice(_ALPHABET) + word[i:]
+    return word[:i] + rng.choice(_ALPHABET) + word[i + 1 :]  # substitute
+
+
+def abbreviate(word: str, rng: random.Random) -> str:
+    """Abbreviate to an initial ("proceedings" -> "proc")."""
+    if len(word) <= 4:
+        return word
+    cut = rng.choice((1, 3, 4))
+    return word[:cut]
+
+
+def drop_token(tokens: List[str], rng: random.Random) -> List[str]:
+    """Remove one random token (keeps at least one)."""
+    if len(tokens) <= 1:
+        return tokens
+    index = rng.randrange(len(tokens))
+    return tokens[:index] + tokens[index + 1 :]
+
+
+def swap_tokens(tokens: List[str], rng: random.Random) -> List[str]:
+    """Swap two adjacent tokens (author-order / word-order changes)."""
+    if len(tokens) < 2:
+        return tokens
+    index = rng.randrange(len(tokens) - 1)
+    swapped = list(tokens)
+    swapped[index], swapped[index + 1] = swapped[index + 1], swapped[index]
+    return swapped
+
+
+def perturb_number(word: str, rng: random.Random) -> str:
+    """Nudge a numeric token by one (page/yr off-by-ones in citations)."""
+    if not word.isdigit():
+        return word
+    value = int(word)
+    return str(max(value + rng.choice((-1, 1)), 0))
+
+
+@dataclass
+class Corruptor:
+    """Applies a randomized mix of corruption operators to field text.
+
+    Args:
+        word_ops_rate: probability that any given token receives a word-level
+            operator (typo / abbreviation / number nudge).
+        drop_rate: probability of dropping one token from a field.
+        swap_rate: probability of swapping two adjacent tokens.
+        seed: RNG seed; every duplicate should use a distinct derived seed.
+    """
+
+    word_ops_rate: float = 0.12
+    drop_rate: float = 0.15
+    swap_rate: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("word_ops_rate", "drop_rate", "swap_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = random.Random(self.seed)
+
+    def corrupt_text(self, text: str) -> str:
+        """Corrupt one field value, preserving rough recognisability."""
+        rng = self._rng
+        tokens = text.split()
+        if not tokens:
+            return text
+        if rng.random() < self.swap_rate:
+            tokens = swap_tokens(tokens, rng)
+        if rng.random() < self.drop_rate:
+            tokens = drop_token(tokens, rng)
+        corrupted: List[str] = []
+        for token in tokens:
+            if rng.random() < self.word_ops_rate:
+                if token.isdigit():
+                    corrupted.append(perturb_number(token, rng))
+                elif rng.random() < 0.5:
+                    corrupted.append(typo(token, rng))
+                else:
+                    corrupted.append(abbreviate(token, rng))
+            else:
+                corrupted.append(token)
+        return " ".join(corrupted)
+
+    def corrupt_fields(self, fields: Dict[str, str], skip: Sequence[str] = ()) -> Dict[str, str]:
+        """Corrupt every field value except the ones in ``skip``."""
+        return {
+            name: value if name in skip else self.corrupt_text(value)
+            for name, value in fields.items()
+        }
+
+
+def light_corruptor(seed: int) -> Corruptor:
+    """Mild divergence: duplicates stay highly similar (likelihood ~0.6+)."""
+    return Corruptor(word_ops_rate=0.06, drop_rate=0.08, swap_rate=0.12, seed=seed)
+
+
+def heavy_corruptor(seed: int) -> Corruptor:
+    """Strong divergence: duplicates drift toward the threshold boundary."""
+    return Corruptor(word_ops_rate=0.25, drop_rate=0.3, swap_rate=0.35, seed=seed)

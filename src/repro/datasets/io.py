@@ -1,0 +1,99 @@
+"""CSV persistence for datasets.
+
+Round-trips a :class:`~repro.datasets.schema.Dataset` through two CSV files:
+``<name>.records.csv`` (record id, source, fields...) and
+``<name>.truth.csv`` (record id, entity id).  Lets users export the synthetic
+corpora and import their own.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .schema import Dataset, Record
+
+_RESERVED = ("record_id", "source", "entity_id")
+
+
+def save_dataset(dataset: Dataset, directory: "str | Path") -> tuple[Path, Path]:
+    """Write the dataset's records and ground truth as CSV.
+
+    Returns:
+        (records_path, truth_path).
+
+    Raises:
+        ValueError: if a record field collides with a reserved column name.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    field_names: List[str] = sorted(
+        {name for record in dataset.records for name in record.fields}
+    )
+    for name in field_names:
+        if name in _RESERVED:
+            raise ValueError(f"field name {name!r} collides with a reserved column")
+    records_path = directory / f"{dataset.name}.records.csv"
+    truth_path = directory / f"{dataset.name}.truth.csv"
+
+    with records_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["record_id", "source", *field_names])
+        for record in dataset.records:
+            writer.writerow(
+                [record.record_id, record.source or ""]
+                + [record.fields.get(name, "") for name in field_names]
+            )
+
+    with truth_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["record_id", "entity_id"])
+        for record in dataset.records:
+            writer.writerow([record.record_id, dataset.entity_of[record.record_id]])
+
+    return records_path, truth_path
+
+
+def load_dataset(
+    name: str, directory: "str | Path", field_names: Optional[Sequence[str]] = None
+) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Args:
+        name: dataset name (file prefix).
+        directory: where the CSVs live.
+        field_names: restrict to a subset of field columns (default: all).
+
+    Raises:
+        FileNotFoundError: when either CSV is missing.
+    """
+    directory = Path(directory)
+    records_path = directory / f"{name}.records.csv"
+    truth_path = directory / f"{name}.truth.csv"
+
+    entity_of: Dict[str, str] = {}
+    with truth_path.open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            entity_of[row["record_id"]] = row["entity_id"]
+
+    records: List[Record] = []
+    with records_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        columns = [
+            column
+            for column in (reader.fieldnames or [])
+            if column not in ("record_id", "source")
+        ]
+        if field_names is not None:
+            columns = [column for column in columns if column in field_names]
+        for row in reader:
+            records.append(
+                Record(
+                    record_id=row["record_id"],
+                    fields={column: row[column] for column in columns},
+                    source=row["source"] or None,
+                )
+            )
+
+    return Dataset(name=name, records=records, entity_of=entity_of)

@@ -1,0 +1,150 @@
+"""Record and dataset model for the synthetic entity-resolution corpora.
+
+A :class:`Dataset` bundles records with the ground-truth entity assignment —
+the thing the paper's datasets (Cora "Paper" and Abt-Buy "Product") provide
+via their match annotations.  For bipartite (two-table) datasets each record
+carries a source name and only cross-source pairs are join candidates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence, Set
+
+from ..core.oracle import GroundTruthOracle
+from ..core.pairs import Pair
+
+
+@dataclass(frozen=True)
+class Record:
+    """One record: an id, a field map, and an optional source table name."""
+
+    record_id: str
+    fields: Mapping[str, str]
+    source: Optional[str] = None
+
+    def text(self, field_names: Optional[Sequence[str]] = None) -> str:
+        """The record's matching text: selected fields joined by spaces."""
+        names = field_names if field_names is not None else sorted(self.fields)
+        return " ".join(str(self.fields[n]) for n in names if self.fields.get(n))
+
+    def __getitem__(self, name: str) -> str:
+        return self.fields[name]
+
+
+@dataclass
+class Dataset:
+    """Records plus ground truth.
+
+    Attributes:
+        name: human-readable dataset name.
+        records: all records (both tables for bipartite datasets).
+        entity_of: record id -> ground-truth entity id.
+    """
+
+    name: str
+    records: List[Record]
+    entity_of: Dict[str, Hashable]
+
+    def __post_init__(self) -> None:
+        ids = [r.record_id for r in self.records]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate record ids in dataset")
+        missing = [rid for rid in ids if rid not in self.entity_of]
+        if missing:
+            raise ValueError(f"records without ground truth: {missing[:5]}")
+        self._by_id: Dict[str, Record] = {r.record_id: r for r in self.records}
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def record(self, record_id: str) -> Record:
+        """Look up a record by id (raises KeyError if absent)."""
+        return self._by_id[record_id]
+
+    def ids(self) -> List[str]:
+        """All record ids, in record order."""
+        return [r.record_id for r in self.records]
+
+    def texts(self, field_names: Optional[Sequence[str]] = None) -> Dict[str, str]:
+        """record id -> matching text."""
+        return {r.record_id: r.text(field_names) for r in self.records}
+
+    @property
+    def is_bipartite(self) -> bool:
+        """True when records carry at least two distinct source names."""
+        return len(self.sources()) >= 2
+
+    def sources(self) -> List[str]:
+        """Distinct source names, sorted (empty for single-table data)."""
+        return sorted({r.source for r in self.records if r.source is not None})
+
+    def source_of(self) -> Dict[str, str]:
+        """record id -> source name (only records that have one)."""
+        return {r.record_id: r.source for r in self.records if r.source is not None}
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    def truth_oracle(self) -> GroundTruthOracle:
+        """A perfect oracle over this dataset's entity assignment."""
+        return GroundTruthOracle(self.entity_of)
+
+    def clusters(self) -> List[Set[str]]:
+        """Ground-truth entity clusters as sets of record ids."""
+        by_entity: Dict[Hashable, Set[str]] = {}
+        for record_id, entity in self.entity_of.items():
+            by_entity.setdefault(entity, set()).add(record_id)
+        return list(by_entity.values())
+
+    def cluster_size_histogram(self) -> Counter:
+        """cluster size -> number of clusters (paper Figure 10's data)."""
+        return Counter(len(cluster) for cluster in self.clusters())
+
+    def matching_pairs(self) -> Set[Pair]:
+        """Every true matching pair (cross-source only, for bipartite data)."""
+        source = self.source_of() if self.is_bipartite else None
+        pairs: Set[Pair] = set()
+        for cluster in self.clusters():
+            members = sorted(cluster)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    a, b = members[i], members[j]
+                    if source is not None and source.get(a) == source.get(b):
+                        continue
+                    pairs.add(Pair(a, b))
+        return pairs
+
+    def n_possible_pairs(self) -> int:
+        """Size of the join's pair space: n*(n-1)/2 for one table, |A|*|B|
+        for two tables (the paper's 496,506 and 1,180,452)."""
+        if not self.is_bipartite:
+            n = len(self.records)
+            return n * (n - 1) // 2
+        sizes = Counter(r.source for r in self.records)
+        names = self.sources()
+        total = 0
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                total += sizes[names[i]] * sizes[names[j]]
+        return total
+
+    def summary(self) -> dict:
+        """Headline statistics for reports."""
+        histogram = self.cluster_size_histogram()
+        return {
+            "name": self.name,
+            "n_records": len(self.records),
+            "n_entities": len(self.clusters()),
+            "n_possible_pairs": self.n_possible_pairs(),
+            "n_matching_pairs": len(self.matching_pairs()),
+            "max_cluster_size": max(histogram) if histogram else 0,
+            "sources": self.sources(),
+        }

@@ -1,0 +1,78 @@
+"""Vocabulary pools for the synthetic dataset generators.
+
+Deterministic word lists: bibliographic vocabulary for the Cora-like Paper
+dataset and commerce vocabulary for the Abt-Buy-like Product dataset.  The
+lists are intentionally sized so that records from *different* entities can
+still share rare tokens — that is what creates the cross-cluster candidate
+pairs above the likelihood thresholds.
+"""
+
+from __future__ import annotations
+
+SURNAMES = [
+    "smith", "johnson", "lee", "chen", "wang", "garcia", "kumar", "patel",
+    "mueller", "rossi", "tanaka", "kim", "nguyen", "brown", "davis", "miller",
+    "wilson", "moore", "taylor", "anderson", "thomas", "jackson", "white",
+    "harris", "martin", "thompson", "martinez", "robinson", "clark",
+    "rodriguez", "lewis", "walker", "hall", "allen", "young", "hernandez",
+    "king", "wright", "lopez", "hill", "scott", "green", "adams", "baker",
+    "gonzalez", "nelson", "carter", "mitchell", "perez", "roberts", "turner",
+    "phillips", "campbell", "parker", "evans", "edwards", "collins",
+    "stewart", "sanchez", "morris", "rogers", "reed", "cook", "morgan",
+]
+
+FIRST_INITIALS = list("abcdefghijklmnoprstw")
+
+TITLE_WORDS = [
+    "learning", "adaptive", "efficient", "parallel", "distributed",
+    "probabilistic", "scalable", "incremental", "optimal", "approximate",
+    "robust", "dynamic", "hierarchical", "bayesian", "neural", "genetic",
+    "fuzzy", "hybrid", "online", "structured", "query", "database",
+    "networks", "inference", "classification", "clustering", "retrieval",
+    "optimization", "reasoning", "recognition", "estimation", "indexing",
+    "integration", "resolution", "matching", "mining", "analysis",
+    "evaluation", "processing", "systems", "models", "methods", "algorithms",
+    "framework", "architecture", "semantics", "knowledge", "information",
+    "decision", "planning", "search", "selection", "induction", "prediction",
+    "abstraction", "propagation", "sampling", "caching", "scheduling",
+    "replication", "consistency", "concurrency", "transactions", "streams",
+    "graphs", "trees", "tables", "joins", "views", "constraints", "entities",
+    "records", "duplicates", "crowdsourcing", "wrappers", "agents",
+    "features", "kernels", "margins", "ensembles", "boosting", "regression",
+]
+
+VENUES = [
+    "sigmod", "vldb", "icde", "kdd", "icml", "nips", "aaai", "ijcai",
+    "uai", "colt", "www", "cikm", "icdt", "pods", "edbt", "sigir",
+    "machine learning journal", "artificial intelligence", "tods", "tkde",
+]
+
+BRANDS = [
+    "sony", "samsung", "panasonic", "toshiba", "philips", "canon", "nikon",
+    "garmin", "bose", "yamaha", "pioneer", "sharp", "sanyo", "jvc", "denon",
+    "onkyo", "logitech", "netgear", "linksys", "dlink", "frigidaire",
+    "whirlpool", "delonghi", "cuisinart", "kitchenaid", "hoover", "dyson",
+    "braun", "norelco", "sennheiser", "audiovox", "haier", "zenith",
+    "olympus", "kodak", "casio", "seiko", "motorola", "nokia", "apple",
+]
+
+PRODUCT_NOUNS = [
+    "television", "camcorder", "camera", "receiver", "speaker", "headphones",
+    "refrigerator", "microwave", "dishwasher", "blender", "toaster",
+    "vacuum", "router", "monitor", "keyboard", "printer", "scanner",
+    "projector", "subwoofer", "soundbar", "turntable", "amplifier",
+    "dehumidifier", "heater", "fan", "grill", "mixer", "kettle", "dvd player",
+    "home theater", "gps navigator", "radio", "telephone", "washer", "dryer",
+]
+
+PRODUCT_ADJECTIVES = [
+    "black", "white", "silver", "stainless", "portable", "wireless",
+    "digital", "compact", "professional", "premium", "slim", "widescreen",
+    "high definition", "energy efficient", "rechargeable", "bluetooth",
+]
+
+PRODUCT_SERIES = [
+    "bravia", "viera", "aquos", "regza", "cybershot", "powershot", "coolpix",
+    "lumix", "handycam", "walkman", "diamond", "elite", "signature",
+    "classic", "pro", "ultra", "mega", "prime", "advantage", "select",
+]

@@ -1,0 +1,25 @@
+"""Entity-resolution toolkit: clustering from match decisions and the
+pairwise quality metrics of paper Section 6.4."""
+
+from .clustering import (
+    cluster_matches,
+    entity_assignment,
+    implied_matches,
+    split_oversized_clusters,
+)
+from .ground_truth import match_fraction, recall_of_candidates, true_matches_within
+from .metrics import PairwiseQuality, cluster_quality, evaluate_labels, evaluate_matches
+
+__all__ = [
+    "PairwiseQuality",
+    "cluster_matches",
+    "cluster_quality",
+    "entity_assignment",
+    "evaluate_labels",
+    "evaluate_matches",
+    "implied_matches",
+    "match_fraction",
+    "recall_of_candidates",
+    "split_oversized_clusters",
+    "true_matches_within",
+]

@@ -1,0 +1,38 @@
+"""Ground-truth utilities shared by experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Set
+
+from ..core.oracle import GroundTruthOracle
+from ..core.pairs import Label, Pair
+
+
+def true_matches_within(
+    pairs: Iterable[Pair], entity_of: Mapping[Hashable, Hashable]
+) -> Set[Pair]:
+    """The subset of ``pairs`` that are true matches."""
+    oracle = GroundTruthOracle(entity_of)
+    return {pair for pair in pairs if oracle.label(pair) is Label.MATCHING}
+
+
+def match_fraction(
+    pairs: Iterable[Pair], entity_of: Mapping[Hashable, Hashable]
+) -> float:
+    """Fraction of ``pairs`` that are true matches (candidate purity)."""
+    pairs = list(pairs)
+    if not pairs:
+        return 0.0
+    return len(true_matches_within(pairs, entity_of)) / len(pairs)
+
+
+def recall_of_candidates(
+    candidate_pairs: Iterable[Pair],
+    all_true_matches: Set[Pair],
+) -> float:
+    """How many true matches survived candidate generation (blocking +
+    thresholding) — the machine step's recall ceiling."""
+    if not all_true_matches:
+        return 1.0
+    kept = set(candidate_pairs) & all_true_matches
+    return len(kept) / len(all_true_matches)

@@ -1,0 +1,120 @@
+"""Pairwise quality metrics (paper Section 6.4).
+
+The paper evaluates the final labels with pairwise precision, recall and
+F-measure: ``tp`` = correctly labeled matching pairs, ``fp`` = wrongly
+labeled matching pairs, ``fn`` = falsely labeled non-matching pairs,
+
+    precision = tp / (tp + fp)      recall = tp / (tp + fn)
+    F = 2 * precision * recall / (precision + recall)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from ..core.oracle import GroundTruthOracle, LabelOracle
+from ..core.pairs import Label, Pair
+
+
+@dataclass(frozen=True)
+class PairwiseQuality:
+    """Precision / recall / F-measure with their raw counts."""
+
+    tp: int
+    fp: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        """tp / (tp + fp); 1.0 when nothing was predicted matching."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        """tp / (tp + fn); 1.0 when nothing was truly matching."""
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 1.0
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        """The Table 2 columns, as percentages."""
+        return {
+            "precision": 100.0 * self.precision,
+            "recall": 100.0 * self.recall,
+            "f_measure": 100.0 * self.f_measure,
+        }
+
+
+def evaluate_labels(
+    labels: Mapping[Pair, Label],
+    truth: LabelOracle,
+) -> PairwiseQuality:
+    """Score predicted labels over exactly the pairs that were labeled."""
+    tp = fp = fn = 0
+    for pair, label in labels.items():
+        true_label = truth.label(pair)
+        if label is Label.MATCHING and true_label is Label.MATCHING:
+            tp += 1
+        elif label is Label.MATCHING and true_label is Label.NON_MATCHING:
+            fp += 1
+        elif label is Label.NON_MATCHING and true_label is Label.MATCHING:
+            fn += 1
+    return PairwiseQuality(tp=tp, fp=fp, fn=fn)
+
+
+def evaluate_matches(
+    predicted_matches: Set[Pair],
+    true_matches: Set[Pair],
+    universe: Optional[Iterable[Pair]] = None,
+) -> PairwiseQuality:
+    """Score a predicted match *set* against the true match set.
+
+    Args:
+        predicted_matches: pairs the system claims are matching.
+        true_matches: the ground-truth matching pairs.
+        universe: if given, both sets are first intersected with it (e.g.
+            restrict evaluation to the candidate pairs, as the paper does).
+    """
+    if universe is not None:
+        universe_set = set(universe)
+        predicted_matches = predicted_matches & universe_set
+        true_matches = true_matches & universe_set
+    tp = len(predicted_matches & true_matches)
+    fp = len(predicted_matches - true_matches)
+    fn = len(true_matches - predicted_matches)
+    return PairwiseQuality(tp=tp, fp=fp, fn=fn)
+
+
+def cluster_quality(
+    predicted_clusters: Iterable[Set],
+    entity_of: Mapping,
+) -> PairwiseQuality:
+    """Pairwise quality of a clustering against an entity assignment.
+
+    Every within-cluster pair is a predicted match; every within-entity pair
+    is a true match (restricted to the clustered objects).
+    """
+    predicted: Set[Pair] = set()
+    objects = set()
+    for cluster in predicted_clusters:
+        members = sorted(cluster, key=repr)
+        objects.update(members)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                predicted.add(Pair(members[i], members[j]))
+    truth = GroundTruthOracle(entity_of)
+    true_matches: Set[Pair] = set()
+    members = sorted(objects, key=repr)
+    for i in range(len(members)):
+        for j in range(i + 1, len(members)):
+            pair = Pair(members[i], members[j])
+            if truth.label(pair) is Label.MATCHING:
+                true_matches.add(pair)
+    return evaluate_matches(predicted, true_matches)

@@ -1,0 +1,22 @@
+"""Experiment runners: one module per table/figure of the paper's
+evaluation (Section 6), plus shared config, harness, and reporting."""
+
+from .config import PAPER_THRESHOLDS, ExperimentConfig
+from .harness import PreparedDataset, clear_cache, generate_dataset, prepare
+from .registry import RUNNERS, all_experiment_ids, run_experiment
+from .reporting import ExperimentResult, render_series, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PAPER_THRESHOLDS",
+    "PreparedDataset",
+    "RUNNERS",
+    "all_experiment_ids",
+    "clear_cache",
+    "generate_dataset",
+    "prepare",
+    "render_series",
+    "render_table",
+    "run_experiment",
+]

@@ -1,0 +1,91 @@
+"""Command-line entry point: run paper experiments by id.
+
+Usage::
+
+    python -m repro.experiments figure11 --dataset paper
+    python -m repro.experiments all --scale 0.4
+    python -m repro.experiments figure10 --dataset paper --plot
+    python -m repro.experiments ablation-worker-noise --dataset paper
+
+``all`` runs the paper's tables and figures (not the ablations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import ExperimentConfig
+from .plotting import plot_histogram, plot_series
+from .registry import all_experiment_ids, paper_experiment_ids, run_experiment
+from .reporting import ExperimentResult
+
+
+def _plot(result: ExperimentResult) -> "str | None":
+    """Best-effort ASCII chart for figure experiments."""
+    if result.experiment_id == "figure10":
+        return plot_histogram(
+            result.series["cluster_sizes"],
+            result.series["cluster_counts"],
+            title=result.title,
+        )
+    if result.experiment_id in ("figure13", "figure14"):
+        return plot_series(
+            {"parallel": result.series["parallel_round_sizes"]},
+            log_y=True,
+            title=result.title,
+        )
+    if result.experiment_id == "figure15":
+        available = {
+            name.replace("_available", ""): values
+            for name, values in result.series.items()
+            if name.endswith("_available")
+        }
+        return plot_series(available, title=result.title)
+    if result.series:
+        numeric = {
+            name: values
+            for name, values in result.series.items()
+            if values and all(isinstance(v, (int, float)) for v in values)
+        }
+        if numeric:
+            return plot_series(numeric, log_y=True, title=result.title)
+    return None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*all_experiment_ids(), "all"],
+        help="which table/figure/ablation to run ('all' = the paper's results)",
+    )
+    parser.add_argument("--dataset", choices=("paper", "product", "both"), default="both")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale in (0, 1]")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--plot", action="store_true", help="render ASCII charts too")
+    args = parser.parse_args(argv)
+
+    experiments = (
+        paper_experiment_ids() if args.experiment == "all" else [args.experiment]
+    )
+    datasets = ("paper", "product") if args.dataset == "both" else (args.dataset,)
+    for experiment_id in experiments:
+        for dataset in datasets:
+            config = ExperimentConfig(dataset=dataset, scale=args.scale, seed=args.seed)
+            result = run_experiment(experiment_id, config)
+            print(result.render())
+            if args.plot:
+                chart = _plot(result)
+                if chart:
+                    print()
+                    print(chart)
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Ablation studies for design choices the paper fixes without sweeping.
+
+Three ablations complement the main table/figure reproductions:
+
+* **Batch size** (paper fixes 20 pairs/HIT, citing [14, 25]): sweep the HIT
+  size and measure cost/latency for the transitive campaign.  Bigger HITs
+  amortise pickup latency but coarsen the instant-decision reaction
+  granularity.
+* **Worker noise** (Table 2 uses one calibrated error profile): sweep the
+  ambiguous-pair error rate and measure how Transitive and Non-Transitive
+  quality degrade.  This quantifies the error-amplification story — and the
+  finding that with *independent* errors deduction actually protects quality.
+* **Heuristic-order gap** (the expected-optimal order is NP-hard): on random
+  small instances, compare the likelihood-descending heuristic's exact
+  ``E[C]`` against the brute-force optimum.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.expected_cost import brute_force_expected_optimal, expected_cost
+from ..core.ordering import expected_order
+from ..core.pairs import CandidatePair, Pair
+from ..crowd.campaign import run_non_transitive, run_transitive
+from ..crowd.latency import LognormalLatency
+from ..crowd.platform import SimulatedPlatform
+from ..crowd.worker import QualificationTest, make_worker_pool
+from ..er.metrics import evaluate_labels
+from .config import ExperimentConfig
+from .harness import prepare
+from .reporting import ExperimentResult
+
+DEFAULT_BATCH_SIZES = (1, 5, 10, 20, 40)
+DEFAULT_ERROR_RATES = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+
+def run_batch_size_ablation(
+    config: ExperimentConfig = ExperimentConfig(),
+    threshold: float = 0.3,
+    batch_sizes: tuple = DEFAULT_BATCH_SIZES,
+) -> ExperimentResult:
+    """Sweep the pairs-per-HIT batching factor for the transitive campaign."""
+    prepared = prepare(config)
+    candidates = expected_order(prepared.candidates_above(threshold))
+    result = ExperimentResult(
+        experiment_id="ablation-batch-size",
+        title=f"HIT batch-size sweep ({config.dataset}, threshold {threshold})",
+        columns=["batch_size", "n_hits", "hours", "cost_usd", "crowdsourced"],
+    )
+    for batch_size in batch_sizes:
+        workers = make_worker_pool(config.n_workers, seed=config.seed + batch_size)
+        platform = SimulatedPlatform(
+            workers=workers,
+            truth=prepared.truth,
+            likelihoods=prepared.likelihoods,
+            latency=LognormalLatency(),
+            batch_size=batch_size,
+            n_assignments=config.n_assignments,
+            seed=config.seed + batch_size,
+        )
+        report = run_transitive(candidates, platform, instant_decision=True)
+        result.rows.append(
+            {
+                "batch_size": batch_size,
+                "n_hits": report.n_hits,
+                "hours": report.completion_hours,
+                "cost_usd": report.cost,
+                "crowdsourced": report.n_crowdsourced,
+            }
+        )
+    result.notes.append(
+        "bigger HITs cut the HIT count (and with per-assignment pricing, the "
+        "cost scales with assignments not HITs) and amortise pickup latency; "
+        "the paper fixes 20 following the batching strategies of [14, 25]"
+    )
+    return result
+
+
+def run_worker_noise_ablation(
+    config: ExperimentConfig = ExperimentConfig(),
+    threshold: float = 0.3,
+    error_rates: tuple = DEFAULT_ERROR_RATES,
+    systematic_fraction: float = 0.7,
+) -> ExperimentResult:
+    """Sweep worker error rates; compare Transitive vs Non-Transitive F."""
+    prepared = prepare(config)
+    candidates = expected_order(prepared.candidates_above(threshold))
+    result = ExperimentResult(
+        experiment_id="ablation-worker-noise",
+        title=f"worker-noise sensitivity ({config.dataset}, threshold {threshold})",
+        columns=[
+            "ambiguous_error",
+            "f_non_transitive",
+            "f_transitive",
+            "delta_f",
+        ],
+    )
+    for error_rate in error_rates:
+        rows = {}
+        for name, runner in (
+            ("non_transitive", run_non_transitive),
+            ("transitive", run_transitive),
+        ):
+            workers = make_worker_pool(
+                config.n_workers,
+                ambiguity_aware=True,
+                base_error=error_rate / 6,
+                ambiguous_error=error_rate,
+                systematic_fraction=systematic_fraction,
+                qualification=QualificationTest(),
+                seed=config.seed + 31,
+            )
+            platform = SimulatedPlatform(
+                workers=workers,
+                truth=prepared.truth,
+                likelihoods=prepared.likelihoods,
+                latency=LognormalLatency(),
+                batch_size=config.batch_size,
+                n_assignments=config.n_assignments,
+                seed=config.seed + 31,
+            )
+            report = runner(candidates, platform)
+            rows[name] = evaluate_labels(report.labels, prepared.truth).f_measure
+        result.rows.append(
+            {
+                "ambiguous_error": error_rate,
+                "f_non_transitive": 100.0 * rows["non_transitive"],
+                "f_transitive": 100.0 * rows["transitive"],
+                "delta_f": 100.0 * (rows["transitive"] - rows["non_transitive"]),
+            }
+        )
+    result.notes.append(
+        "with systematic (majority-resistant) errors, deduction amplifies "
+        "mistakes as noise grows; with purely independent errors "
+        "(systematic_fraction=0) the transitive labeler is typically *better* "
+        "than the baseline — see EXPERIMENTS.md finding 3"
+    )
+    return result
+
+
+def run_heuristic_gap_study(
+    n_instances: int = 40,
+    n_objects: int = 5,
+    n_pairs: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The NP-hard expected-order problem: heuristic vs brute-force E[C].
+
+    Generates random small candidate sets with informative likelihoods and
+    measures the likelihood-descending heuristic's optimality gap exactly.
+    """
+    rng = random.Random(seed)
+    result = ExperimentResult(
+        experiment_id="ablation-heuristic-gap",
+        title=f"expected-order heuristic vs brute force ({n_instances} instances)",
+        columns=["statistic", "value"],
+    )
+    gaps: List[float] = []
+    optimal_hits = 0
+    for _ in range(n_instances):
+        entity_of = {f"o{i}": rng.randrange(3) for i in range(n_objects)}
+        objects = sorted(entity_of)
+        chosen: List[CandidatePair] = []
+        seen = set()
+        while len(chosen) < n_pairs:
+            a, b = rng.sample(objects, 2)
+            pair = Pair(a, b)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            matching = entity_of[a] == entity_of[b]
+            likelihood = rng.uniform(0.6, 0.95) if matching else rng.uniform(0.05, 0.4)
+            chosen.append(CandidatePair(pair, likelihood))
+        heuristic = expected_cost(expected_order(chosen))
+        _, optimum = brute_force_expected_optimal(chosen)
+        gap = heuristic - optimum
+        gaps.append(gap)
+        if gap < 1e-9:
+            optimal_hits += 1
+    result.rows = [
+        {"statistic": "instances", "value": n_instances},
+        {"statistic": "heuristic_exactly_optimal", "value": optimal_hits},
+        {"statistic": "mean_gap_pairs", "value": sum(gaps) / len(gaps)},
+        {"statistic": "max_gap_pairs", "value": max(gaps)},
+    ]
+    result.notes.append(
+        "the expected-optimal order problem is NP-hard (Vesdapunt et al.); "
+        "on informative likelihoods the likelihood-descending heuristic is "
+        "optimal on most instances and close elsewhere"
+    )
+    return result

@@ -1,0 +1,65 @@
+"""Figure 11: effectiveness of transitive relations.
+
+For likelihood thresholds 0.5 down to 0.1, compare the number of
+crowdsourced pairs with (Transitive) and without (Non-Transitive) transitive
+relations, using the optimal labeling order as the paper does.  Expected
+shape: Transitive saves ~95 % on the Paper dataset (big clusters) and a
+threshold-dependent 0-27 % on Product (tiny clusters), with savings growing
+as the threshold drops.
+"""
+
+from __future__ import annotations
+
+from ..core.ordering import optimal_order
+from ..core.sequential import label_sequential
+from .config import ExperimentConfig
+from .harness import prepare
+from .reporting import ExperimentResult
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Reproduce Figure 11 for the configured dataset."""
+    prepared = prepare(config)
+    result = ExperimentResult(
+        experiment_id="figure11",
+        title=f"effectiveness of transitive relations ({config.dataset})",
+        columns=[
+            "threshold",
+            "non_transitive",
+            "transitive",
+            "savings_pct",
+        ],
+    )
+    for threshold in config.thresholds:
+        candidates = prepared.candidates_above(threshold)
+        ordered = optimal_order(candidates, prepared.truth)
+        transitive = label_sequential(ordered, prepared.truth)
+        non_transitive = len(candidates)  # the baseline crowdsources all
+        savings = (
+            100.0 * (non_transitive - transitive.n_crowdsourced) / non_transitive
+            if non_transitive
+            else 0.0
+        )
+        result.rows.append(
+            {
+                "threshold": threshold,
+                "non_transitive": non_transitive,
+                "transitive": transitive.n_crowdsourced,
+                "savings_pct": savings,
+            }
+        )
+    result.series["non_transitive"] = [row["non_transitive"] for row in result.rows]
+    result.series["transitive"] = [row["transitive"] for row in result.rows]
+    result.notes.append(
+        "paper reference shape: Paper saves ~95% (29,281 -> 1,065 at 0.3); "
+        "Product saves ~20-26% at low thresholds (8,315 -> 6,134 at 0.2)"
+    )
+    return result
+
+
+def run_both(config: ExperimentConfig = ExperimentConfig()) -> dict:
+    """Figure 11(a) and 11(b)."""
+    return {
+        "paper": run(config.with_dataset("paper")),
+        "product": run(config.with_dataset("product")),
+    }

@@ -1,0 +1,108 @@
+"""Experiment harness: dataset + candidate preparation with caching.
+
+All table/figure runners share the same machine step (paper Section 2.3):
+generate the dataset, tokenize, score the blocked pair space with TF-IDF
+cosine, and keep every pair above the base threshold.  Preparation is cached
+in-process because the figure sweeps re-use one candidate set at many
+thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.oracle import GroundTruthOracle
+from ..core.pairs import CandidatePair, Pair
+from ..datasets import (
+    Dataset,
+    generate_paper_dataset,
+    generate_product_dataset,
+    paper_spec,
+    product_spec,
+)
+from ..matcher import CandidateGenerator, CandidateSet, TfIdfCosine, word_tokens
+from .config import ExperimentConfig
+
+
+@dataclass
+class PreparedDataset:
+    """Everything an experiment needs about one dataset.
+
+    Attributes:
+        dataset: the generated records + ground truth.
+        candidates: pairs above the base threshold, likelihood-sorted.
+        truth: perfect oracle over the dataset's entities.
+        likelihoods: pair -> machine likelihood (for worker difficulty and
+            the NF answer policy).
+    """
+
+    dataset: Dataset
+    candidates: CandidateSet
+    truth: GroundTruthOracle
+    likelihoods: Dict[Pair, float]
+
+    def candidates_above(self, threshold: float) -> List[CandidatePair]:
+        """Re-threshold the cached candidate set (likelihood-sorted)."""
+        return self.candidates.above(threshold)
+
+
+_CACHE: Dict[tuple, PreparedDataset] = {}
+
+
+def generate_dataset(config: ExperimentConfig) -> Dataset:
+    """Generate the configured dataset at the configured scale."""
+    if config.dataset == "paper":
+        spec = paper_spec(config.scale)
+        return generate_paper_dataset(spec=spec, seed=config.seed)
+    spec = product_spec(config.scale)
+    return generate_product_dataset(spec=spec, seed=config.seed)
+
+
+def prepare(config: ExperimentConfig, use_cache: bool = True) -> PreparedDataset:
+    """Run the machine step for ``config``; cached across calls.
+
+    Returns:
+        The prepared dataset bundle; repeated calls with an equal config
+        return the same object.
+    """
+    key = (
+        config.dataset,
+        config.scale,
+        config.seed,
+        config.base_threshold,
+        config.max_block_size,
+    )
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    dataset = generate_dataset(config)
+    texts = dataset.texts()
+    tokens = {record_id: word_tokens(text) for record_id, text in texts.items()}
+    tfidf = TfIdfCosine(tokens.values())
+
+    def similarity(a, b) -> float:
+        return tfidf.similarity(tokens[a], tokens[b])
+
+    source_of = dataset.source_of() if dataset.is_bipartite else None
+    generator = CandidateGenerator(
+        similarity,
+        tokens=tokens,
+        source_of=source_of,
+        max_block_size=config.max_block_size,
+    )
+    candidate_set = generator.generate(dataset.ids(), threshold=config.base_threshold)
+    prepared = PreparedDataset(
+        dataset=dataset,
+        candidates=candidate_set,
+        truth=dataset.truth_oracle(),
+        likelihoods={c.pair: c.likelihood for c in candidate_set},
+    )
+    if use_cache:
+        _CACHE[key] = prepared
+    return prepared
+
+
+def clear_cache() -> None:
+    """Drop all cached preparations (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,118 @@
+"""ASCII plots for the figure experiments.
+
+The paper's figures are log-log scatter and line charts; in a terminal-only
+reproduction we render them as character rasters.  These are deliberately
+simple: fixed-size canvas, log or linear axes, one glyph per series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+DEFAULT_WIDTH = 64
+DEFAULT_HEIGHT = 18
+GLYPHS = "ox+*#@"
+
+
+def _scale(value: float, low: float, high: float, steps: int, log: bool) -> int:
+    """Map ``value`` into [0, steps-1] along a linear or log axis."""
+    if log:
+        value, low, high = math.log10(value), math.log10(low), math.log10(high)
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(max(int(round(position * (steps - 1))), 0), steps - 1)
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render named (x, y) series on one canvas.
+
+    Args:
+        series: name -> sequence of (x, y) points; each series gets a glyph.
+        log_x, log_y: logarithmic axes (points with non-positive coordinates
+            on a log axis are dropped).
+
+    Raises:
+        ValueError: if no plottable points remain.
+    """
+    points: List[Tuple[str, float, float]] = []
+    for name, data in series.items():
+        for x, y in data:
+            if log_x and x <= 0:
+                continue
+            if log_y and y <= 0:
+                continue
+            points.append((name, x, y))
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for _, x, _ in points]
+    ys = [y for _, _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    canvas = [[" "] * width for _ in range(height)]
+    glyph_of = {name: GLYPHS[i % len(GLYPHS)] for i, name in enumerate(series)}
+    for name, x, y in points:
+        column = _scale(x, x_low, x_high, width, log_x)
+        row = height - 1 - _scale(y, y_low, y_high, height, log_y)
+        canvas[row][column] = glyph_of[name]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_label_high = f"{y_high:g}"
+    y_label_low = f"{y_low:g}"
+    margin = max(len(y_label_high), len(y_label_low)) + 1
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = y_label_high.rjust(margin - 1) + "|"
+        elif i == height - 1:
+            prefix = y_label_low.rjust(margin - 1) + "|"
+        else:
+            prefix = " " * (margin - 1) + "|"
+        lines.append(prefix + "".join(row))
+    axis = " " * (margin - 1) + "+" + "-" * width
+    lines.append(axis)
+    x_axis_label = f"{x_low:g}".ljust(width - 8) + f"{x_high:g}".rjust(8)
+    lines.append(" " * margin + x_axis_label)
+    legend = "   ".join(f"{glyph_of[name]} {name}" for name in series)
+    lines.append(" " * margin + legend)
+    if log_x or log_y:
+        scales = []
+        if log_x:
+            scales.append("log x")
+        if log_y:
+            scales.append("log y")
+        lines.append(" " * margin + f"({', '.join(scales)})")
+    return "\n".join(lines)
+
+
+def plot_histogram(
+    sizes: Sequence[float], counts: Sequence[float], title: Optional[str] = None
+) -> str:
+    """Figure-10-style log-log scatter of a cluster-size histogram."""
+    return ascii_plot(
+        {"clusters": list(zip(sizes, counts))},
+        log_x=True,
+        log_y=True,
+        title=title,
+    )
+
+
+def plot_series(
+    named_values: Dict[str, Sequence[float]],
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Line-ish chart: each series plotted against its index (1-based)."""
+    series = {
+        name: [(i + 1, v) for i, v in enumerate(values)]
+        for name, values in named_values.items()
+    }
+    return ascii_plot(series, log_y=log_y, title=title)

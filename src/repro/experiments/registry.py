@@ -1,0 +1,85 @@
+"""Registry mapping experiment ids to their runners.
+
+Used by ``python -m repro.experiments`` and the benchmark harness so every
+paper table/figure is runnable by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import (
+    ablations,
+    fig10_cluster_sizes,
+    fig11_transitive_effectiveness,
+    fig12_labeling_orders,
+    fig13_14_parallel_iterations,
+    fig15_optimizations,
+    table1_completion_time,
+    table2_quality,
+)
+from .config import ExperimentConfig
+from .reporting import ExperimentResult
+
+
+def _figure13(config: ExperimentConfig) -> ExperimentResult:
+    return fig13_14_parallel_iterations.run(config, threshold=0.3)
+
+
+def _figure14(config: ExperimentConfig) -> ExperimentResult:
+    return fig13_14_parallel_iterations.run(config, threshold=0.4)
+
+
+def _heuristic_gap(config: ExperimentConfig) -> ExperimentResult:
+    return ablations.run_heuristic_gap_study(seed=config.seed)
+
+
+RUNNERS: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+    "figure10": fig10_cluster_sizes.run,
+    "figure11": fig11_transitive_effectiveness.run,
+    "figure12": fig12_labeling_orders.run,
+    "figure13": _figure13,
+    "figure14": _figure14,
+    "figure15": fig15_optimizations.run,
+    "table1": table1_completion_time.run,
+    "table2": table2_quality.run,
+    "ablation-batch-size": ablations.run_batch_size_ablation,
+    "ablation-worker-noise": ablations.run_worker_noise_ablation,
+    "ablation-heuristic-gap": _heuristic_gap,
+}
+
+PAPER_RESULT_IDS = (
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "table1",
+    "table2",
+)
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig = ExperimentConfig()
+) -> ExperimentResult:
+    """Run one experiment by id ("figure10" .. "table2").
+
+    Raises:
+        KeyError: for unknown experiment ids.
+    """
+    if experiment_id not in RUNNERS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(RUNNERS)}"
+        )
+    return RUNNERS[experiment_id](config)
+
+
+def all_experiment_ids() -> list[str]:
+    """Every runnable experiment id: paper results first, then ablations."""
+    return list(RUNNERS)
+
+
+def paper_experiment_ids() -> list[str]:
+    """Only the paper's tables and figures, in paper order."""
+    return list(PAPER_RESULT_IDS)

@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results.
+
+Every runner returns an :class:`ExperimentResult`; ``render()`` prints the
+same rows/series the paper's tables and figures report, as aligned ASCII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Human formatting: thousands separators for ints, 2dp for floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Dict[str, Any]]) -> str:
+    """Aligned ASCII table; missing cells render as '-'."""
+    formatted = [
+        [format_value(row.get(column, "-")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in formatted)) if formatted else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(columns)))
+        for line in formatted
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def render_series(name: str, values: Sequence[Any], per_line: int = 12) -> str:
+    """A named numeric series, wrapped for readability."""
+    chunks: List[str] = []
+    formatted = [format_value(v) for v in values]
+    for start in range(0, len(formatted), per_line):
+        chunks.append(" ".join(formatted[start : start + per_line]))
+    prefix = f"{name} ({len(values)} points):"
+    if not chunks:
+        return f"{prefix} (empty)"
+    indent = " " * 2
+    return "\n".join([prefix] + [indent + chunk for chunk in chunks])
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record for all table/figure reproductions.
+
+    Attributes:
+        experiment_id: e.g. "figure11" or "table2".
+        title: human-readable description.
+        columns: table column order for rendering.
+        rows: the data rows (each a dict keyed by column).
+        series: named numeric series (for figures that plot curves).
+        notes: free-form remarks (calibration caveats, paper references).
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    series: Dict[str, List[Any]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The full plain-text report."""
+        parts: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.columns, self.rows))
+        for name, values in self.series.items():
+            parts.append(render_series(name, values))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def row_lookup(self, **criteria: Any) -> Dict[str, Any]:
+        """First row matching all the given column values.
+
+        Raises:
+            KeyError: when no row matches.
+        """
+        for row in self.rows:
+            if all(row.get(column) == value for column, value in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria}")

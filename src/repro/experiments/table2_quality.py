@@ -1,0 +1,138 @@
+"""Table 2: Transitive vs Non-Transitive with noisy workers.
+
+The paper's end-to-end AMT comparison at threshold 0.3: number of HITs,
+completion time, and result quality (pairwise precision/recall/F-measure),
+with quality control via qualification tests and 3-way majority voting.
+
+Expected shape:
+* Paper dataset — Transitive cuts HITs by ~96 % and time by ~95 % at a few
+  points of quality loss (wrong answers cascade through deductions in the
+  big clusters);
+* Product dataset — Transitive saves ~10 % of HITs, quality is essentially
+  unchanged, and completion can take *longer* because publishing is
+  iterative while Non-Transitive posts everything at once.
+"""
+
+from __future__ import annotations
+
+from ..core.ordering import expected_order
+from ..crowd.campaign import CampaignReport, run_non_transitive, run_transitive
+from ..crowd.latency import LognormalLatency
+from ..crowd.platform import SimulatedPlatform
+from ..crowd.worker import QualificationTest, make_worker_pool
+from ..er.metrics import evaluate_labels
+from .config import ExperimentConfig
+from .harness import prepare
+from .reporting import ExperimentResult
+
+# Per-dataset worker error profiles, calibrated against the paper's measured
+# crowd behaviour (Table 2): on Cora the crowd over-reported "matching"
+# (precision 68.8 % even without transitivity); on Abt-Buy it missed matches
+# whose listings looked different (recall 68.9 % at 95.7 % precision).
+WORKER_PROFILES = {
+    "paper": {
+        "base_error": 0.06,
+        "ambiguous_error": 0.35,
+        "false_positive_bias": 2.0,
+        "false_negative_bias": 0.6,
+        "systematic_fraction": 0.7,
+    },
+    "product": {
+        "base_error": 0.04,
+        "ambiguous_error": 0.35,
+        "false_positive_bias": 0.35,
+        "false_negative_bias": 1.1,
+        "systematic_fraction": 0.7,
+    },
+}
+
+
+def _make_platform(
+    config: ExperimentConfig, prepared, seed_offset: int
+) -> SimulatedPlatform:
+    profile = WORKER_PROFILES[config.dataset]
+    workers = make_worker_pool(
+        config.n_workers,
+        ambiguity_aware=True,
+        qualification=QualificationTest(),
+        seed=config.seed + seed_offset,
+        **profile,
+    )
+    return SimulatedPlatform(
+        workers=workers,
+        truth=prepared.truth,
+        likelihoods=prepared.likelihoods,
+        latency=LognormalLatency(),
+        batch_size=config.batch_size,
+        n_assignments=config.n_assignments,
+        seed=config.seed + seed_offset,
+    )
+
+
+def _row(name: str, report: CampaignReport, prepared) -> dict:
+    quality = evaluate_labels(report.labels, prepared.truth)
+    return {
+        "strategy": name,
+        "n_hits": report.n_hits,
+        "hours": report.completion_hours,
+        "cost_usd": report.cost,
+        "precision": 100.0 * quality.precision,
+        "recall": 100.0 * quality.recall,
+        "f_measure": 100.0 * quality.f_measure,
+    }
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(), threshold: float = 0.3
+) -> ExperimentResult:
+    """Reproduce Table 2 for the configured dataset."""
+    prepared = prepare(config)
+    candidates = expected_order(prepared.candidates_above(threshold))
+
+    non_transitive_platform = _make_platform(config, prepared, seed_offset=11)
+    non_transitive = run_non_transitive(candidates, non_transitive_platform)
+
+    transitive_platform = _make_platform(config, prepared, seed_offset=12)
+    transitive = run_transitive(candidates, transitive_platform, instant_decision=True)
+
+    result = ExperimentResult(
+        experiment_id="table2",
+        title=f"Transitive vs Non-Transitive with noisy workers ({config.dataset})",
+        columns=[
+            "strategy",
+            "n_hits",
+            "hours",
+            "cost_usd",
+            "precision",
+            "recall",
+            "f_measure",
+        ],
+        rows=[
+            _row("non_transitive", non_transitive, prepared),
+            _row("transitive", transitive, prepared),
+        ],
+    )
+    hit_savings = (
+        100.0 * (non_transitive.n_hits - transitive.n_hits) / non_transitive.n_hits
+        if non_transitive.n_hits
+        else 0.0
+    )
+    result.notes.append(
+        f"HIT savings: {hit_savings:.1f}%; deduction conflicts observed: "
+        f"{len(transitive.conflicts)}"
+    )
+    result.notes.append(
+        "paper reference: Paper 1,465 -> 52 HITs (F 79.8% -> 74.3%); "
+        "Product 158 -> 144 HITs (F 80.1% -> 79.7%, longer completion)"
+    )
+    return result
+
+
+def run_both(
+    config: ExperimentConfig = ExperimentConfig(), threshold: float = 0.3
+) -> dict:
+    """Table 2(a) and 2(b)."""
+    return {
+        "paper": run(config.with_dataset("paper"), threshold),
+        "product": run(config.with_dataset("product"), threshold),
+    }

@@ -1,0 +1,24 @@
+"""Extensions from the paper's future-work list (Section 8): one-to-one
+join relations, budget-capped labeling, and audited (error-tolerant)
+deduction."""
+
+from .budget import BudgetedResult, coverage_curve, label_with_budget
+from .one_to_one import OneToOneClusterGraph, label_sequential_one_to_one
+from .voting import (
+    AuditReport,
+    DeductionAuditor,
+    FreshNoisyOracle,
+    audit_deductions,
+)
+
+__all__ = [
+    "AuditReport",
+    "BudgetedResult",
+    "DeductionAuditor",
+    "FreshNoisyOracle",
+    "OneToOneClusterGraph",
+    "audit_deductions",
+    "coverage_curve",
+    "label_sequential_one_to_one",
+    "label_with_budget",
+]

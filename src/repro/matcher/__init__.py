@@ -1,0 +1,73 @@
+"""Machine-based candidate generation: the "machines first" half of the
+hybrid human-machine workflow (paper Section 2.3)."""
+
+from .blocking import (
+    all_pairs,
+    block_statistics,
+    build_inverted_index,
+    reduction_ratio,
+    token_blocking,
+)
+from .candidates import CandidateGenerator, CandidateSet, likelihood_map
+from .likelihood import LogisticCalibration, fit_logistic, identity, threshold_filter
+from .similarity import (
+    TfIdfCosine,
+    WeightedFieldSimilarity,
+    cosine_tokens,
+    dice,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    numeric_similarity,
+    overlap_coefficient,
+    string_cosine,
+    string_jaccard,
+)
+from .tokenizers import (
+    normalize,
+    numeric_tokens,
+    qgram_set,
+    qgrams,
+    record_text,
+    token_set,
+    word_tokens,
+)
+
+__all__ = [
+    "CandidateGenerator",
+    "CandidateSet",
+    "LogisticCalibration",
+    "TfIdfCosine",
+    "WeightedFieldSimilarity",
+    "all_pairs",
+    "block_statistics",
+    "build_inverted_index",
+    "cosine_tokens",
+    "dice",
+    "fit_logistic",
+    "identity",
+    "jaccard",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "likelihood_map",
+    "monge_elkan",
+    "normalize",
+    "numeric_similarity",
+    "numeric_tokens",
+    "overlap_coefficient",
+    "qgram_set",
+    "qgrams",
+    "record_text",
+    "reduction_ratio",
+    "string_cosine",
+    "string_jaccard",
+    "threshold_filter",
+    "token_blocking",
+    "token_set",
+    "word_tokens",
+]

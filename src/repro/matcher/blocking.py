@@ -1,0 +1,109 @@
+"""Blocking: cheaply pruning the quadratic pair space.
+
+The hybrid workflow "first uses machine-based techniques to weed out a large
+number of obvious non-matching pairs" (paper Section 1, following
+CrowdER [25]).  Token blocking builds an inverted index from tokens to
+records; only pairs sharing at least one (sufficiently rare) token survive.
+For two-table (bipartite) joins, only cross-table pairs are produced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set
+
+from ..core.pairs import Pair
+
+
+def build_inverted_index(
+    token_lists: Mapping[Hashable, Sequence[str]],
+    max_block_size: Optional[int] = None,
+) -> Dict[str, List[Hashable]]:
+    """token -> record ids containing it, dropping oversized blocks.
+
+    Args:
+        token_lists: record id -> its tokens.
+        max_block_size: tokens appearing in more than this many records are
+            considered stop words and dropped (None keeps everything).
+    """
+    index: Dict[str, List[Hashable]] = defaultdict(list)
+    for record_id, tokens in token_lists.items():
+        for token in set(tokens):
+            index[token].append(record_id)
+    if max_block_size is not None:
+        index = {
+            token: ids for token, ids in index.items() if len(ids) <= max_block_size
+        }
+    return dict(index)
+
+
+def token_blocking(
+    token_lists: Mapping[Hashable, Sequence[str]],
+    max_block_size: Optional[int] = 200,
+    source_of: Optional[Mapping[Hashable, str]] = None,
+) -> Set[Pair]:
+    """All pairs sharing at least one indexed token.
+
+    Args:
+        token_lists: record id -> tokens.
+        max_block_size: stop-word cut-off for block sizes.
+        source_of: optional record id -> source name; when given, only pairs
+            from *different* sources are produced (bipartite join).
+
+    Returns:
+        The candidate pair set (unordered pairs of record ids).
+    """
+    index = build_inverted_index(token_lists, max_block_size=max_block_size)
+    pairs: Set[Pair] = set()
+    for ids in index.values():
+        for i in range(len(ids)):
+            for j in range(i + 1, len(ids)):
+                a, b = ids[i], ids[j]
+                if source_of is not None and source_of.get(a) == source_of.get(b):
+                    continue
+                pairs.add(Pair(a, b))
+    return pairs
+
+
+def all_pairs(
+    record_ids: Iterable[Hashable],
+    source_of: Optional[Mapping[Hashable, str]] = None,
+) -> Set[Pair]:
+    """The unblocked pair space: every pair (or every cross-source pair).
+
+    This is the paper's starting point — 496,506 pairs for the 997-record
+    Paper dataset, 1,180,452 for Product — before likelihood thresholding.
+    """
+    ids = list(record_ids)
+    pairs: Set[Pair] = set()
+    for i in range(len(ids)):
+        for j in range(i + 1, len(ids)):
+            a, b = ids[i], ids[j]
+            if source_of is not None and source_of.get(a) == source_of.get(b):
+                continue
+            pairs.add(Pair(a, b))
+    return pairs
+
+
+def block_statistics(
+    token_lists: Mapping[Hashable, Sequence[str]],
+    max_block_size: Optional[int] = 200,
+) -> dict:
+    """Diagnostics: block count, the largest block, and mean block size."""
+    index = build_inverted_index(token_lists, max_block_size=max_block_size)
+    sizes = [len(ids) for ids in index.values()]
+    if not sizes:
+        return {"n_blocks": 0, "max_block": 0, "mean_block": 0.0}
+    return {
+        "n_blocks": len(sizes),
+        "max_block": max(sizes),
+        "mean_block": sum(sizes) / len(sizes),
+    }
+
+
+def reduction_ratio(n_records: int, n_candidates: int) -> float:
+    """Fraction of the quadratic pair space eliminated by blocking."""
+    total = n_records * (n_records - 1) // 2
+    if total == 0:
+        return 0.0
+    return 1.0 - n_candidates / total

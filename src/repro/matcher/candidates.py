@@ -1,0 +1,126 @@
+"""Candidate generation: the machine half of the hybrid workflow.
+
+Pipeline (paper Section 2.3): block the pair space, score every surviving
+pair with a similarity function, convert scores to likelihoods, and keep the
+pairs above a threshold.  The output — a list of
+:class:`~repro.core.pairs.CandidatePair` — is exactly what the labeling
+framework consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+
+from ..core.pairs import CandidatePair, Pair
+from .blocking import all_pairs, token_blocking
+from .likelihood import identity
+
+
+@dataclass
+class CandidateSet:
+    """The scored candidate pairs plus bookkeeping for the experiments.
+
+    Attributes:
+        candidates: scored pairs with likelihood above the threshold, sorted
+            by decreasing likelihood (the heuristic labeling order).
+        threshold: the likelihood cut-off that was applied.
+        n_scored: pairs that survived blocking and were scored.
+        n_possible: size of the unblocked pair space.
+    """
+
+    candidates: List[CandidatePair]
+    threshold: float
+    n_scored: int
+    n_possible: int
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    def pairs(self) -> List[Pair]:
+        return [c.pair for c in self.candidates]
+
+    def above(self, threshold: float) -> List[CandidatePair]:
+        """Re-threshold without re-scoring (for the Figure 11/12 sweeps).
+
+        Raises:
+            ValueError: when asking for a threshold below the one the set was
+                generated with (those pairs were never kept).
+        """
+        if threshold < self.threshold:
+            raise ValueError(
+                f"candidates were generated at threshold {self.threshold}; "
+                f"cannot recover pairs below it (asked {threshold})"
+            )
+        return [c for c in self.candidates if c.likelihood > threshold]
+
+
+class CandidateGenerator:
+    """Configurable machine-based candidate generation.
+
+    Args:
+        similarity: function scoring two record ids in [0, 1].  It receives
+            the *ids*; closures over the record store keep this module free
+            of any dataset dependency.
+        tokens: record id -> tokens, used for blocking (None disables
+            blocking and scores every pair — the paper's setting for the
+            ~0.5M/1.2M pair spaces).
+        source_of: record id -> source, for bipartite joins.
+        max_block_size: stop-word cut-off for token blocking.
+        calibration: similarity -> likelihood mapping (default identity).
+    """
+
+    def __init__(
+        self,
+        similarity: Callable[[Hashable, Hashable], float],
+        tokens: Optional[Mapping[Hashable, Sequence[str]]] = None,
+        source_of: Optional[Mapping[Hashable, str]] = None,
+        max_block_size: Optional[int] = 200,
+        calibration: Callable[[float], float] = identity,
+    ) -> None:
+        self._similarity = similarity
+        self._tokens = tokens
+        self._source_of = source_of
+        self._max_block_size = max_block_size
+        self._calibration = calibration
+
+    def generate(
+        self, record_ids: Sequence[Hashable], threshold: float = 0.0
+    ) -> CandidateSet:
+        """Score the (blocked) pair space and keep pairs above ``threshold``.
+
+        Returns candidates sorted by decreasing likelihood with deterministic
+        tie-breaks, ready to be used as the heuristic labeling order.
+        """
+        ids = list(record_ids)
+        if self._tokens is not None:
+            pair_space = token_blocking(
+                {rid: self._tokens[rid] for rid in ids},
+                max_block_size=self._max_block_size,
+                source_of=self._source_of,
+            )
+        else:
+            pair_space = all_pairs(ids, source_of=self._source_of)
+        n_possible = len(all_pairs(ids, source_of=self._source_of)) if self._source_of else (
+            len(ids) * (len(ids) - 1) // 2
+        )
+        candidates: List[CandidatePair] = []
+        for pair in pair_space:
+            likelihood = self._calibration(self._similarity(pair.left, pair.right))
+            if likelihood > threshold:
+                candidates.append(CandidatePair(pair, likelihood))
+        candidates.sort(key=lambda c: (-c.likelihood, repr(c.pair.left), repr(c.pair.right)))
+        return CandidateSet(
+            candidates=candidates,
+            threshold=threshold,
+            n_scored=len(pair_space),
+            n_possible=n_possible,
+        )
+
+
+def likelihood_map(candidates: Sequence[CandidatePair]) -> Dict[Pair, float]:
+    """pair -> likelihood, for platform worker models and NF scheduling."""
+    return {c.pair: c.likelihood for c in candidates}

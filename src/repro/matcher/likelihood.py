@@ -1,0 +1,83 @@
+"""Turning similarity scores into match likelihoods.
+
+The framework only needs a number in [0, 1] that is monotone in "how likely
+is this pair a match".  The identity mapping (likelihood = similarity) is the
+paper's choice; a logistic calibration is provided for when a small labeled
+sample is available and better-calibrated probabilities help the expected-
+cost analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+
+def identity(similarity: float) -> float:
+    """likelihood = similarity, clamped to [0, 1] (the paper's choice)."""
+    return min(max(similarity, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class LogisticCalibration:
+    """likelihood = sigmoid(slope * (similarity - midpoint)).
+
+    A soft step: pairs above ``midpoint`` lean matching, steeper with higher
+    ``slope``.
+    """
+
+    midpoint: float = 0.5
+    slope: float = 10.0
+
+    def __call__(self, similarity: float) -> float:
+        return 1.0 / (1.0 + math.exp(-self.slope * (similarity - self.midpoint)))
+
+
+def fit_logistic(
+    samples: Sequence[Tuple[float, bool]],
+    learning_rate: float = 0.5,
+    n_iterations: int = 500,
+) -> LogisticCalibration:
+    """Fit a 1-D logistic regression likelihood = sigmoid(w*s + b).
+
+    Plain batch gradient descent — adequate for the single-feature problem.
+
+    Args:
+        samples: (similarity, is_match) training pairs.
+
+    Raises:
+        ValueError: with fewer than two samples or only one class.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two samples to calibrate")
+    labels = {is_match for _, is_match in samples}
+    if len(labels) < 2:
+        raise ValueError("need both matching and non-matching samples")
+    weight, bias = 1.0, 0.0
+    n = len(samples)
+    for _ in range(n_iterations):
+        grad_w = 0.0
+        grad_b = 0.0
+        for similarity, is_match in samples:
+            predicted = 1.0 / (1.0 + math.exp(-(weight * similarity + bias)))
+            error = predicted - (1.0 if is_match else 0.0)
+            grad_w += error * similarity
+            grad_b += error
+        weight -= learning_rate * grad_w / n
+        bias -= learning_rate * grad_b / n
+    # sigmoid(w*s + b) == sigmoid(slope * (s - midpoint)) with:
+    slope = weight
+    midpoint = -bias / weight if weight != 0 else 0.5
+    return LogisticCalibration(midpoint=midpoint, slope=slope)
+
+
+def threshold_filter(
+    likelihoods: Iterable[Tuple[object, float]], threshold: float
+) -> list:
+    """Keep items whose likelihood is strictly above ``threshold``.
+
+    The paper sweeps this threshold from 0.5 down to 0.1 (Figure 11): lower
+    thresholds send more pairs to the crowd.
+    """
+    return [item for item, likelihood in likelihoods if likelihood > threshold]

@@ -1,0 +1,267 @@
+"""Similarity functions over strings and token collections.
+
+These produce the per-pair *likelihood* the framework sorts and thresholds by
+(paper Sections 4.2 and 6: "the likelihood can be the similarity computed by
+a given similarity function [25]").  Everything returns a score in [0, 1],
+where 1 means identical.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Dict, Iterable, Mapping, Sequence, Set
+
+from .tokenizers import token_set, word_tokens
+
+
+def jaccard(a: Set[str], b: Set[str]) -> float:
+    """|A ∩ B| / |A ∪ B|; 1.0 for two empty sets (vacuously identical)."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def dice(a: Set[str], b: Set[str]) -> float:
+    """2|A ∩ B| / (|A| + |B|)."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def overlap_coefficient(a: Set[str], b: Set[str]) -> float:
+    """|A ∩ B| / min(|A|, |B|)."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def cosine_tokens(a: Sequence[str], b: Sequence[str]) -> float:
+    """Cosine similarity over token multiset vectors."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    counts_a = Counter(a)
+    counts_b = Counter(b)
+    dot = sum(counts_a[token] * counts_b.get(token, 0) for token in counts_a)
+    norm_a = math.sqrt(sum(c * c for c in counts_a.values()))
+    norm_b = math.sqrt(sum(c * c for c in counts_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute), O(len(a)*len(b))."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - distance / max(len); both-empty strings are identical."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity: transposition-tolerant matching for short strings."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(b))
+        for j in range(start, end):
+            if matched_b[j] or b[j] != char_a:
+                continue
+            matched_a[i] = True
+            matched_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len(a)):
+        if not matched_a[i]:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_weight: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler: Jaro boosted for a shared prefix.
+
+    Raises:
+        ValueError: if ``prefix_weight`` would push scores above 1
+            (``prefix_weight * max_prefix`` must be <= 1).
+    """
+    if prefix_weight * max_prefix > 1.0:
+        raise ValueError("prefix_weight * max_prefix must be <= 1")
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)
+
+
+def monge_elkan(a: Sequence[str], b: Sequence[str],
+                inner: Callable[[str, str], float] = jaro_winkler) -> float:
+    """Monge-Elkan: average best inner-similarity of each token of ``a``
+    against the tokens of ``b`` (asymmetric; symmetrise upstream if needed)."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    total = 0.0
+    for token_a in a:
+        total += max(inner(token_a, token_b) for token_b in b)
+    return total / len(a)
+
+
+class TfIdfCosine:
+    """Cosine similarity with corpus-level inverse document frequency.
+
+    Rare tokens (model numbers, author surnames) dominate the score, which is
+    what makes TF-IDF the workhorse of record matching.
+
+    Args:
+        documents: the corpus, as pre-tokenised token sequences.
+    """
+
+    def __init__(self, documents: Iterable[Sequence[str]]) -> None:
+        self._doc_count = 0
+        document_frequency: Counter[str] = Counter()
+        for tokens in documents:
+            self._doc_count += 1
+            document_frequency.update(set(tokens))
+        self._idf: Dict[str, float] = {
+            token: math.log((1 + self._doc_count) / (1 + df)) + 1.0
+            for token, df in document_frequency.items()
+        }
+        self._default_idf = math.log(1 + self._doc_count) + 1.0
+
+    @property
+    def n_documents(self) -> int:
+        return self._doc_count
+
+    def idf(self, token: str) -> float:
+        """IDF weight of a token (unseen tokens get the max weight)."""
+        return self._idf.get(token, self._default_idf)
+
+    def vector(self, tokens: Sequence[str]) -> Dict[str, float]:
+        """The TF-IDF vector of a token sequence."""
+        counts = Counter(tokens)
+        return {token: count * self.idf(token) for token, count in counts.items()}
+
+    def similarity(self, a: Sequence[str], b: Sequence[str]) -> float:
+        """Cosine of the two TF-IDF vectors, in [0, 1]."""
+        if not a and not b:
+            return 1.0
+        vec_a = self.vector(a)
+        vec_b = self.vector(b)
+        dot = sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
+        norm_a = math.sqrt(sum(w * w for w in vec_a.values()))
+        norm_b = math.sqrt(sum(w * w for w in vec_b.values()))
+        if norm_a == 0.0 or norm_b == 0.0:
+            return 0.0
+        return min(dot / (norm_a * norm_b), 1.0)
+
+
+def string_jaccard(a: str, b: str) -> float:
+    """Word-token Jaccard of two raw strings (normalised first)."""
+    return jaccard(token_set(a), token_set(b))
+
+
+def string_cosine(a: str, b: str) -> float:
+    """Word-token cosine of two raw strings."""
+    return cosine_tokens(word_tokens(a), word_tokens(b))
+
+
+def numeric_similarity(a: float, b: float) -> float:
+    """Relative closeness of two non-negative numbers: min/max ratio."""
+    if a == b:
+        return 1.0
+    if a < 0 or b < 0:
+        raise ValueError("numeric_similarity expects non-negative values")
+    high = max(a, b)
+    if high == 0.0:
+        return 1.0
+    return min(a, b) / high
+
+
+class WeightedFieldSimilarity:
+    """Record-level similarity: a weighted mix of per-field similarities.
+
+    Args:
+        fields: mapping of field name -> (similarity function over the two
+            raw field values, weight).  Weights are normalised internally.
+
+    Raises:
+        ValueError: for an empty field map or non-positive total weight.
+    """
+
+    def __init__(
+        self, fields: Mapping[str, tuple[Callable[[str, str], float], float]]
+    ) -> None:
+        if not fields:
+            raise ValueError("at least one field is required")
+        total = sum(weight for _, weight in fields.values())
+        if total <= 0:
+            raise ValueError("total field weight must be positive")
+        self._fields = {
+            name: (fn, weight / total) for name, (fn, weight) in fields.items()
+        }
+
+    def similarity(self, record_a: Mapping[str, str], record_b: Mapping[str, str]) -> float:
+        """Weighted similarity over the configured fields; missing fields
+        contribute 0."""
+        score = 0.0
+        for name, (fn, weight) in self._fields.items():
+            value_a = record_a.get(name)
+            value_b = record_b.get(name)
+            if value_a is None or value_b is None:
+                continue
+            score += weight * fn(str(value_a), str(value_b))
+        return min(max(score, 0.0), 1.0)

@@ -1,0 +1,71 @@
+"""Text normalisation and tokenization for record matching.
+
+The machine-based step of the hybrid workflow (paper Section 2.3, following
+CrowdER [25]) computes a similarity-based likelihood per pair.  All similarity
+functions in :mod:`repro.matcher.similarity` consume tokens produced here.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List, Sequence, Set
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip accents, collapse whitespace, drop outer blanks."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    ascii_text = decomposed.encode("ascii", "ignore").decode("ascii")
+    return _WHITESPACE_RE.sub(" ", ascii_text.lower()).strip()
+
+
+def word_tokens(text: str) -> List[str]:
+    """Alphanumeric word tokens of the normalised text, in order."""
+    return _WORD_RE.findall(normalize(text))
+
+
+def token_set(text: str) -> Set[str]:
+    """Distinct word tokens."""
+    return set(word_tokens(text))
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> List[str]:
+    """Character q-grams of the normalised text.
+
+    Args:
+        q: gram length (must be positive).
+        pad: surround the string with ``q - 1`` boundary markers so prefixes
+            and suffixes weigh as much as the middle (standard practice).
+
+    Raises:
+        ValueError: for non-positive ``q``.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    base = normalize(text)
+    if not base:
+        return []
+    if pad and q > 1:
+        padding = "#" * (q - 1)
+        base = f"{padding}{base}{padding}"
+    if len(base) < q:
+        return [base]
+    return [base[i : i + q] for i in range(len(base) - q + 1)]
+
+
+def qgram_set(text: str, q: int = 3) -> Set[str]:
+    """Distinct q-grams."""
+    return set(qgrams(text, q=q))
+
+
+def numeric_tokens(text: str) -> List[str]:
+    """The purely numeric tokens, useful for model numbers and years."""
+    return [token for token in word_tokens(text) if token.isdigit()]
+
+
+def record_text(fields: Sequence[str]) -> str:
+    """Join several field values into one matching string."""
+    return " ".join(str(value) for value in fields if value)

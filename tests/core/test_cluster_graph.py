@@ -1,0 +1,255 @@
+"""Tests for the ClusterGraph (paper Algorithm 1), including the worked
+Examples 1 and 3 and cross-validation against the reference BFS deduction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.cluster_graph import (
+    ClusterGraph,
+    ConflictPolicy,
+    InconsistentLabelError,
+    deduce_label,
+)
+from repro.core.deduction import deduce_by_search
+from repro.core.pairs import Label, LabeledPair, Pair
+
+from ..strategies import consistent_labelings, worlds
+
+
+class TestPositiveTransitivity:
+    def test_two_hop_matching(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        graph.add_matching("b", "c")
+        assert graph.deduce(Pair("a", "c")) is Label.MATCHING
+
+    def test_long_matching_chain(self):
+        """Lemma 1(1): o_i = o_{i+1} for all i implies o_1 = o_n."""
+        graph = ClusterGraph()
+        for i in range(50):
+            graph.add_matching(i, i + 1)
+        assert graph.deduce(Pair(0, 50)) is Label.MATCHING
+
+
+class TestNegativeTransitivity:
+    def test_matching_then_non_matching(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        graph.add_non_matching("b", "c")
+        assert graph.deduce(Pair("a", "c")) is Label.NON_MATCHING
+
+    def test_chain_with_single_non_matching(self):
+        """Lemma 1(2): one non-matching link anywhere makes o_1 != o_n."""
+        for k in range(5):
+            graph = ClusterGraph()
+            for i in range(5):
+                if i == k:
+                    graph.add_non_matching(i, i + 1)
+                else:
+                    graph.add_matching(i, i + 1)
+            assert graph.deduce(Pair(0, 5)) is Label.NON_MATCHING, f"break at {k}"
+
+    def test_two_non_matching_edges_block_deduction(self):
+        graph = ClusterGraph()
+        graph.add_non_matching("a", "b")
+        graph.add_non_matching("b", "c")
+        assert graph.deduce(Pair("a", "c")) is None
+
+
+class TestPaperExample1:
+    """Example 1 / Figure 2: seven labeled pairs over o1..o7."""
+
+    def test_o3_o5_deduced_matching(self, example1_labeled):
+        assert deduce_label(Pair("o3", "o5"), example1_labeled) is Label.MATCHING
+
+    def test_o5_o7_deduced_non_matching(self, example1_labeled):
+        assert deduce_label(Pair("o5", "o7"), example1_labeled) is Label.NON_MATCHING
+
+    def test_o1_o7_not_deducible(self, example1_labeled):
+        assert deduce_label(Pair("o1", "o7"), example1_labeled) is None
+
+
+class TestPaperExample3:
+    """Example 3: the ClusterGraph for p1..p7 of the running example."""
+
+    @pytest.fixture
+    def graph(self, figure3_pairs, figure3_truth):
+        graph = ClusterGraph()
+        for name in ("p1", "p2", "p3", "p4", "p5", "p6", "p7"):
+            pair = figure3_pairs[name]
+            graph.add(pair, figure3_truth.label(pair))
+        return graph
+
+    def test_three_clusters(self, graph):
+        clusters = {frozenset(c) for c in graph.clusters()}
+        assert clusters == {
+            frozenset({"o1", "o2", "o3"}),
+            frozenset({"o4", "o5"}),
+            frozenset({"o6"}),
+        }
+
+    def test_three_cluster_level_edges(self, graph):
+        assert graph.n_non_matching_edges == 3
+
+    def test_p8_deduced_non_matching(self, graph, figure3_pairs):
+        assert graph.deduce(figure3_pairs["p8"]) is Label.NON_MATCHING
+
+
+class TestUnknownObjects:
+    def test_both_unknown(self):
+        graph = ClusterGraph()
+        assert graph.deduce(Pair("x", "y")) is None
+
+    def test_one_unknown(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        assert graph.deduce(Pair("a", "z")) is None
+
+    def test_known_but_unrelated(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        graph.add_matching("c", "d")
+        assert graph.deduce(Pair("a", "c")) is None
+
+
+class TestConflicts:
+    def test_strict_raises_on_matching_contradiction(self):
+        graph = ClusterGraph(policy=ConflictPolicy.STRICT)
+        graph.add_matching("a", "b")
+        graph.add_non_matching("b", "c")
+        with pytest.raises(InconsistentLabelError):
+            graph.add_matching("a", "c")
+
+    def test_strict_raises_on_non_matching_contradiction(self):
+        graph = ClusterGraph(policy=ConflictPolicy.STRICT)
+        graph.add_matching("a", "b")
+        graph.add_matching("b", "c")
+        with pytest.raises(InconsistentLabelError):
+            graph.add_non_matching("a", "c")
+
+    def test_first_wins_records_conflict(self):
+        graph = ClusterGraph(policy=ConflictPolicy.FIRST_WINS)
+        graph.add_matching("a", "b")
+        graph.add_matching("b", "c")
+        applied = graph.add_non_matching("a", "c")
+        assert not applied
+        assert len(graph.conflicts) == 1
+        assert graph.conflicts[0].implied is Label.MATCHING
+        # the graph itself is untouched
+        assert graph.deduce(Pair("a", "c")) is Label.MATCHING
+
+    def test_redundant_consistent_insert_is_fine(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        graph.add_matching("b", "c")
+        assert graph.add_matching("a", "c")  # consistent, allowed
+
+
+class TestClusterMerging:
+    def test_edges_follow_merged_clusters(self):
+        """A non-matching edge must survive its endpoint cluster merging."""
+        graph = ClusterGraph()
+        graph.add_non_matching("a", "x")
+        graph.add_matching("x", "y")  # x's cluster grows
+        assert graph.deduce(Pair("a", "y")) is Label.NON_MATCHING
+
+    def test_parallel_edges_are_collapsed(self):
+        graph = ClusterGraph()
+        graph.add_non_matching("a", "x")
+        graph.add_non_matching("b", "x")
+        graph.add_matching("a", "b")  # both edges now {a,b} -- {x}
+        assert graph.n_non_matching_edges == 1
+
+    def test_merge_keeps_all_other_edges(self):
+        graph = ClusterGraph()
+        graph.add_non_matching("a", "x")
+        graph.add_non_matching("b", "y")
+        graph.add_matching("a", "b")
+        assert graph.deduce(Pair("b", "x")) is Label.NON_MATCHING
+        assert graph.deduce(Pair("a", "y")) is Label.NON_MATCHING
+        assert graph.n_non_matching_edges == 2
+
+    def test_invariants_after_heavy_merging(self):
+        graph = ClusterGraph()
+        for i in range(20):
+            graph.add_non_matching(f"left{i}", f"right{i}")
+        for i in range(19):
+            graph.add_matching(f"left{i}", f"left{i + 1}")
+        graph.check_invariants()
+        assert graph.n_clusters == 21  # one big left cluster + 20 rights
+
+
+class TestCounters:
+    def test_object_and_cluster_counts(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        graph.add_non_matching("c", "d")
+        assert graph.n_objects == 4
+        assert graph.n_clusters == 3
+
+    def test_edge_counters(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        graph.add_non_matching("a", "c")
+        assert graph.n_matching_edges == 1
+        assert graph.n_non_matching_edges == 1
+
+    def test_non_matching_cluster_edges_iteration(self):
+        graph = ClusterGraph()
+        graph.add_non_matching("a", "b")
+        graph.add_non_matching("a", "c")
+        edges = list(graph.non_matching_cluster_edges())
+        assert len(edges) == 2
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        graph = ClusterGraph()
+        graph.add_matching("a", "b")
+        clone = graph.copy()
+        clone.add_non_matching("a", "c")
+        assert graph.deduce(Pair("a", "c")) is None
+        assert clone.deduce(Pair("a", "c")) is Label.NON_MATCHING
+
+    def test_copy_preserves_policy(self):
+        graph = ClusterGraph(policy=ConflictPolicy.FIRST_WINS)
+        assert graph.copy().policy is ConflictPolicy.FIRST_WINS
+
+
+class TestAgainstReferenceDeduction:
+    """ClusterGraph must agree with the Lemma-1 BFS specification on every
+    consistent labeled set and every query pair."""
+
+    @given(consistent_labelings())
+    def test_matches_bfs_on_consistent_sets(self, labeled):
+        graph = ClusterGraph(labeled)
+        objects = sorted({o for item in labeled for o in item.pair})
+        for i in range(len(objects)):
+            for j in range(i + 1, len(objects)):
+                query = Pair(objects[i], objects[j])
+                assert graph.deduce(query) == deduce_by_search(query, labeled), query
+
+    @given(consistent_labelings())
+    def test_invariants_hold_after_any_insert_sequence(self, labeled):
+        graph = ClusterGraph(labeled)
+        graph.check_invariants()
+
+    @given(worlds())
+    def test_deduced_labels_agree_with_ground_truth(self, world):
+        """Inserting true labels must only ever deduce true labels."""
+        from repro.core.oracle import GroundTruthOracle
+
+        candidates, entity_of = world
+        oracle = GroundTruthOracle(entity_of)
+        graph = ClusterGraph(
+            LabeledPair(c.pair, oracle.label(c.pair)) for c in candidates
+        )
+        objects = sorted(entity_of)
+        for i in range(len(objects)):
+            for j in range(i + 1, len(objects)):
+                query = Pair(objects[i], objects[j])
+                deduced = graph.deduce(query)
+                if deduced is not None:
+                    assert deduced is oracle.label(query)

@@ -1,0 +1,123 @@
+"""Tests for labeling-consistency (realisability) checks."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.consistency import (
+    closure,
+    entity_partition,
+    find_violations,
+    is_consistent,
+)
+from repro.core.pairs import Label, LabeledPair, Pair
+
+from ..strategies import consistent_labelings
+
+
+def lp(a, b, label):
+    return LabeledPair(Pair(a, b), label)
+
+
+class TestIsConsistent:
+    def test_empty_is_consistent(self):
+        assert is_consistent([])
+
+    def test_matching_triangle_is_consistent(self):
+        labeled = [
+            lp("a", "b", Label.MATCHING),
+            lp("b", "c", Label.MATCHING),
+            lp("a", "c", Label.MATCHING),
+        ]
+        assert is_consistent(labeled)
+
+    def test_two_matching_one_non_matching_triangle_is_inconsistent(self):
+        labeled = [
+            lp("a", "b", Label.MATCHING),
+            lp("b", "c", Label.MATCHING),
+            lp("a", "c", Label.NON_MATCHING),
+        ]
+        assert not is_consistent(labeled)
+
+    def test_one_matching_two_non_matching_triangle_is_consistent(self):
+        labeled = [
+            lp("a", "b", Label.MATCHING),
+            lp("b", "c", Label.NON_MATCHING),
+            lp("a", "c", Label.NON_MATCHING),
+        ]
+        assert is_consistent(labeled)
+
+    def test_all_non_matching_is_consistent(self):
+        labeled = [
+            lp("a", "b", Label.NON_MATCHING),
+            lp("b", "c", Label.NON_MATCHING),
+            lp("a", "c", Label.NON_MATCHING),
+        ]
+        assert is_consistent(labeled)
+
+    def test_long_range_violation(self):
+        """The violating non-matching edge may span a long matching chain."""
+        labeled = [lp(i, i + 1, Label.MATCHING) for i in range(10)]
+        labeled.append(lp(0, 10, Label.NON_MATCHING))
+        assert not is_consistent(labeled)
+        assert find_violations(labeled) == [Pair(0, 10)]
+
+    @given(consistent_labelings())
+    @settings(max_examples=50)
+    def test_partition_induced_labelings_are_consistent(self, labeled):
+        assert is_consistent(labeled)
+
+
+class TestFindViolations:
+    def test_reports_only_non_matching_edges(self):
+        labeled = [
+            lp("a", "b", Label.MATCHING),
+            lp("b", "c", Label.MATCHING),
+            lp("a", "c", Label.NON_MATCHING),
+        ]
+        assert find_violations(labeled) == [Pair("a", "c")]
+
+    def test_multiple_violations(self):
+        labeled = [
+            lp("a", "b", Label.MATCHING),
+            lp("a", "c", Label.MATCHING),
+            lp("a", "d", Label.MATCHING),
+            lp("b", "c", Label.NON_MATCHING),
+            lp("b", "d", Label.NON_MATCHING),
+        ]
+        assert set(find_violations(labeled)) == {Pair("b", "c"), Pair("b", "d")}
+
+
+class TestClosure:
+    def test_closure_contains_deduced_pairs(self):
+        labeled = [lp("a", "b", Label.MATCHING), lp("b", "c", Label.MATCHING)]
+        implied = closure(labeled, [Pair("a", "c"), Pair("a", "z")])
+        assert implied == {Pair("a", "c"): Label.MATCHING}
+
+    def test_closure_negative(self):
+        labeled = [lp("a", "b", Label.MATCHING), lp("b", "c", Label.NON_MATCHING)]
+        implied = closure(labeled, [Pair("a", "c")])
+        assert implied[Pair("a", "c")] is Label.NON_MATCHING
+
+
+class TestEntityPartition:
+    def test_partition_of_figure3(self, figure3_pairs, figure3_truth):
+        labeled = [
+            LabeledPair(p, figure3_truth.label(p)) for p in figure3_pairs.values()
+        ]
+        clusters, violations = entity_partition(labeled)
+        assert not violations
+        assert {frozenset(c) for c in clusters} == {
+            frozenset({"o1", "o2", "o3"}),
+            frozenset({"o4", "o5"}),
+            frozenset({"o6"}),
+        }
+
+    def test_partition_reports_violations(self):
+        labeled = [
+            lp("a", "b", Label.MATCHING),
+            lp("b", "c", Label.MATCHING),
+            lp("a", "c", Label.NON_MATCHING),
+        ]
+        _, violations = entity_partition(labeled)
+        assert violations == [Pair("a", "c")]

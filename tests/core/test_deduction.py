@@ -1,0 +1,99 @@
+"""Tests for the reference deduction procedures and their agreement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.deduction import (
+    deduce_by_path_enumeration,
+    deduce_by_search,
+    enumerate_simple_paths,
+)
+from repro.core.pairs import Label, LabeledPair, Pair
+
+from ..strategies import consistent_labelings
+
+
+def lp(a, b, label):
+    return LabeledPair(Pair(a, b), label)
+
+
+class TestDeduceBySearch:
+    def test_positive_transitivity(self):
+        labeled = [lp("a", "b", Label.MATCHING), lp("b", "c", Label.MATCHING)]
+        assert deduce_by_search(Pair("a", "c"), labeled) is Label.MATCHING
+
+    def test_negative_transitivity(self):
+        labeled = [lp("a", "b", Label.MATCHING), lp("b", "c", Label.NON_MATCHING)]
+        assert deduce_by_search(Pair("a", "c"), labeled) is Label.NON_MATCHING
+
+    def test_two_non_matching_blocks(self):
+        labeled = [lp("a", "b", Label.NON_MATCHING), lp("b", "c", Label.NON_MATCHING)]
+        assert deduce_by_search(Pair("a", "c"), labeled) is None
+
+    def test_unknown_objects(self):
+        labeled = [lp("a", "b", Label.MATCHING)]
+        assert deduce_by_search(Pair("x", "y"), labeled) is None
+
+    def test_example1(self, example1_labeled):
+        assert deduce_by_search(Pair("o3", "o5"), example1_labeled) is Label.MATCHING
+        assert deduce_by_search(Pair("o5", "o7"), example1_labeled) is Label.NON_MATCHING
+        assert deduce_by_search(Pair("o1", "o7"), example1_labeled) is None
+
+    def test_prefers_matching_over_non_matching_path(self):
+        """If both an all-matching and a one-non-matching path existed the
+        set would be inconsistent, but the matching answer must win (it
+        corresponds to the min-non-matching path count)."""
+        labeled = [
+            lp("a", "b", Label.MATCHING),
+            lp("b", "c", Label.MATCHING),
+            lp("a", "x", Label.NON_MATCHING),
+            lp("x", "c", Label.MATCHING),
+        ]
+        assert deduce_by_search(Pair("a", "c"), labeled) is Label.MATCHING
+
+
+class TestPathEnumeration:
+    def test_matches_search_on_example1(self, example1_labeled):
+        for query in (Pair("o3", "o5"), Pair("o5", "o7"), Pair("o1", "o7")):
+            assert deduce_by_path_enumeration(query, example1_labeled) == deduce_by_search(
+                query, example1_labeled
+            )
+
+    def test_enumerates_both_example1_paths(self, example1_labeled):
+        """Example 1 notes two paths from o1 to o7."""
+        paths = enumerate_simple_paths("o1", "o7", example1_labeled)
+        assert len(paths) == 2
+
+    def test_max_paths_guard(self):
+        # A complete matching graph on 10 vertices has thousands of simple
+        # paths between any two vertices.
+        labeled = [
+            lp(i, j, Label.MATCHING) for i in range(10) for j in range(i + 1, 10)
+        ]
+        with pytest.raises(RuntimeError):
+            enumerate_simple_paths(0, 9, labeled, max_paths=10)
+
+    def test_no_paths_between_components(self):
+        labeled = [lp("a", "b", Label.MATCHING), lp("c", "d", Label.MATCHING)]
+        assert enumerate_simple_paths("a", "c", labeled) == []
+
+
+class TestThreeWayAgreement:
+    """ClusterGraph, BFS search, and path enumeration are the same function
+    on consistent labelings."""
+
+    @given(consistent_labelings(max_objects=7, max_pairs=10))
+    @settings(max_examples=40, deadline=None)
+    def test_all_three_agree(self, labeled):
+        graph = ClusterGraph(labeled)
+        objects = sorted({o for item in labeled for o in item.pair})
+        for i in range(len(objects)):
+            for j in range(i + 1, len(objects)):
+                query = Pair(objects[i], objects[j])
+                by_graph = graph.deduce(query)
+                by_search = deduce_by_search(query, labeled)
+                by_paths = deduce_by_path_enumeration(query, labeled)
+                assert by_graph == by_search == by_paths, query

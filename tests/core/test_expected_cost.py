@@ -1,0 +1,196 @@
+"""Tests for the expected-cost machinery (Section 4.2), anchored on paper
+Example 4's exact numbers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expected_cost import (
+    MAX_BRUTE_FORCE_PAIRS,
+    MAX_ENUMERATION_PAIRS,
+    brute_force_expected_optimal,
+    consistent_assignments_count,
+    crowdsourced_count,
+    crowdsourcing_probabilities,
+    enumerate_consistent_assignments,
+    expected_cost,
+    heuristic_gap,
+    sample_assignment,
+)
+from repro.core.oracle import GroundTruthOracle
+from repro.core.ordering import expected_order
+from repro.core.pairs import Label, candidate
+
+from ..strategies import worlds
+
+
+@pytest.fixture
+def example4_candidates():
+    """p1=(o1,o2) P=0.9, p2=(o2,o3) P=0.5, p3=(o1,o3) P=0.1."""
+    return [
+        candidate("o1", "o2", 0.9),
+        candidate("o2", "o3", 0.5),
+        candidate("o1", "o3", 0.1),
+    ]
+
+
+class TestExample4:
+    def test_five_consistent_assignments(self, example4_candidates):
+        """The paper enumerates exactly five consistent possibilities."""
+        assert consistent_assignments_count(example4_candidates) == 5
+
+    def test_triangle_excludes_two_matching_one_not(self, example4_candidates):
+        """{M, M, N} patterns on a triangle are inconsistent."""
+        assignments = enumerate_consistent_assignments(example4_candidates)
+        for assignment in assignments:
+            n_matching = sum(1 for l in assignment.labels if l is Label.MATCHING)
+            assert n_matching != 2
+
+    def test_weights_sum_to_one(self, example4_candidates):
+        assignments = enumerate_consistent_assignments(example4_candidates)
+        assert sum(a.weight for a in assignments) == pytest.approx(1.0)
+
+    def test_all_six_orders_match_paper(self, example4_candidates):
+        """E[C] = 2.09, 2.17, 2.83, 2.09, 2.17, 2.83 for w1..w6."""
+        p1, p2, p3 = example4_candidates
+        expected_values = {
+            (0, 1, 2): 2.09,
+            (0, 2, 1): 2.17,
+            (1, 2, 0): 2.83,
+            (1, 0, 2): 2.09,
+            (2, 0, 1): 2.17,
+            (2, 1, 0): 2.83,
+        }
+        cands = [p1, p2, p3]
+        for perm, value in expected_values.items():
+            order = [cands[i] for i in perm]
+            assert expected_cost(order) == pytest.approx(value, abs=0.005), perm
+
+    def test_p3_crowdsourcing_probability(self, example4_candidates):
+        """P(p3 crowdsourced) = 0.09 under order w1 (paper's computation)."""
+        probabilities = crowdsourcing_probabilities(example4_candidates)
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[1] == pytest.approx(1.0)
+        assert probabilities[2] == pytest.approx(0.0917, abs=0.001)
+
+    def test_brute_force_finds_209(self, example4_candidates):
+        _, best = brute_force_expected_optimal(example4_candidates)
+        assert best == pytest.approx(2.09, abs=0.005)
+
+    def test_heuristic_is_optimal_here(self, example4_candidates):
+        """The likelihood-descending order w1 is expected-optimal on
+        Example 4."""
+        heuristic, optimum = heuristic_gap(example4_candidates)
+        assert heuristic == pytest.approx(optimum, abs=1e-9)
+
+
+class TestGuards:
+    def test_enumeration_limit(self):
+        too_many = [candidate(f"a{i}", f"b{i}", 0.5) for i in range(MAX_ENUMERATION_PAIRS + 1)]
+        with pytest.raises(ValueError):
+            enumerate_consistent_assignments(too_many)
+
+    def test_brute_force_limit(self):
+        too_many = [candidate(f"a{i}", f"b{i}", 0.5) for i in range(MAX_BRUTE_FORCE_PAIRS + 1)]
+        with pytest.raises(ValueError):
+            brute_force_expected_optimal(too_many)
+
+    def test_impossible_world_raises(self):
+        """Likelihoods forcing an inconsistent triangle have no consistent
+        assignment with positive probability."""
+        impossible = [
+            candidate("a", "b", 1.0),
+            candidate("b", "c", 1.0),
+            candidate("a", "c", 0.0),
+        ]
+        with pytest.raises(ValueError):
+            enumerate_consistent_assignments(impossible)
+
+    def test_sample_assignment_rejects_bad_u(self, example4_candidates):
+        with pytest.raises(ValueError):
+            sample_assignment(example4_candidates, 1.5)
+
+
+class TestExpectedCostProperties:
+    @given(worlds(max_objects=6, max_pairs=6))
+    @settings(max_examples=30, deadline=None)
+    def test_expectation_equals_sum_of_probabilities(self, world):
+        candidates, _ = world
+        candidates = [
+            candidate(c.left, c.right, min(max(c.likelihood, 0.05), 0.95))
+            for c in candidates
+        ]
+        # dedupe pairs (worlds may repeat); keep small
+        seen = set()
+        unique = [c for c in candidates if not (c.pair in seen or seen.add(c.pair))][:6]
+        if not unique:
+            return
+        total = expected_cost(unique)
+        probabilities = crowdsourcing_probabilities(unique)
+        assert total == pytest.approx(sum(probabilities))
+
+    @given(worlds(max_objects=6, max_pairs=6), st.floats(0.0, 0.999))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_assignment_cost_bounds_expectation(self, world, u):
+        """Any realised cost is between min and max over assignments, and the
+        expectation lies in the same envelope."""
+        candidates, _ = world
+        seen = set()
+        unique = [
+            candidate(c.left, c.right, min(max(c.likelihood, 0.05), 0.95))
+            for c in candidates
+            if not (c.pair in seen or seen.add(c.pair))
+        ][:6]
+        if not unique:
+            return
+        assignments = enumerate_consistent_assignments(unique)
+        pairs = [c.pair for c in unique]
+        costs = [
+            crowdsourced_count(unique, a.as_mapping(pairs)) for a in assignments
+        ]
+        sampled = crowdsourced_count(unique, sample_assignment(unique, u))
+        assert min(costs) <= sampled <= max(costs)
+        assert min(costs) - 1e-9 <= expected_cost(unique) <= max(costs) + 1e-9
+
+    @given(worlds(max_objects=5, max_pairs=5))
+    @settings(max_examples=20, deadline=None)
+    def test_first_pair_always_crowdsourced(self, world):
+        candidates, _ = world
+        seen = set()
+        unique = [
+            candidate(c.left, c.right, min(max(c.likelihood, 0.05), 0.95))
+            for c in candidates
+            if not (c.pair in seen or seen.add(c.pair))
+        ][:5]
+        if not unique:
+            return
+        probabilities = crowdsourcing_probabilities(unique)
+        assert probabilities[0] == pytest.approx(1.0)
+
+
+class TestHeuristicQuality:
+    """The heuristic is not always optimal (the problem is NP-hard), but on
+    small informed instances it should be close to brute force."""
+
+    @given(worlds(max_objects=5, max_pairs=5))
+    @settings(max_examples=15, deadline=None)
+    def test_heuristic_within_one_pair_of_optimal(self, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        # Make likelihoods informative: matching -> 0.9, non-matching -> 0.1.
+        seen = set()
+        informed = [
+            candidate(
+                c.left,
+                c.right,
+                0.9 if truth.label(c.pair) is Label.MATCHING else 0.1,
+            )
+            for c in candidates
+            if not (c.pair in seen or seen.add(c.pair))
+        ][:5]
+        if not informed:
+            return
+        heuristic, optimum = heuristic_gap(informed)
+        assert heuristic <= optimum + 1.0

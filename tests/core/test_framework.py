@@ -1,0 +1,147 @@
+"""Tests for the framework facade and oracle utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.framework import (
+    TransitiveJoinFramework,
+    label_baseline,
+    label_with_transitivity,
+)
+from repro.core.oracle import (
+    CountingOracle,
+    FunctionOracle,
+    GroundTruthOracle,
+    MappingOracle,
+    NoisyOracle,
+    oracle_from,
+)
+from repro.core.ordering import OptimalOrderSorter
+from repro.core.pairs import Label, Pair
+
+from ..strategies import worlds
+
+
+class TestFramework:
+    @pytest.mark.parametrize("labeler", ["sequential", "parallel", "instant", "instant+nf"])
+    def test_every_labeler_costs_six_on_figure3(
+        self, labeler, figure3_candidates, figure3_truth
+    ):
+        framework = TransitiveJoinFramework(labeler=labeler)
+        run = framework.label(figure3_candidates, figure3_truth)
+        assert run.result.n_crowdsourced == 6
+        assert run.oracle_calls == 6
+
+    def test_unknown_labeler_rejected(self):
+        with pytest.raises(ValueError):
+            TransitiveJoinFramework(labeler="quantum")
+
+    def test_default_sorter_is_expected_order(self):
+        framework = TransitiveJoinFramework()
+        assert type(framework.sorter).__name__ == "ExpectedOrderSorter"
+
+    def test_custom_sorter_is_used(self, figure3_candidates, figure3_truth):
+        framework = TransitiveJoinFramework(
+            sorter=OptimalOrderSorter(figure3_truth), labeler="sequential"
+        )
+        run = framework.label(figure3_candidates, figure3_truth)
+        assert run.result.n_crowdsourced == 6
+
+    def test_instant_run_attached_only_for_instant(self, figure3_candidates, figure3_truth):
+        parallel_run = TransitiveJoinFramework(labeler="parallel").label(
+            figure3_candidates, figure3_truth
+        )
+        instant_run = TransitiveJoinFramework(labeler="instant").label(
+            figure3_candidates, figure3_truth
+        )
+        assert parallel_run.instant is None
+        assert instant_run.instant is not None
+
+    def test_label_with_transitivity_helper(self, figure3_candidates, figure3_truth):
+        result = label_with_transitivity(figure3_candidates, figure3_truth)
+        assert result.n_crowdsourced == 6
+
+    def test_baseline_crowdsources_all(self, figure3_candidates, figure3_truth):
+        result = label_baseline(figure3_candidates, figure3_truth)
+        assert result.n_crowdsourced == len(figure3_candidates)
+
+    @given(worlds())
+    @settings(max_examples=40)
+    def test_all_labelers_agree_on_cost(self, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        costs = {
+            name: TransitiveJoinFramework(labeler=name)
+            .label(candidates, truth)
+            .result.n_crowdsourced
+            for name in ("sequential", "parallel", "instant", "instant+nf")
+        }
+        assert len(set(costs.values())) == 1, costs
+
+
+class TestOracles:
+    def test_ground_truth_oracle(self):
+        oracle = GroundTruthOracle({"a": 1, "b": 1, "c": 2})
+        assert oracle.label(Pair("a", "b")) is Label.MATCHING
+        assert oracle.label(Pair("a", "c")) is Label.NON_MATCHING
+
+    def test_unknown_objects_are_singletons(self):
+        oracle = GroundTruthOracle({"a": 1})
+        assert oracle.label(Pair("a", "mystery")) is Label.NON_MATCHING
+        assert oracle.label(Pair("ghost", "mystery")) is Label.NON_MATCHING
+
+    def test_mapping_oracle_raises_on_unknown(self):
+        oracle = MappingOracle({Pair("a", "b"): Label.MATCHING})
+        assert oracle.label(Pair("a", "b")) is Label.MATCHING
+        with pytest.raises(KeyError):
+            oracle.label(Pair("x", "y"))
+
+    def test_function_oracle(self):
+        oracle = FunctionOracle(lambda pair: Label.MATCHING)
+        assert oracle.label(Pair("a", "b")) is Label.MATCHING
+
+    def test_counting_oracle(self):
+        base = GroundTruthOracle({"a": 1, "b": 1})
+        counting = CountingOracle(base)
+        counting.label(Pair("a", "b"))
+        counting.label(Pair("a", "b"))
+        assert counting.n_calls == 2
+        assert counting.asked(Pair("a", "b"))
+
+    def test_noisy_oracle_error_rate_zero_is_exact(self):
+        base = GroundTruthOracle({"a": 1, "b": 1})
+        noisy = NoisyOracle(base, error_rate=0.0, seed=1)
+        assert noisy.label(Pair("a", "b")) is Label.MATCHING
+
+    def test_noisy_oracle_error_rate_one_always_flips(self):
+        base = GroundTruthOracle({"a": 1, "b": 1})
+        noisy = NoisyOracle(base, error_rate=1.0, seed=1)
+        assert noisy.label(Pair("a", "b")) is Label.NON_MATCHING
+
+    def test_noisy_oracle_is_memoised(self):
+        base = GroundTruthOracle({"a": 1, "b": 1, "c": 2})
+        noisy = NoisyOracle(base, error_rate=0.5, seed=42)
+        first = noisy.label(Pair("a", "b"))
+        assert all(noisy.label(Pair("a", "b")) is first for _ in range(10))
+
+    def test_noisy_oracle_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            NoisyOracle(GroundTruthOracle({}), error_rate=1.5)
+
+    def test_oracle_from_mapping(self):
+        oracle = oracle_from({"a": 1, "b": 1})
+        assert oracle.label(Pair("a", "b")) is Label.MATCHING
+
+    def test_oracle_from_callable(self):
+        oracle = oracle_from(lambda pair: Label.NON_MATCHING)
+        assert oracle.label(Pair("a", "b")) is Label.NON_MATCHING
+
+    def test_oracle_from_oracle_passthrough(self):
+        base = GroundTruthOracle({"a": 1})
+        assert oracle_from(base) is base
+
+    def test_oracle_from_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            oracle_from(42)

@@ -1,0 +1,152 @@
+"""Unit tests for the pair/label primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pairs import (
+    CandidatePair,
+    Label,
+    LabeledPair,
+    Pair,
+    candidate,
+    ensure_unique,
+    make_pair,
+    objects_of,
+    pairs_of,
+)
+
+
+class TestLabel:
+    def test_negate_matching(self):
+        assert Label.MATCHING.negate() is Label.NON_MATCHING
+
+    def test_negate_non_matching(self):
+        assert Label.NON_MATCHING.negate() is Label.MATCHING
+
+    def test_double_negation_is_identity(self):
+        for label in Label:
+            assert label.negate().negate() is label
+
+    def test_values_match_paper_vocabulary(self):
+        assert Label.MATCHING.value == "matching"
+        assert Label.NON_MATCHING.value == "non-matching"
+
+
+class TestPair:
+    def test_unordered_equality(self):
+        assert Pair("a", "b") == Pair("b", "a")
+
+    def test_unordered_hash(self):
+        assert hash(Pair("a", "b")) == hash(Pair("b", "a"))
+
+    def test_distinct_pairs_differ(self):
+        assert Pair("a", "b") != Pair("a", "c")
+
+    def test_rejects_identical_objects(self):
+        with pytest.raises(ValueError):
+            Pair("a", "a")
+
+    def test_canonical_order_is_deterministic(self):
+        assert Pair("b", "a").left == Pair("a", "b").left
+
+    def test_iteration_yields_both_objects(self):
+        assert set(Pair("x", "y")) == {"x", "y"}
+
+    def test_contains(self):
+        pair = Pair("x", "y")
+        assert "x" in pair
+        assert "y" in pair
+        assert "z" not in pair
+
+    def test_other(self):
+        pair = Pair("x", "y")
+        assert pair.other("x") == "y"
+        assert pair.other("y") == "x"
+
+    def test_other_rejects_non_member(self):
+        with pytest.raises(KeyError):
+            Pair("x", "y").other("z")
+
+    def test_heterogeneous_types(self):
+        pair = Pair(1, "1")
+        assert 1 in pair
+        assert "1" in pair
+        assert pair == Pair("1", 1)
+
+    def test_usable_in_sets(self):
+        pairs = {Pair("a", "b"), Pair("b", "a"), Pair("a", "c")}
+        assert len(pairs) == 2
+
+    @given(st.text(min_size=1), st.text(min_size=1))
+    def test_symmetry_property(self, a, b):
+        if a == b:
+            with pytest.raises(ValueError):
+                Pair(a, b)
+        else:
+            assert Pair(a, b) == Pair(b, a)
+            assert hash(Pair(a, b)) == hash(Pair(b, a))
+
+
+class TestCandidatePair:
+    def test_likelihood_bounds(self):
+        with pytest.raises(ValueError):
+            CandidatePair(Pair("a", "b"), 1.5)
+        with pytest.raises(ValueError):
+            CandidatePair(Pair("a", "b"), -0.1)
+
+    def test_default_likelihood(self):
+        assert CandidatePair(Pair("a", "b")).likelihood == 0.5
+
+    def test_accessors(self):
+        cand = candidate("b", "a", 0.7)
+        assert {cand.left, cand.right} == {"a", "b"}
+        assert cand.likelihood == 0.7
+
+    def test_sort_key_orders_by_likelihood(self):
+        low = candidate("a", "b", 0.2)
+        high = candidate("c", "d", 0.9)
+        assert low.sort_key() < high.sort_key()
+
+
+class TestLabeledPair:
+    def test_is_matching(self):
+        assert LabeledPair(Pair("a", "b"), Label.MATCHING).is_matching
+        assert not LabeledPair(Pair("a", "b"), Label.NON_MATCHING).is_matching
+
+    def test_unpacking(self):
+        pair, label = LabeledPair(Pair("a", "b"), Label.MATCHING)
+        assert pair == Pair("a", "b")
+        assert label is Label.MATCHING
+
+
+class TestHelpers:
+    def test_make_pair(self):
+        assert make_pair("a", "b") == Pair("a", "b")
+
+    def test_pairs_of_preserves_order(self):
+        cands = [candidate("a", "b", 0.1), candidate("c", "d", 0.9)]
+        assert pairs_of(cands) == [Pair("a", "b"), Pair("c", "d")]
+
+    def test_objects_of(self):
+        assert objects_of([Pair("a", "b"), Pair("b", "c")]) == {"a", "b", "c"}
+
+    def test_ensure_unique_drops_duplicates(self):
+        cands = [candidate("a", "b", 0.5), candidate("b", "a", 0.5)]
+        assert len(ensure_unique(cands)) == 1
+
+    def test_ensure_unique_rejects_conflicting_likelihoods(self):
+        cands = [candidate("a", "b", 0.5), candidate("b", "a", 0.6)]
+        with pytest.raises(ValueError):
+            ensure_unique(cands)
+
+    def test_ensure_unique_keeps_first_occurrence_order(self):
+        cands = [
+            candidate("a", "b", 0.5),
+            candidate("c", "d", 0.9),
+            candidate("a", "b", 0.5),
+        ]
+        unique = ensure_unique(cands)
+        assert [c.pair for c in unique] == [Pair("a", "b"), Pair("c", "d")]

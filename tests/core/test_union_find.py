@@ -1,0 +1,149 @@
+"""Unit and property tests for the union-find substrate."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.union_find import UnionFind
+
+
+class TestBasics:
+    def test_fresh_elements_are_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+        assert uf.n_components == 2
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+
+    def test_find_is_lazy_add(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_union_returns_surviving_root(self):
+        uf = UnionFind()
+        root = uf.union("a", "b")
+        assert root in ("a", "b")
+        assert uf.find("a") == root
+        assert uf.find("b") == root
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_component_size(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.add("d")
+        assert uf.component_size("a") == 3
+        assert uf.component_size("d") == 1
+
+    def test_n_components_tracks_unions(self):
+        uf = UnionFind("abcd")
+        assert uf.n_components == 4
+        uf.union("a", "b")
+        assert uf.n_components == 3
+        uf.union("a", "b")  # redundant union is a no-op
+        assert uf.n_components == 3
+
+    def test_components_partition_all_elements(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("c")
+        components = uf.components()
+        assert sorted(map(sorted, components)) == [["a", "b"], ["c"]]
+
+    def test_roots(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("c")
+        assert len(uf.roots()) == 2
+
+    def test_len_counts_elements(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("c")
+        assert len(uf) == 3
+
+    def test_copy_is_independent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        clone = uf.copy()
+        clone.union("a", "c")
+        assert clone.connected("a", "c")
+        assert "c" not in uf  # the copy's lazy add did not leak back
+        assert not uf.connected("a", "c")  # (this query lazily adds "c")
+
+    def test_deep_chain_does_not_recurse(self):
+        uf = UnionFind()
+        for i in range(10_000):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 10_000)
+        assert uf.n_components == 1
+
+    def test_integer_and_string_elements_coexist(self):
+        uf = UnionFind()
+        uf.union(1, "one")
+        assert uf.connected("one", 1)
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(2, 30))
+    n_edges = draw(st.integers(0, 60))
+    edges = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(n_edges)
+    ]
+    return n, [(a, b) for a, b in edges if a != b]
+
+
+class TestAgainstNetworkx:
+    """Union-find must agree with networkx connected components."""
+
+    @given(edge_lists())
+    def test_components_match_networkx(self, data):
+        n, edges = data
+        uf = UnionFind(range(n))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for a, b in edges:
+            uf.union(a, b)
+            graph.add_edge(a, b)
+        expected = sorted(sorted(c) for c in nx.connected_components(graph))
+        actual = sorted(sorted(c) for c in uf.components())
+        assert actual == expected
+
+    @given(edge_lists())
+    def test_n_components_matches_networkx(self, data):
+        n, edges = data
+        uf = UnionFind(range(n))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for a, b in edges:
+            uf.union(a, b)
+            graph.add_edge(a, b)
+        assert uf.n_components == nx.number_connected_components(graph)
+
+    @given(edge_lists())
+    def test_connected_queries_match_networkx(self, data):
+        n, edges = data
+        uf = UnionFind(range(n))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for a, b in edges:
+            uf.union(a, b)
+            graph.add_edge(a, b)
+        for a in range(min(n, 5)):
+            for b in range(min(n, 5)):
+                if a != b:
+                    assert uf.connected(a, b) == nx.has_path(graph, a, b)

@@ -1,0 +1,108 @@
+"""Tests for majority voting and assignment aggregation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pairs import Label, Pair
+from repro.crowd.aggregation import (
+    aggregate_assignments,
+    agreement_rate,
+    majority_vote,
+    unanimous_or,
+)
+from repro.crowd.hit import HIT, Assignment
+
+M, N = Label.MATCHING, Label.NON_MATCHING
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        assert majority_vote([M, M, M]) is M
+        assert majority_vote([N, N, N]) is N
+
+    def test_two_to_one(self):
+        assert majority_vote([M, M, N]) is M
+        assert majority_vote([N, M, N]) is N
+
+    def test_tie_breaks_conservatively_by_default(self):
+        assert majority_vote([M, N]) is N
+
+    def test_custom_tie_break(self):
+        assert majority_vote([M, N], tie_break=M) is M
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+    @given(st.lists(st.sampled_from([M, N]), min_size=1, max_size=9))
+    def test_majority_vote_matches_count(self, answers):
+        result = majority_vote(answers)
+        matching = answers.count(M)
+        non_matching = answers.count(N)
+        if matching > non_matching:
+            assert result is M
+        elif non_matching > matching:
+            assert result is N
+        else:
+            assert result is N  # the default tie-break
+
+
+class TestUnanimousOr:
+    def test_unanimous_wins(self):
+        assert unanimous_or([M, M], fallback=N) is M
+
+    def test_disagreement_falls_back(self):
+        assert unanimous_or([M, N], fallback=N) is N
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            unanimous_or([], fallback=M)
+
+
+def _assignment(hit, worker_id, labels):
+    answers = dict(zip(hit.pairs, labels))
+    return Assignment(hit=hit, worker_id=worker_id, answers=answers)
+
+
+class TestAggregateAssignments:
+    @pytest.fixture
+    def hit(self):
+        return HIT(hit_id=0, pairs=(Pair("a", "b"), Pair("c", "d")), n_assignments=3)
+
+    def test_per_pair_majority(self, hit):
+        assignments = [
+            _assignment(hit, 1, [M, N]),
+            _assignment(hit, 2, [M, M]),
+            _assignment(hit, 3, [N, N]),
+        ]
+        labels = aggregate_assignments(assignments)
+        assert labels[Pair("a", "b")] is M
+        assert labels[Pair("c", "d")] is N
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_assignments([])
+
+    def test_mixed_hits_rejected(self, hit):
+        other = HIT(hit_id=1, pairs=(Pair("x", "y"),))
+        assignments = [
+            _assignment(hit, 1, [M, N]),
+            _assignment(other, 2, [M]),
+        ]
+        with pytest.raises(ValueError):
+            aggregate_assignments(assignments)
+
+    def test_agreement_rate(self, hit):
+        assignments = [
+            _assignment(hit, 1, [M, N]),
+            _assignment(hit, 2, [M, M]),
+            _assignment(hit, 3, [M, N]),
+        ]
+        assert agreement_rate(assignments) == pytest.approx(0.5)
+
+    def test_agreement_rate_empty_raises(self):
+        with pytest.raises(ValueError):
+            agreement_rate([])

@@ -1,0 +1,95 @@
+"""Tests for HITs, assignments, and batching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pairs import Label, Pair
+from repro.crowd.hit import (
+    HIT,
+    Assignment,
+    batch_pairs,
+    n_hits_needed,
+    pairs_of_hits,
+)
+
+
+def make_pairs(n):
+    return [Pair(f"a{i}", f"b{i}") for i in range(n)]
+
+
+class TestHIT:
+    def test_requires_pairs(self):
+        with pytest.raises(ValueError):
+            HIT(hit_id=0, pairs=())
+
+    def test_requires_assignments(self):
+        with pytest.raises(ValueError):
+            HIT(hit_id=0, pairs=tuple(make_pairs(1)), n_assignments=0)
+
+    def test_rejects_duplicate_pairs(self):
+        pair = Pair("a", "b")
+        with pytest.raises(ValueError):
+            HIT(hit_id=0, pairs=(pair, pair))
+
+    def test_len_and_iter(self):
+        pairs = tuple(make_pairs(3))
+        hit = HIT(hit_id=0, pairs=pairs)
+        assert len(hit) == 3
+        assert list(hit) == list(pairs)
+
+
+class TestAssignment:
+    def test_requires_answer_for_every_pair(self):
+        pairs = tuple(make_pairs(2))
+        hit = HIT(hit_id=0, pairs=pairs)
+        with pytest.raises(ValueError):
+            Assignment(hit=hit, worker_id=1, answers={pairs[0]: Label.MATCHING})
+
+    def test_duration(self):
+        pairs = tuple(make_pairs(1))
+        hit = HIT(hit_id=0, pairs=pairs)
+        assignment = Assignment(
+            hit=hit,
+            worker_id=1,
+            answers={pairs[0]: Label.MATCHING},
+            accepted_at=1.0,
+            submitted_at=3.5,
+        )
+        assert assignment.duration == pytest.approx(2.5)
+
+
+class TestBatching:
+    def test_batches_preserve_order(self):
+        pairs = make_pairs(45)
+        hits = batch_pairs(pairs, batch_size=20)
+        assert [len(h) for h in hits] == [20, 20, 5]
+        assert pairs_of_hits(hits) == pairs
+
+    def test_hit_ids_are_sequential(self):
+        hits = batch_pairs(make_pairs(45), batch_size=20, first_hit_id=7)
+        assert [h.hit_id for h in hits] == [7, 8, 9]
+
+    def test_single_partial_batch(self):
+        hits = batch_pairs(make_pairs(3), batch_size=20)
+        assert len(hits) == 1
+        assert len(hits[0]) == 3
+
+    def test_empty_input(self):
+        assert batch_pairs([], batch_size=20) == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            batch_pairs(make_pairs(3), batch_size=0)
+
+    @given(st.integers(0, 500), st.integers(1, 50))
+    def test_batch_count_matches_formula(self, n_pairs, batch_size):
+        hits = batch_pairs(make_pairs(n_pairs), batch_size=batch_size)
+        assert len(hits) == n_hits_needed(n_pairs, batch_size)
+
+    def test_paper_hit_arithmetic(self):
+        """Table 2(a): 29,281 pairs at 20 per HIT -> 1,465 HITs."""
+        assert n_hits_needed(29_281, 20) == 1_465
+        assert n_hits_needed(3_154, 20) == 158

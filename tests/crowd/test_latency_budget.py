@@ -1,0 +1,91 @@
+"""Tests for the latency models and cost accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crowd.budget import CostLedger, CostModel
+from repro.crowd.latency import FixedLatency, LognormalLatency, ZeroLatency
+
+
+class TestLognormalLatency:
+    def test_pickup_mean_is_calibrated(self):
+        model = LognormalLatency(mean_pickup_hours=0.5, pickup_sigma=0.8)
+        rng = random.Random(1)
+        samples = [model.pickup_delay(rng) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.5, rel=0.1)
+
+    def test_pickup_is_positive(self):
+        model = LognormalLatency()
+        rng = random.Random(2)
+        assert all(model.pickup_delay(rng) > 0 for _ in range(100))
+
+    def test_work_time_scales_with_pairs(self):
+        model = LognormalLatency(seconds_per_pair=36.0)
+        rng = random.Random(3)
+        one = sum(model.work_time(rng, 1) for _ in range(500)) / 500
+        twenty = sum(model.work_time(rng, 20) for _ in range(500)) / 500
+        assert twenty == pytest.approx(20 * one, rel=0.15)
+        # 36 s/pair = 0.01 h/pair on average
+        assert one == pytest.approx(0.01, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(mean_pickup_hours=0.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(seconds_per_pair=-1.0)
+
+
+class TestFixedAndZeroLatency:
+    def test_fixed_is_deterministic(self):
+        model = FixedLatency(pickup_hours=0.2, work_hours_per_pair=0.01)
+        rng = random.Random(0)
+        assert model.pickup_delay(rng) == 0.2
+        assert model.work_time(rng, 10) == pytest.approx(0.1)
+
+    def test_zero_latency(self):
+        model = ZeroLatency()
+        rng = random.Random(0)
+        assert model.pickup_delay(rng) == 0.0
+        assert model.work_time(rng, 100) == 0.0
+
+
+class TestCostModel:
+    def test_paper_pricing(self):
+        """Table 2(a): 1,465 HITs x 3 assignments x $0.02 = $87.90."""
+        model = CostModel(price_per_assignment=0.02)
+        assert model.hit_cost(1_465, 3) == pytest.approx(87.90)
+
+    def test_assignment_cost(self):
+        model = CostModel(price_per_assignment=0.05)
+        assert model.assignment_cost(10) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(price_per_assignment=-0.01)
+        with pytest.raises(ValueError):
+            CostModel().assignment_cost(-1)
+
+    @given(st.integers(0, 10_000), st.integers(1, 10))
+    def test_hit_cost_formula(self, n_hits, replication):
+        model = CostModel(price_per_assignment=0.02)
+        assert model.hit_cost(n_hits, replication) == pytest.approx(
+            n_hits * replication * 0.02
+        )
+
+
+class TestCostLedger:
+    def test_running_total(self):
+        ledger = CostLedger(CostModel(price_per_assignment=0.02))
+        for _ in range(5):
+            ledger.charge_assignment()
+        assert ledger.assignments_paid == 5
+        assert ledger.total == pytest.approx(0.10)
+
+    def test_charge_returns_unit_price(self):
+        ledger = CostLedger(CostModel(price_per_assignment=0.03))
+        assert ledger.charge_assignment() == pytest.approx(0.03)

@@ -1,0 +1,155 @@
+"""Tests for the discrete-event platform simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Label, Pair
+from repro.crowd.budget import CostModel
+from repro.crowd.latency import FixedLatency, ZeroLatency
+from repro.crowd.platform import SimulatedPlatform
+from repro.crowd.worker import make_worker_pool
+
+
+@pytest.fixture
+def truth():
+    return GroundTruthOracle({"a": 1, "b": 1, "c": 2, "d": 2, "e": 3})
+
+
+def make_platform(truth, n_workers=6, batch_size=2, n_assignments=3, latency=None, seed=0):
+    return SimulatedPlatform(
+        workers=make_worker_pool(n_workers, seed=seed),
+        truth=truth,
+        latency=latency or FixedLatency(),
+        batch_size=batch_size,
+        n_assignments=n_assignments,
+        seed=seed,
+    )
+
+
+class TestPublication:
+    def test_batches_into_hits(self, truth):
+        platform = make_platform(truth, batch_size=2)
+        hits = platform.publish_pairs([Pair("a", "b"), Pair("a", "c"), Pair("c", "d")])
+        assert [len(h) for h in hits] == [2, 1]
+        assert platform.stats.hits_published == 2
+        assert platform.n_outstanding_hits == 2
+
+    def test_requires_enough_workers(self, truth):
+        with pytest.raises(ValueError):
+            SimulatedPlatform(
+                workers=make_worker_pool(2, seed=0), truth=truth, n_assignments=3
+            )
+
+    def test_hit_ids_unique_across_bursts(self, truth):
+        platform = make_platform(truth, batch_size=1)
+        first = platform.publish_pairs([Pair("a", "b"), Pair("a", "c")])
+        second = platform.publish_pairs([Pair("c", "d")])
+        ids = [h.hit_id for h in first + second]
+        assert len(set(ids)) == len(ids)
+
+
+class TestStepping:
+    def test_step_returns_completions_in_time_order(self, truth):
+        platform = make_platform(truth, batch_size=1)
+        platform.publish_pairs([Pair("a", "b"), Pair("a", "c"), Pair("c", "d")])
+        times = []
+        while (completion := platform.step()) is not None:
+            times.append(completion.completed_at)
+        assert len(times) == 3
+        assert times == sorted(times)
+
+    def test_perfect_workers_yield_true_labels(self, truth):
+        platform = make_platform(truth, batch_size=2)
+        platform.publish_pairs([Pair("a", "b"), Pair("a", "c"), Pair("c", "d")])
+        labels = {}
+        for completion in platform.run_to_completion():
+            labels.update(completion.labels)
+        assert labels[Pair("a", "b")] is Label.MATCHING
+        assert labels[Pair("a", "c")] is Label.NON_MATCHING
+        assert labels[Pair("c", "d")] is Label.MATCHING
+
+    def test_step_on_idle_platform_returns_none(self, truth):
+        platform = make_platform(truth)
+        assert platform.step() is None
+
+    def test_outstanding_count_drains(self, truth):
+        platform = make_platform(truth, batch_size=1)
+        platform.publish_pairs([Pair("a", "b"), Pair("a", "c")])
+        assert platform.n_outstanding_hits == 2
+        platform.step()
+        assert platform.n_outstanding_hits == 1
+        platform.step()
+        assert platform.n_outstanding_hits == 0
+
+    def test_distinct_workers_per_hit(self, truth):
+        platform = make_platform(truth, batch_size=1, n_assignments=3)
+        platform.publish_pairs([Pair("a", "b")])
+        completion = platform.step()
+        workers = {a.worker_id for a in completion.assignments}
+        assert len(workers) == 3
+
+    def test_mid_run_publication(self, truth):
+        """Pairs published while the simulation runs complete later."""
+        platform = make_platform(truth, batch_size=1)
+        platform.publish_pairs([Pair("a", "b")])
+        first = platform.step()
+        platform.publish_pairs([Pair("c", "d")])
+        second = platform.step()
+        assert second is not None
+        assert second.completed_at >= first.completed_at
+
+
+class TestTimingAndCost:
+    def test_time_advances_monotonically(self, truth):
+        platform = make_platform(truth, batch_size=1)
+        platform.publish_pairs([Pair("a", "b"), Pair("a", "c")])
+        t0 = platform.now
+        platform.step()
+        t1 = platform.now
+        platform.step()
+        assert t0 <= t1 <= platform.now
+
+    def test_zero_latency_completes_at_time_zero(self, truth):
+        platform = make_platform(truth, latency=ZeroLatency())
+        platform.publish_pairs([Pair("a", "b")])
+        completion = platform.step()
+        assert completion.completed_at == 0.0
+
+    def test_cost_accounting(self, truth):
+        platform = SimulatedPlatform(
+            workers=make_worker_pool(6, seed=0),
+            truth=truth,
+            latency=FixedLatency(),
+            batch_size=2,
+            n_assignments=3,
+            cost_model=CostModel(price_per_assignment=0.02),
+        )
+        platform.publish_pairs([Pair("a", "b"), Pair("a", "c"), Pair("c", "d")])
+        platform.run_to_completion()
+        # 2 HITs * 3 assignments * $0.02
+        assert platform.ledger.total == pytest.approx(0.12)
+        assert platform.stats.assignments_completed == 6
+
+    def test_serial_publication_is_slower_than_parallel(self, truth):
+        pairs = [Pair("a", "b"), Pair("a", "c"), Pair("c", "d"), Pair("d", "e")]
+        parallel = make_platform(truth, batch_size=1, seed=3)
+        parallel.publish_pairs(pairs)
+        parallel_time = parallel.run_to_completion()[-1].completed_at
+
+        serial = make_platform(truth, batch_size=1, seed=3)
+        last = 0.0
+        for pair in pairs:
+            serial.publish_pairs([pair])
+            last = serial.step().completed_at
+        assert last > parallel_time
+
+    def test_deterministic_given_seed(self, truth):
+        def run(seed):
+            platform = make_platform(truth, batch_size=1, seed=seed)
+            platform.publish_pairs([Pair("a", "b"), Pair("a", "c")])
+            return [c.completed_at for c in platform.run_to_completion()]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

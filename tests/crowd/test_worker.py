@@ -1,0 +1,159 @@
+"""Tests for worker behaviour models and qualification tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pairs import Label, Pair
+from repro.crowd.worker import (
+    AmbiguityAwareWorker,
+    BernoulliWorker,
+    PerfectWorker,
+    QualificationTest,
+    Worker,
+    make_worker_pool,
+)
+
+PAIR = Pair("a", "b")
+
+
+class TestPerfectWorker:
+    def test_always_correct(self):
+        worker = PerfectWorker()
+        for label in Label:
+            assert worker.answer(PAIR, label, 0.5) is label
+
+
+class TestBernoulliWorker:
+    def test_accuracy_one_is_perfect(self):
+        worker = BernoulliWorker(accuracy=1.0, seed=1)
+        assert all(
+            worker.answer(PAIR, Label.MATCHING, 0.5) is Label.MATCHING
+            for _ in range(50)
+        )
+
+    def test_accuracy_zero_always_flips(self):
+        worker = BernoulliWorker(accuracy=0.0, seed=1)
+        assert all(
+            worker.answer(PAIR, Label.MATCHING, 0.5) is Label.NON_MATCHING
+            for _ in range(50)
+        )
+
+    def test_intermediate_accuracy_is_roughly_calibrated(self):
+        worker = BernoulliWorker(accuracy=0.8, seed=3)
+        answers = [worker.answer(PAIR, Label.MATCHING, 0.5) for _ in range(2000)]
+        correct = sum(1 for a in answers if a is Label.MATCHING)
+        assert 0.75 < correct / len(answers) < 0.85
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ValueError):
+            BernoulliWorker(accuracy=1.5)
+
+
+class TestAmbiguityAwareWorker:
+    def test_error_peaks_at_half_likelihood(self):
+        worker = AmbiguityAwareWorker(base_error=0.02, ambiguous_error=0.3)
+        assert worker.error_probability(0.5) == pytest.approx(0.3)
+        assert worker.error_probability(0.0) == pytest.approx(0.02)
+        assert worker.error_probability(1.0) == pytest.approx(0.02)
+
+    def test_error_interpolates(self):
+        worker = AmbiguityAwareWorker(base_error=0.0, ambiguous_error=0.4)
+        assert worker.error_probability(0.75) == pytest.approx(0.2)
+
+    def test_false_positive_bias_scales_non_matching_errors(self):
+        worker = AmbiguityAwareWorker(
+            base_error=0.1, ambiguous_error=0.1, false_positive_bias=3.0
+        )
+        assert worker.error_probability(0.5, Label.NON_MATCHING) == pytest.approx(0.3)
+        assert worker.error_probability(0.5, Label.MATCHING) == pytest.approx(0.1)
+
+    def test_false_negative_bias_scales_matching_errors(self):
+        worker = AmbiguityAwareWorker(
+            base_error=0.1, ambiguous_error=0.1, false_negative_bias=2.0
+        )
+        assert worker.error_probability(0.5, Label.MATCHING) == pytest.approx(0.2)
+
+    def test_error_capped(self):
+        worker = AmbiguityAwareWorker(
+            base_error=0.5, ambiguous_error=0.5, false_positive_bias=10.0
+        )
+        assert worker.error_probability(0.5, Label.NON_MATCHING) == 0.95
+
+    def test_systematic_errors_are_shared_across_workers(self):
+        """Two workers with the same salt err on exactly the same pairs when
+        errors are fully systematic."""
+        workers = [
+            AmbiguityAwareWorker(
+                base_error=0.5,
+                ambiguous_error=0.5,
+                systematic_fraction=1.0,
+                salt=42,
+                seed=i,
+            )
+            for i in range(2)
+        ]
+        pairs = [Pair(f"x{i}", f"y{i}") for i in range(200)]
+        answers = [
+            [w.answer(pair, Label.MATCHING, 0.5) for pair in pairs] for w in workers
+        ]
+        assert answers[0] == answers[1]
+        # and roughly half are wrong
+        wrong = sum(1 for a in answers[0] if a is Label.NON_MATCHING)
+        assert 60 < wrong < 140
+
+    def test_idiosyncratic_errors_differ_across_workers(self):
+        workers = [
+            AmbiguityAwareWorker(
+                base_error=0.5, ambiguous_error=0.5, systematic_fraction=0.0, seed=i
+            )
+            for i in range(2)
+        ]
+        pairs = [Pair(f"x{i}", f"y{i}") for i in range(200)]
+        answers = [
+            [w.answer(pair, Label.MATCHING, 0.5) for pair in pairs] for w in workers
+        ]
+        assert answers[0] != answers[1]
+
+    def test_rejects_bad_systematic_fraction(self):
+        with pytest.raises(ValueError):
+            AmbiguityAwareWorker(systematic_fraction=1.5)
+
+
+class TestQualificationTest:
+    def test_perfect_worker_passes(self):
+        assert QualificationTest().passes(PerfectWorker(), seed=5)
+
+    def test_hopeless_worker_fails(self):
+        assert not QualificationTest().passes(BernoulliWorker(accuracy=0.0, seed=1), seed=5)
+
+    def test_filters_pool(self):
+        pool = make_worker_pool(
+            60, accuracy=0.5, qualification=QualificationTest(), seed=9
+        )
+        # accuracy-0.5 workers pass three questions with probability 1/8
+        assert 0 < len(pool) < 30
+
+
+class TestWorkerPool:
+    def test_pool_size(self):
+        assert len(make_worker_pool(10, seed=1)) == 10
+
+    def test_speeds_are_positive_and_varied(self):
+        pool = make_worker_pool(20, seed=2)
+        speeds = {w.speed for w in pool}
+        assert all(s > 0 for s in speeds)
+        assert len(speeds) > 1
+
+    def test_worker_speed_validation(self):
+        with pytest.raises(ValueError):
+            Worker(worker_id=0, model=PerfectWorker(), speed=0.0)
+
+    def test_accuracy_and_ambiguity_are_exclusive(self):
+        with pytest.raises(ValueError):
+            make_worker_pool(5, accuracy=0.9, ambiguity_aware=True)
+
+    def test_deterministic_given_seed(self):
+        pool_a = make_worker_pool(5, seed=7)
+        pool_b = make_worker_pool(5, seed=7)
+        assert [w.speed for w in pool_a] == [w.speed for w in pool_b]

@@ -1,0 +1,242 @@
+"""Tests for the dataset substrate: schema, distributions, generators, I/O."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairs import Label, Pair
+from repro.datasets import (
+    ClusterSizeSpec,
+    Corruptor,
+    Dataset,
+    Record,
+    generate_paper_dataset,
+    generate_product_dataset,
+    load_dataset,
+    paper_spec,
+    product_spec,
+    save_dataset,
+)
+
+
+class TestClusterSizeSpec:
+    def test_counts_and_records(self):
+        spec = ClusterSizeSpec.from_mapping({3: 2, 1: 4})
+        assert spec.n_records == 10
+        assert spec.n_clusters == 6
+        assert spec.max_size == 3
+
+    def test_matching_pairs(self):
+        spec = ClusterSizeSpec.from_mapping({3: 1, 2: 2})
+        assert spec.n_matching_pairs() == 3 + 2
+
+    def test_sizes_iterates_largest_first(self):
+        spec = ClusterSizeSpec.from_mapping({2: 1, 5: 1, 1: 2})
+        assert list(spec.sizes()) == [5, 2, 1, 1]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ClusterSizeSpec.from_mapping({0: 3})
+
+    def test_singleton_adjustment(self):
+        spec = ClusterSizeSpec.from_mapping({3: 2, 1: 1})
+        adjusted = spec.with_singletons_adjusted(10)
+        assert adjusted.n_records == 10
+        assert adjusted.as_mapping()[1] == 4
+
+    def test_singleton_adjustment_rejects_overflow(self):
+        spec = ClusterSizeSpec.from_mapping({5: 3})
+        with pytest.raises(ValueError):
+            spec.with_singletons_adjusted(10)
+
+    def test_paper_spec_matches_cora(self):
+        spec = paper_spec()
+        assert spec.n_records == 997
+        assert spec.max_size == 102
+
+    def test_product_spec_matches_abt_buy(self):
+        spec = product_spec()
+        assert spec.n_records == 1081 + 1092
+        assert spec.max_size == 6
+
+    @given(st.floats(0.1, 1.0))
+    def test_scaled_specs_are_valid(self, scale):
+        for spec in (paper_spec(scale), product_spec(scale)):
+            assert spec.n_records > 0
+            assert all(count >= 0 for _, count in spec.counts)
+
+    def test_scaled_paper_keeps_big_cluster(self):
+        assert paper_spec(0.2).max_size >= 30
+
+    def test_scaled_product_keeps_small_clusters(self):
+        assert product_spec(0.2).max_size <= 6
+
+
+class TestCorruptor:
+    def test_deterministic_given_seed(self):
+        text = "adaptive learning for database systems"
+        assert Corruptor(seed=5).corrupt_text(text) == Corruptor(seed=5).corrupt_text(text)
+
+    def test_different_seeds_differ(self):
+        text = "adaptive learning for database systems in modern architectures"
+        outputs = {Corruptor(seed=s, word_ops_rate=0.5).corrupt_text(text) for s in range(8)}
+        assert len(outputs) > 1
+
+    def test_empty_text_unchanged(self):
+        assert Corruptor(seed=1).corrupt_text("") == ""
+
+    def test_skip_fields(self):
+        corruptor = Corruptor(seed=2, word_ops_rate=1.0, drop_rate=1.0, swap_rate=1.0)
+        fields = corruptor.corrupt_fields({"title": "alpha beta gamma", "date": "1999"}, skip=("date",))
+        assert fields["date"] == "1999"
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            Corruptor(word_ops_rate=1.5)
+
+    def test_corruption_preserves_some_tokens(self):
+        """Light corruption should keep most tokens recognisable."""
+        corruptor = Corruptor(seed=3, word_ops_rate=0.1, drop_rate=0.1, swap_rate=0.1)
+        original = "hierarchical bayesian inference for structured prediction"
+        corrupted = corruptor.corrupt_text(original)
+        shared = set(original.split()) & set(corrupted.split())
+        assert len(shared) >= 3
+
+
+class TestRecordAndDataset:
+    def test_record_text_selected_fields(self):
+        record = Record("r1", {"title": "abc", "venue": "xyz"})
+        assert record.text(["title"]) == "abc"
+        assert record["venue"] == "xyz"
+
+    def test_dataset_rejects_duplicate_ids(self):
+        records = [Record("r1", {}), Record("r1", {})]
+        with pytest.raises(ValueError):
+            Dataset("d", records, {"r1": 0})
+
+    def test_dataset_requires_ground_truth(self):
+        with pytest.raises(ValueError):
+            Dataset("d", [Record("r1", {})], {})
+
+    def test_clusters_and_histogram(self):
+        records = [Record(f"r{i}", {}) for i in range(4)]
+        dataset = Dataset("d", records, {"r0": "e0", "r1": "e0", "r2": "e1", "r3": "e2"})
+        assert dataset.cluster_size_histogram() == {2: 1, 1: 2}
+
+    def test_matching_pairs_single_table(self):
+        records = [Record(f"r{i}", {}) for i in range(3)]
+        dataset = Dataset("d", records, {"r0": "e0", "r1": "e0", "r2": "e0"})
+        assert len(dataset.matching_pairs()) == 3
+
+    def test_matching_pairs_bipartite_excludes_same_source(self):
+        records = [
+            Record("a1", {}, source="abt"),
+            Record("a2", {}, source="abt"),
+            Record("b1", {}, source="buy"),
+        ]
+        dataset = Dataset("d", records, {"a1": "e", "a2": "e", "b1": "e"})
+        pairs = dataset.matching_pairs()
+        assert Pair("a1", "b1") in pairs
+        assert Pair("a1", "a2") not in pairs
+
+    def test_n_possible_pairs(self):
+        records = [Record(f"r{i}", {}) for i in range(10)]
+        dataset = Dataset("d", records, {f"r{i}": i for i in range(10)})
+        assert dataset.n_possible_pairs() == 45
+
+
+class TestPaperGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_paper_dataset(spec=paper_spec(0.25), seed=3)
+
+    def test_histogram_matches_spec_exactly(self, dataset):
+        spec = paper_spec(0.25)
+        assert dict(dataset.cluster_size_histogram()) == spec.as_mapping()
+
+    def test_single_table(self, dataset):
+        assert not dataset.is_bipartite
+
+    def test_records_have_bibliographic_fields(self, dataset):
+        fields = dataset.records[0].fields
+        assert {"authors", "title", "venue", "date", "pages"} <= set(fields)
+
+    def test_deterministic(self):
+        a = generate_paper_dataset(spec=paper_spec(0.15), seed=9)
+        b = generate_paper_dataset(spec=paper_spec(0.15), seed=9)
+        assert [r.fields for r in a.records] == [r.fields for r in b.records]
+
+    def test_different_seeds_differ(self):
+        a = generate_paper_dataset(spec=paper_spec(0.15), seed=1)
+        b = generate_paper_dataset(spec=paper_spec(0.15), seed=2)
+        assert [r.fields for r in a.records] != [r.fields for r in b.records]
+
+    def test_duplicates_resemble_their_canonical(self, dataset):
+        """Records of the same entity share most title tokens."""
+        from repro.matcher.similarity import string_jaccard
+
+        clusters = [c for c in dataset.clusters() if len(c) >= 3]
+        cluster = sorted(clusters[0])
+        a, b = dataset.record(cluster[0]), dataset.record(cluster[1])
+        assert string_jaccard(a.text(), b.text()) > 0.2
+
+    def test_full_scale_is_997_records(self):
+        assert len(generate_paper_dataset()) == 997
+
+
+class TestProductGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_product_dataset(spec=product_spec(0.2), seed=3)
+
+    def test_histogram_matches_spec_exactly(self, dataset):
+        spec = product_spec(0.2)
+        assert dict(dataset.cluster_size_histogram()) == spec.as_mapping()
+
+    def test_bipartite(self, dataset):
+        assert dataset.is_bipartite
+        assert dataset.sources() == ["abt", "buy"]
+
+    def test_sources_balanced(self, dataset):
+        from collections import Counter
+
+        counts = Counter(r.source for r in dataset.records)
+        assert abs(counts["abt"] - counts["buy"]) <= len(dataset) * 0.1
+
+    def test_records_have_product_fields(self, dataset):
+        assert {"name", "price"} <= set(dataset.records[0].fields)
+
+    def test_cluster_records_split_across_sources(self, dataset):
+        for cluster in dataset.clusters():
+            if len(cluster) >= 2:
+                sources = {dataset.record(rid).source for rid in cluster}
+                assert len(sources) == 2
+                break
+
+    def test_full_scale_is_2173_records(self):
+        assert len(generate_product_dataset()) == 1081 + 1092
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path):
+        original = generate_product_dataset(spec=product_spec(0.1), seed=4)
+        save_dataset(original, tmp_path)
+        loaded = load_dataset("product", tmp_path)
+        assert loaded.ids() == original.ids()
+        assert loaded.entity_of == {k: str(v) for k, v in original.entity_of.items()}
+        assert loaded.record(loaded.ids()[0]).fields == dict(
+            original.record(original.ids()[0]).fields
+        )
+        assert loaded.sources() == original.sources()
+
+    def test_field_subset(self, tmp_path):
+        original = generate_paper_dataset(spec=paper_spec(0.1), seed=4)
+        save_dataset(original, tmp_path)
+        loaded = load_dataset("paper", tmp_path, field_names=["title"])
+        assert set(loaded.records[0].fields) == {"title"}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset("nope", tmp_path)

@@ -1,0 +1,163 @@
+"""Tests for the entity-resolution toolkit (clustering + metrics)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Label, Pair
+from repro.er.clustering import (
+    cluster_matches,
+    entity_assignment,
+    implied_matches,
+    split_oversized_clusters,
+)
+from repro.er.ground_truth import (
+    match_fraction,
+    recall_of_candidates,
+    true_matches_within,
+)
+from repro.er.metrics import (
+    PairwiseQuality,
+    cluster_quality,
+    evaluate_labels,
+    evaluate_matches,
+)
+
+from ..strategies import worlds
+
+
+class TestClustering:
+    def test_components(self):
+        matches = [Pair("a", "b"), Pair("b", "c"), Pair("x", "y")]
+        clusters = {frozenset(c) for c in cluster_matches(matches)}
+        assert clusters == {frozenset("abc"), frozenset("xy")}
+
+    def test_unmatched_objects_become_singletons(self):
+        clusters = cluster_matches([Pair("a", "b")], all_objects=["a", "b", "z"])
+        assert {frozenset(c) for c in clusters} == {frozenset("ab"), frozenset("z")}
+
+    def test_entity_assignment_consistent(self):
+        matches = [Pair("a", "b"), Pair("c", "d")]
+        assignment = entity_assignment(matches)
+        assert assignment["a"] == assignment["b"]
+        assert assignment["a"] != assignment["c"]
+
+    def test_implied_matches_closure(self):
+        implied = implied_matches([Pair("a", "b"), Pair("b", "c")])
+        assert implied == {Pair("a", "b"), Pair("b", "c"), Pair("a", "c")}
+
+    def test_split_oversized(self):
+        clusters = [set("abcd"), set("xy")]
+        split = split_oversized_clusters(clusters, max_size=2)
+        assert {frozenset(c) for c in split} == {
+            frozenset("a"), frozenset("b"), frozenset("c"), frozenset("d"), frozenset("xy"),
+        }
+
+    def test_split_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            split_oversized_clusters([], max_size=0)
+
+    @given(worlds())
+    @settings(max_examples=40)
+    def test_matches_networkx_components(self, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        matches = [c.pair for c in candidates if truth.label(c.pair) is Label.MATCHING]
+        graph = nx.Graph()
+        for pair in matches:
+            graph.add_edge(pair.left, pair.right)
+        expected = {frozenset(c) for c in nx.connected_components(graph)}
+        actual = {frozenset(c) for c in cluster_matches(matches)}
+        assert actual == expected
+
+
+class TestMetrics:
+    def test_perfect_labels(self):
+        truth = GroundTruthOracle({"a": 1, "b": 1, "c": 2})
+        labels = {
+            Pair("a", "b"): Label.MATCHING,
+            Pair("a", "c"): Label.NON_MATCHING,
+        }
+        quality = evaluate_labels(labels, truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f_measure == 1.0
+
+    def test_counts(self):
+        truth = GroundTruthOracle({"a": 1, "b": 1, "c": 2, "d": 3})
+        labels = {
+            Pair("a", "b"): Label.NON_MATCHING,  # fn
+            Pair("a", "c"): Label.MATCHING,      # fp
+            Pair("c", "d"): Label.NON_MATCHING,  # tn
+        }
+        quality = evaluate_labels(labels, truth)
+        assert (quality.tp, quality.fp, quality.fn) == (0, 1, 1)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f_measure == 0.0
+
+    def test_paper_formulas(self):
+        quality = PairwiseQuality(tp=80, fp=20, fn=10)
+        assert quality.precision == pytest.approx(0.8)
+        assert quality.recall == pytest.approx(80 / 90)
+        expected_f = 2 * 0.8 * (80 / 90) / (0.8 + 80 / 90)
+        assert quality.f_measure == pytest.approx(expected_f)
+
+    def test_empty_edge_cases(self):
+        quality = PairwiseQuality(tp=0, fp=0, fn=0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f_measure == 1.0
+
+    def test_as_row_percentages(self):
+        row = PairwiseQuality(tp=1, fp=1, fn=0).as_row()
+        assert row["precision"] == pytest.approx(50.0)
+
+    def test_evaluate_matches_with_universe(self):
+        predicted = {Pair("a", "b"), Pair("x", "y")}
+        true = {Pair("a", "b"), Pair("c", "d")}
+        quality = evaluate_matches(predicted, true, universe=[Pair("a", "b"), Pair("c", "d")])
+        assert quality.tp == 1
+        assert quality.fp == 0  # (x, y) outside the universe
+        assert quality.fn == 1
+
+    def test_cluster_quality_perfect(self):
+        entity_of = {"a": 1, "b": 1, "c": 2}
+        quality = cluster_quality([{"a", "b"}, {"c"}], entity_of)
+        assert quality.f_measure == 1.0
+
+    def test_cluster_quality_overmerged(self):
+        entity_of = {"a": 1, "b": 1, "c": 2}
+        quality = cluster_quality([{"a", "b", "c"}], entity_of)
+        assert quality.tp == 1
+        assert quality.fp == 2
+        assert quality.recall == 1.0
+
+    @given(worlds())
+    @settings(max_examples=40)
+    def test_truth_labels_always_score_one(self, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        labels = {c.pair: truth.label(c.pair) for c in candidates}
+        quality = evaluate_labels(labels, truth)
+        assert quality.f_measure == 1.0
+
+
+class TestGroundTruthHelpers:
+    def test_true_matches_within(self):
+        entity_of = {"a": 1, "b": 1, "c": 2}
+        pairs = [Pair("a", "b"), Pair("a", "c")]
+        assert true_matches_within(pairs, entity_of) == {Pair("a", "b")}
+
+    def test_match_fraction(self):
+        entity_of = {"a": 1, "b": 1, "c": 2}
+        assert match_fraction([Pair("a", "b"), Pair("a", "c")], entity_of) == 0.5
+        assert match_fraction([], entity_of) == 0.0
+
+    def test_recall_of_candidates(self):
+        true = {Pair("a", "b"), Pair("c", "d")}
+        assert recall_of_candidates([Pair("a", "b")], true) == 0.5
+        assert recall_of_candidates([], set()) == 1.0

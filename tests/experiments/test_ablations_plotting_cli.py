@@ -1,0 +1,142 @@
+"""Tests for the ablation studies, ASCII plotting, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_batch_size_ablation,
+    run_heuristic_gap_study,
+    run_worker_noise_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import prepare
+from repro.experiments.plotting import ascii_plot, plot_histogram, plot_series
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.registry import paper_experiment_ids
+
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    cfg = ExperimentConfig(
+        dataset="paper", scale=SCALE, thresholds=(0.5, 0.3), n_workers=10
+    )
+    prepare(cfg)
+    return cfg
+
+
+class TestBatchSizeAblation:
+    def test_bigger_hits_fewer_hits(self, small_config):
+        result = run_batch_size_ablation(
+            small_config, threshold=0.3, batch_sizes=(1, 10, 40)
+        )
+        hits = [row["n_hits"] for row in result.rows]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_crowdsourced_count_stable_across_batching(self, small_config):
+        """Batching changes packaging, not which pairs get asked (up to
+        reaction-granularity noise)."""
+        result = run_batch_size_ablation(
+            small_config, threshold=0.3, batch_sizes=(5, 20)
+        )
+        counts = [row["crowdsourced"] for row in result.rows]
+        assert max(counts) <= min(counts) * 1.2
+
+
+class TestWorkerNoiseAblation:
+    def test_quality_degrades_with_noise(self, small_config):
+        result = run_worker_noise_ablation(
+            small_config, threshold=0.3, error_rates=(0.0, 0.3)
+        )
+        clean = result.row_lookup(ambiguous_error=0.0)
+        noisy = result.row_lookup(ambiguous_error=0.3)
+        assert clean["f_non_transitive"] == pytest.approx(100.0)
+        assert clean["f_transitive"] == pytest.approx(100.0)
+        assert noisy["f_non_transitive"] < 100.0
+        assert noisy["f_transitive"] < 100.0
+
+    def test_systematic_noise_hurts_transitive_more(self, small_config):
+        result = run_worker_noise_ablation(
+            small_config,
+            threshold=0.3,
+            error_rates=(0.3,),
+            systematic_fraction=0.7,
+        )
+        assert result.rows[0]["delta_f"] < 2.0  # transitive not better
+
+
+class TestHeuristicGapStudy:
+    def test_heuristic_is_usually_optimal(self):
+        result = run_heuristic_gap_study(n_instances=15, seed=3)
+        rows = {row["statistic"]: row["value"] for row in result.rows}
+        assert rows["instances"] == 15
+        assert rows["heuristic_exactly_optimal"] >= 10
+        assert rows["mean_gap_pairs"] < 0.2
+        assert rows["max_gap_pairs"] >= 0.0
+
+
+class TestPlotting:
+    def test_ascii_plot_renders_all_series(self):
+        chart = ascii_plot(
+            {"a": [(1, 1), (2, 4)], "b": [(1, 2), (2, 8)]},
+            width=20,
+            height=8,
+        )
+        assert "o a" in chart and "x b" in chart
+        assert chart.count("\n") >= 8
+
+    def test_log_axes_drop_nonpositive_points(self):
+        chart = ascii_plot({"a": [(0, 1), (10, 100)]}, log_x=True, log_y=True)
+        assert "(log x, log y)" in chart
+
+    def test_empty_plot_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 1)]}, log_x=True)
+
+    def test_histogram_helper(self):
+        chart = plot_histogram([1, 2, 10, 100], [50, 20, 3, 1], title="t")
+        assert chart.startswith("t")
+        assert "100" in chart
+
+    def test_series_helper_uses_indices(self):
+        chart = plot_series({"sizes": [900, 50, 10, 1]}, log_y=True)
+        assert "1" in chart and "900" in chart
+
+    def test_single_point(self):
+        chart = ascii_plot({"a": [(5, 5)]})
+        assert "o" in chart
+
+
+class TestCLI:
+    def test_runs_one_experiment(self, capsys, small_config):
+        code = cli_main(
+            [
+                "figure10",
+                "--dataset",
+                "paper",
+                "--scale",
+                str(SCALE),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure10" in out
+        assert "cluster_size" in out
+
+    def test_plot_flag_adds_chart(self, capsys, small_config):
+        cli_main(["figure10", "--dataset", "paper", "--scale", str(SCALE), "--plot"])
+        out = capsys.readouterr().out
+        assert "(log x, log y)" in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure99"])
+
+    def test_all_excludes_ablations(self):
+        assert "ablation-batch-size" not in paper_experiment_ids()
+        assert len(paper_experiment_ids()) == 8

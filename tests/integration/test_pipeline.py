@@ -1,0 +1,159 @@
+"""End-to-end integration tests: dataset -> matcher -> framework -> crowd ->
+metrics, exercising the whole stack the way the examples and experiments do."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import TransitiveJoinFramework, label_baseline
+from repro.core.ordering import ExpectedOrderSorter
+from repro.crowd import (
+    FixedLatency,
+    SimulatedPlatform,
+    make_worker_pool,
+    run_non_transitive,
+    run_transitive,
+)
+from repro.datasets import (
+    generate_paper_dataset,
+    generate_product_dataset,
+    paper_spec,
+    product_spec,
+)
+from repro.er import cluster_matches, evaluate_labels, true_matches_within
+from repro.matcher import CandidateGenerator, TfIdfCosine, likelihood_map, word_tokens
+
+
+@pytest.fixture(scope="module")
+def paper_pipeline():
+    """A small Cora-like dataset with generated candidates."""
+    dataset = generate_paper_dataset(spec=paper_spec(0.15), seed=5)
+    tokens = {rid: word_tokens(text) for rid, text in dataset.texts().items()}
+    tfidf = TfIdfCosine(tokens.values())
+    generator = CandidateGenerator(
+        similarity=lambda a, b: tfidf.similarity(tokens[a], tokens[b]),
+        tokens=tokens,
+        max_block_size=150,
+    )
+    candidates = generator.generate(dataset.ids(), threshold=0.3)
+    return dataset, candidates
+
+
+@pytest.fixture(scope="module")
+def product_pipeline():
+    dataset = generate_product_dataset(spec=product_spec(0.15), seed=5)
+    tokens = {rid: word_tokens(text) for rid, text in dataset.texts().items()}
+    tfidf = TfIdfCosine(tokens.values())
+    generator = CandidateGenerator(
+        similarity=lambda a, b: tfidf.similarity(tokens[a], tokens[b]),
+        tokens=tokens,
+        source_of=dataset.source_of(),
+        max_block_size=150,
+    )
+    candidates = generator.generate(dataset.ids(), threshold=0.3)
+    return dataset, candidates
+
+
+class TestMachineStep:
+    def test_candidates_are_cross_source_for_bipartite(self, product_pipeline):
+        dataset, candidates = product_pipeline
+        source_of = dataset.source_of()
+        for candidate in candidates:
+            assert source_of[candidate.left] != source_of[candidate.right]
+
+    def test_candidate_recall_is_high(self, paper_pipeline):
+        """The machine step must keep most true matches above threshold."""
+        dataset, candidates = paper_pipeline
+        matches_kept = true_matches_within(
+            [c.pair for c in candidates], dataset.entity_of
+        )
+        total = len(dataset.matching_pairs())
+        assert len(matches_kept) / total > 0.8
+
+    def test_blocking_prunes_pair_space(self, paper_pipeline):
+        dataset, candidates = paper_pipeline
+        assert candidates.n_scored < dataset.n_possible_pairs()
+
+
+class TestFrameworkEndToEnd:
+    def test_transitive_beats_baseline_on_paper(self, paper_pipeline):
+        dataset, candidates = paper_pipeline
+        truth = dataset.truth_oracle()
+        framework = TransitiveJoinFramework(labeler="parallel")
+        run = framework.label(list(candidates), truth)
+        baseline = label_baseline(list(candidates), truth)
+        assert run.result.n_crowdsourced < baseline.n_crowdsourced * 0.3
+
+    def test_all_labels_correct_with_perfect_oracle(self, paper_pipeline):
+        dataset, candidates = paper_pipeline
+        truth = dataset.truth_oracle()
+        run = TransitiveJoinFramework(labeler="parallel").label(
+            list(candidates), truth
+        )
+        quality = evaluate_labels(run.result.labels(), truth)
+        assert quality.f_measure == 1.0
+
+    def test_clusters_recovered_from_matches(self, paper_pipeline):
+        """Matching labels over candidates recover true clusters (restricted
+        to candidate coverage)."""
+        dataset, candidates = paper_pipeline
+        truth = dataset.truth_oracle()
+        run = TransitiveJoinFramework(labeler="sequential").label(
+            list(candidates), truth
+        )
+        clusters = cluster_matches(run.result.matches())
+        for cluster in clusters:
+            entities = {dataset.entity_of[record_id] for record_id in cluster}
+            assert len(entities) == 1  # no cluster mixes entities
+
+    def test_product_savings_are_smaller(self, paper_pipeline, product_pipeline):
+        paper_dataset, paper_candidates = paper_pipeline
+        product_dataset, product_candidates = product_pipeline
+        paper_run = TransitiveJoinFramework(labeler="parallel").label(
+            list(paper_candidates), paper_dataset.truth_oracle()
+        )
+        product_run = TransitiveJoinFramework(labeler="parallel").label(
+            list(product_candidates), product_dataset.truth_oracle()
+        )
+        paper_savings = paper_run.result.savings
+        product_savings = product_run.result.savings
+        assert paper_savings > product_savings
+
+
+class TestPlatformEndToEnd:
+    def test_campaign_with_noisy_workers_stays_reasonable(self, paper_pipeline):
+        dataset, candidates = paper_pipeline
+        ordered = ExpectedOrderSorter().sort(list(candidates))
+        workers = make_worker_pool(
+            10, ambiguity_aware=True, base_error=0.05, ambiguous_error=0.2, seed=3
+        )
+        platform = SimulatedPlatform(
+            workers=workers,
+            truth=dataset.truth_oracle(),
+            likelihoods=likelihood_map(ordered),
+            latency=FixedLatency(),
+            batch_size=10,
+            seed=3,
+        )
+        report = run_transitive(ordered, platform)
+        quality = evaluate_labels(report.labels, dataset.truth_oracle())
+        assert quality.f_measure > 0.7
+        assert report.n_hits < len(ordered) / 10  # far fewer than baseline
+
+    def test_transitive_campaign_cheaper_than_baseline(self, product_pipeline):
+        dataset, candidates = product_pipeline
+        ordered = ExpectedOrderSorter().sort(list(candidates))
+
+        def fresh_platform(seed):
+            return SimulatedPlatform(
+                workers=make_worker_pool(10, seed=seed),
+                truth=dataset.truth_oracle(),
+                latency=FixedLatency(),
+                batch_size=10,
+                seed=seed,
+            )
+
+        transitive = run_transitive(ordered, fresh_platform(1))
+        baseline = run_non_transitive(ordered, fresh_platform(2))
+        assert transitive.cost <= baseline.cost
+        assert transitive.labels == baseline.labels  # perfect workers agree

@@ -1,0 +1,160 @@
+"""Tests for blocking, likelihood calibration, and candidate generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pairs import Pair
+from repro.matcher.blocking import (
+    all_pairs,
+    block_statistics,
+    build_inverted_index,
+    reduction_ratio,
+    token_blocking,
+)
+from repro.matcher.candidates import CandidateGenerator, likelihood_map
+from repro.matcher.likelihood import (
+    LogisticCalibration,
+    fit_logistic,
+    identity,
+    threshold_filter,
+)
+from repro.matcher.similarity import string_jaccard
+
+
+class TestInvertedIndex:
+    def test_tokens_map_to_records(self):
+        index = build_inverted_index({"r1": ["ipad", "two"], "r2": ["ipad", "case"]})
+        assert set(index["ipad"]) == {"r1", "r2"}
+        assert index["case"] == ["r2"]
+
+    def test_max_block_size_drops_stop_words(self):
+        tokens = {f"r{i}": ["common", f"rare{i}"] for i in range(10)}
+        index = build_inverted_index(tokens, max_block_size=5)
+        assert "common" not in index
+        assert "rare3" in index
+
+    def test_duplicate_tokens_counted_once(self):
+        index = build_inverted_index({"r1": ["a", "a"]})
+        assert index["a"] == ["r1"]
+
+
+class TestTokenBlocking:
+    def test_shared_token_produces_pair(self):
+        pairs = token_blocking({"r1": ["ipad"], "r2": ["ipad"], "r3": ["case"]})
+        assert pairs == {Pair("r1", "r2")}
+
+    def test_bipartite_filters_same_source(self):
+        pairs = token_blocking(
+            {"a1": ["x"], "a2": ["x"], "b1": ["x"]},
+            source_of={"a1": "abt", "a2": "abt", "b1": "buy"},
+        )
+        assert pairs == {Pair("a1", "b1"), Pair("a2", "b1")}
+
+    def test_all_pairs_count(self):
+        assert len(all_pairs(["a", "b", "c", "d"])) == 6
+
+    def test_all_pairs_bipartite(self):
+        pairs = all_pairs(
+            ["a1", "a2", "b1"], source_of={"a1": "x", "a2": "x", "b1": "y"}
+        )
+        assert pairs == {Pair("a1", "b1"), Pair("a2", "b1")}
+
+    def test_block_statistics(self):
+        stats = block_statistics({"r1": ["a", "b"], "r2": ["a"]})
+        assert stats["n_blocks"] == 2
+        assert stats["max_block"] == 2
+
+    def test_reduction_ratio(self):
+        assert reduction_ratio(100, 495) == pytest.approx(0.9)
+        assert reduction_ratio(0, 0) == 0.0
+
+
+class TestLikelihood:
+    def test_identity_clamps(self):
+        assert identity(1.4) == 1.0
+        assert identity(-0.2) == 0.0
+        assert identity(0.6) == 0.6
+
+    def test_logistic_midpoint(self):
+        calibration = LogisticCalibration(midpoint=0.5, slope=10.0)
+        assert calibration(0.5) == pytest.approx(0.5)
+        assert calibration(1.0) > 0.95
+        assert calibration(0.0) < 0.05
+
+    def test_fit_logistic_separates_classes(self):
+        samples = [(0.9, True), (0.8, True), (0.85, True), (0.2, False), (0.1, False), (0.3, False)]
+        calibration = fit_logistic(samples, n_iterations=2000)
+        assert calibration(0.9) > 0.5
+        assert calibration(0.1) < 0.5
+
+    def test_fit_logistic_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            fit_logistic([(0.9, True), (0.8, True)])
+
+    def test_fit_logistic_needs_samples(self):
+        with pytest.raises(ValueError):
+            fit_logistic([(0.9, True)])
+
+    def test_threshold_filter_is_strict(self):
+        items = [("a", 0.5), ("b", 0.51), ("c", 0.2)]
+        assert threshold_filter(items, 0.5) == ["b"]
+
+
+class TestCandidateGenerator:
+    @pytest.fixture
+    def records(self):
+        return {
+            "r1": "apple ipad two tablet",
+            "r2": "apple ipad 2 tablet",
+            "r3": "sony bravia television",
+            "r4": "sony bravia tv",
+        }
+
+    def make_generator(self, records, **kwargs):
+        tokens = {rid: text.split() for rid, text in records.items()}
+        return CandidateGenerator(
+            similarity=lambda a, b: string_jaccard(records[a], records[b]),
+            tokens=tokens,
+            **kwargs,
+        )
+
+    def test_generates_similar_pairs(self, records):
+        generator = self.make_generator(records)
+        result = generator.generate(list(records), threshold=0.4)
+        pairs = set(result.pairs())
+        assert Pair("r1", "r2") in pairs
+        assert Pair("r3", "r4") in pairs
+        assert Pair("r1", "r3") not in pairs
+
+    def test_sorted_by_decreasing_likelihood(self, records):
+        generator = self.make_generator(records)
+        result = generator.generate(list(records), threshold=0.0)
+        likelihoods = [c.likelihood for c in result]
+        assert likelihoods == sorted(likelihoods, reverse=True)
+
+    def test_above_rethresholds(self, records):
+        generator = self.make_generator(records)
+        result = generator.generate(list(records), threshold=0.1)
+        strict = result.above(0.5)
+        assert all(c.likelihood > 0.5 for c in strict)
+
+    def test_above_rejects_lower_threshold(self, records):
+        generator = self.make_generator(records)
+        result = generator.generate(list(records), threshold=0.3)
+        with pytest.raises(ValueError):
+            result.above(0.1)
+
+    def test_no_blocking_scores_everything(self, records):
+        generator = CandidateGenerator(
+            similarity=lambda a, b: string_jaccard(records[a], records[b]),
+            tokens=None,
+        )
+        result = generator.generate(list(records), threshold=0.0)
+        assert result.n_scored == 6  # C(4, 2)
+
+    def test_likelihood_map(self, records):
+        generator = self.make_generator(records)
+        result = generator.generate(list(records), threshold=0.0)
+        mapping = likelihood_map(result.candidates)
+        assert len(mapping) == len(result)

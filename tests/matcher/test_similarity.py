@@ -1,0 +1,222 @@
+"""Tests for similarity functions — known values plus metric properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matcher.similarity import (
+    TfIdfCosine,
+    WeightedFieldSimilarity,
+    cosine_tokens,
+    dice,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    numeric_similarity,
+    overlap_coefficient,
+    string_jaccard,
+)
+
+words = st.text(alphabet="abcdef", min_size=0, max_size=12)
+token_sets = st.sets(st.text(alphabet="abc", min_size=1, max_size=4), max_size=8)
+
+
+class TestSetSimilarities:
+    def test_jaccard_known_value(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_dice_known_value(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_overlap_known_value(self):
+        assert overlap_coefficient({"a", "b"}, {"a", "b", "c", "d"}) == 1.0
+
+    def test_empty_sets_are_identical(self):
+        assert jaccard(set(), set()) == 1.0
+        assert dice(set(), set()) == 1.0
+
+    def test_one_empty_set(self):
+        assert jaccard({"a"}, set()) == 0.0
+        assert overlap_coefficient(set(), {"a"}) == 0.0
+
+    @given(token_sets, token_sets)
+    def test_jaccard_symmetric_and_bounded(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(token_sets)
+    def test_jaccard_identity(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(token_sets, token_sets)
+    def test_dice_dominates_jaccard(self, a, b):
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+
+class TestLevenshtein:
+    def test_known_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "") == 0
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_similarity_known_value(self):
+        assert levenshtein_similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(words)
+    def test_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(words, words)
+    def test_distance_bounded_by_longer_string(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+class TestJaro:
+    def test_textbook_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_winkler_textbook_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.961, abs=1e-3)
+
+    def test_identical(self):
+        assert jaro("abc", "abc") == 1.0
+
+    def test_completely_different(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_winkler_boosts_prefix_matches(self):
+        assert jaro_winkler("prefixed", "prefixes") >= jaro("prefixed", "prefixes")
+
+    def test_winkler_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_weight=0.5, max_prefix=4)
+
+    @given(words, words)
+    def test_jaro_symmetric_and_bounded(self, a, b):
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(words, words)
+    def test_winkler_bounded(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestCosine:
+    def test_identical_token_lists(self):
+        assert cosine_tokens(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_tokens(["a"], ["b"]) == 0.0
+
+    def test_multiset_weighting(self):
+        close = cosine_tokens(["a", "a", "b"], ["a", "a", "c"])
+        far = cosine_tokens(["a", "b", "b"], ["a", "c", "c"])
+        assert close > far
+
+
+class TestTfIdf:
+    @pytest.fixture
+    def corpus(self):
+        return TfIdfCosine(
+            [
+                ["neural", "networks", "learning"],
+                ["database", "query", "learning"],
+                ["database", "systems", "transactions"],
+                ["neural", "inference", "sampling"],
+            ]
+        )
+
+    def test_rare_tokens_weigh_more(self, corpus):
+        assert corpus.idf("transactions") > corpus.idf("learning")
+
+    def test_self_similarity(self, corpus):
+        assert corpus.similarity(["neural", "networks"], ["neural", "networks"]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_no_shared_tokens(self, corpus):
+        assert corpus.similarity(["neural"], ["database"]) == 0.0
+
+    def test_rare_overlap_beats_common_overlap(self, corpus):
+        rare = corpus.similarity(["transactions", "x"], ["transactions", "y"])
+        common = corpus.similarity(["learning", "x"], ["learning", "y"])
+        assert rare > common
+
+    def test_n_documents(self, corpus):
+        assert corpus.n_documents == 4
+
+    def test_unseen_token_gets_max_idf(self, corpus):
+        assert corpus.idf("zzz") >= corpus.idf("transactions")
+
+
+class TestMongeElkan:
+    def test_identical(self):
+        assert monge_elkan(["ipad", "two"], ["ipad", "two"]) == pytest.approx(1.0)
+
+    def test_best_match_per_token(self):
+        value = monge_elkan(["ipad"], ["ipad", "unrelated"])
+        assert value == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert monge_elkan([], []) == 1.0
+        assert monge_elkan(["a"], []) == 0.0
+
+
+class TestNumericSimilarity:
+    def test_equal(self):
+        assert numeric_similarity(5.0, 5.0) == 1.0
+
+    def test_ratio(self):
+        assert numeric_similarity(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_zero(self):
+        assert numeric_similarity(0.0, 0.0) == 1.0
+        assert numeric_similarity(0.0, 10.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            numeric_similarity(-1.0, 2.0)
+
+
+class TestWeightedFieldSimilarity:
+    def test_weights_normalised(self):
+        sim = WeightedFieldSimilarity(
+            {"name": (string_jaccard, 3.0), "brand": (string_jaccard, 1.0)}
+        )
+        score = sim.similarity(
+            {"name": "ipad two", "brand": "apple"},
+            {"name": "ipad two", "brand": "samsung"},
+        )
+        assert score == pytest.approx(0.75)
+
+    def test_missing_field_contributes_zero(self):
+        sim = WeightedFieldSimilarity({"name": (string_jaccard, 1.0)})
+        assert sim.similarity({"name": "x"}, {}) == 0.0
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(ValueError):
+            WeightedFieldSimilarity({})
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            WeightedFieldSimilarity({"name": (string_jaccard, 0.0)})

@@ -1,0 +1,90 @@
+"""Tests for text normalisation and tokenization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matcher.tokenizers import (
+    normalize,
+    numeric_tokens,
+    qgram_set,
+    qgrams,
+    record_text,
+    token_set,
+    word_tokens,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("IPad TWO") == "ipad two"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a \t b\n c ") == "a b c"
+
+    def test_strips_accents(self):
+        assert normalize("Café Zürich") == "cafe zurich"
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+    @given(st.text(max_size=40))
+    def test_idempotent(self, text):
+        once = normalize(text)
+        assert normalize(once) == once
+
+
+class TestWordTokens:
+    def test_splits_on_punctuation(self):
+        assert word_tokens("iPad-2nd, Gen.") == ["ipad", "2nd", "gen"]
+
+    def test_keeps_numbers(self):
+        assert word_tokens("model X100 v2") == ["model", "x100", "v2"]
+
+    def test_token_set_deduplicates(self):
+        assert token_set("a b a b c") == {"a", "b", "c"}
+
+    def test_empty(self):
+        assert word_tokens("") == []
+
+
+class TestQgrams:
+    def test_padded_trigram_count(self):
+        grams = qgrams("abc", q=3)
+        # padded: "##abc##" -> 5 trigrams
+        assert len(grams) == 5
+        assert grams[0] == "##a"
+        assert grams[-1] == "c##"
+
+    def test_unpadded(self):
+        assert qgrams("abcd", q=2, pad=False) == ["ab", "bc", "cd"]
+
+    def test_short_string(self):
+        assert qgrams("a", q=3, pad=False) == ["a"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=3) == []
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_qgram_set(self):
+        assert "##a" in qgram_set("abc", q=3)
+
+    @given(st.text(alphabet="abcd", min_size=1, max_size=20), st.integers(1, 4))
+    def test_count_formula_unpadded(self, text, q):
+        grams = qgrams(text, q=q, pad=False)
+        normalised = normalize(text)
+        expected = max(len(normalised) - q + 1, 1) if normalised else 0
+        assert len(grams) == expected
+
+
+class TestHelpers:
+    def test_numeric_tokens(self):
+        assert numeric_tokens("pages 246 to 254, vol 12") == ["246", "254", "12"]
+
+    def test_record_text_skips_empty(self):
+        assert record_text(["a", "", "b"]) == "a b"
