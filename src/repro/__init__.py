@@ -8,6 +8,10 @@ depends on:
 * ``repro.core``        — ClusterGraph deduction, labeling orders, the
                           sequential/parallel/instant labelers, and the
                           framework facade.
+* ``repro.engine``      — the shared event-driven LabelingEngine with its
+                          incremental pending-pair frontier and pluggable
+                          dispatch strategies (the labelers above are thin
+                          facades over it).
 * ``repro.crowd``       — a simulated crowdsourcing platform (HIT batching,
                           assignment replication, majority voting, worker
                           accuracy and latency models, discrete-event timing).
@@ -66,6 +70,18 @@ from .core import (
     optimal_order,
 )
 
+# Imported after .core: the engine's dispatch strategies are re-imported by
+# the core labeler facades, so repro.core must finish initialising first.
+from .engine import (
+    DispatchStrategy,
+    HITDispatchAdapter,
+    InstantDispatch,
+    LabelingEngine,
+    RoundParallelDispatch,
+    SequentialDispatch,
+    must_crowdsource_frontier,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -74,10 +90,14 @@ __all__ = [
     "ClusterGraph",
     "ConflictPolicy",
     "CountingOracle",
+    "DispatchStrategy",
     "ExpectedOrderSorter",
     "FrameworkRun",
     "GroundTruthOracle",
+    "HITDispatchAdapter",
+    "InstantDispatch",
     "InstantLabeler",
+    "LabelingEngine",
     "Label",
     "LabeledPair",
     "LabelingResult",
@@ -87,6 +107,8 @@ __all__ = [
     "ParallelLabeler",
     "Provenance",
     "RandomOrderSorter",
+    "RoundParallelDispatch",
+    "SequentialDispatch",
     "SequentialLabeler",
     "TransitiveJoinFramework",
     "UnionFind",
@@ -101,5 +123,6 @@ __all__ = [
     "label_sequential",
     "label_with_transitivity",
     "make_pair",
+    "must_crowdsource_frontier",
     "optimal_order",
 ]

@@ -6,103 +6,40 @@ drains to zero between rounds and workers idle.  Two optimisations fix this:
 
 * **Instant decision (ID)** — whenever a single answer arrives, immediately
   recompute which pairs must be crowdsourced (excluding those already
-  published) and publish them.  Implemented via the ``exclude`` argument of
-  :func:`repro.core.parallel.parallel_crowdsourced_pairs`.
+  published) and publish them.
 * **Non-matching first (NF)** — a *matching* answer never unlocks new
   publishes (the selection already assumed every unlabeled pair matches), so
   workers should answer the published pairs in increasing likelihood order,
   surfacing the non-matching answers that do unlock work.
 
-This module simulates the answer-at-a-time interaction (paper Figure 15): a
-configurable answer policy picks which published pair the crowd answers next,
-and the labeler reacts according to its optimisation level.
-
-Implementation note: published pairs are *not* resolved by the deduction
-sweep even if later answers would imply their label — they are already on the
-platform and will be answered.  Besides matching platform reality, this is
-what guarantees progress: when the pool drains after a run of matching
-answers, every remaining unlabeled pair is deducible from the answers
-actually received.
+The event loop itself lives in
+:class:`repro.engine.dispatch.InstantDispatch`, which drives the shared
+:class:`repro.engine.LabelingEngine`; :class:`InstantLabeler` is a
+compatibility facade.  The answer-policy enum and the run-result records are
+re-exported here for callers that import them from this module.
 """
 
 from __future__ import annotations
 
-import enum
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Union
+from typing import Sequence, Union
 
-from .cluster_graph import ClusterGraph, ConflictPolicy
+from ..engine.dispatch import (
+    AnswerPolicy,
+    AvailabilityPoint,
+    InstantDispatch,
+    InstantRunResult,
+)
+from .cluster_graph import ConflictPolicy
 from .oracle import LabelOracle
-from .pairs import CandidatePair, Label, Pair, Provenance
-from .parallel import parallel_crowdsourced_pairs
-from .result import LabelingResult
-from .sweep import PendingPairIndex
+from .pairs import CandidatePair, Pair
 
-
-class AnswerPolicy(enum.Enum):
-    """Which published pair does the crowd answer next?
-
-    FIFO:                publication order (deterministic baseline).
-    RANDOM:              uniformly random — how AMT actually assigns HITs,
-                         used for Parallel and Parallel(ID) in Figure 15.
-    NON_MATCHING_FIRST:  increasing likelihood of being a matching pair —
-                         the NF optimisation (only meaningful with ID).
-    """
-
-    FIFO = "fifo"
-    RANDOM = "random"
-    NON_MATCHING_FIRST = "non-matching-first"
-
-
-@dataclass(frozen=True)
-class AvailabilityPoint:
-    """One step of the Figure-15 series: after ``n_answered`` crowdsourced
-    answers, ``n_available`` published pairs were still waiting."""
-
-    n_answered: int
-    n_available: int
-
-
-@dataclass
-class InstantRunResult:
-    """Outcome of an event-driven labeling run.
-
-    Attributes:
-        result: the per-pair labeling result (rounds = publish events).
-        trace: availability after every answer (Figure 15's series).
-        publish_events: (answers so far, batch size) per publish event.
-    """
-
-    result: LabelingResult
-    trace: List[AvailabilityPoint] = field(default_factory=list)
-    publish_events: List[tuple[int, int]] = field(default_factory=list)
-
-    @property
-    def n_crowdsourced(self) -> int:
-        return self.result.n_crowdsourced
-
-    @property
-    def n_deduced(self) -> int:
-        return self.result.n_deduced
-
-    def availability_series(self) -> List[int]:
-        """Pool sizes after each answer, as a plain list."""
-        return [point.n_available for point in self.trace]
-
-    def mean_availability(self) -> float:
-        """Average pool size over the run — the paper's 'keep the crowd busy'
-        metric summarised as one number."""
-        if not self.trace:
-            return 0.0
-        return sum(point.n_available for point in self.trace) / len(self.trace)
-
-    def starvation_count(self, below: int = 1) -> int:
-        """How many times (mid-run) the pool dropped below ``below`` pairs."""
-        if not self.trace:
-            return 0
-        interior = self.trace[:-1]  # the pool is legitimately empty at the end
-        return sum(1 for point in interior if point.n_available < below)
+__all__ = [
+    "AnswerPolicy",
+    "AvailabilityPoint",
+    "InstantLabeler",
+    "InstantRunResult",
+    "label_instant",
+]
 
 
 class InstantLabeler:
@@ -116,6 +53,9 @@ class InstantLabeler:
         answer_policy: how the simulated crowd picks the next pair to answer.
         seed: RNG seed for the RANDOM policy.
         policy: ClusterGraph conflict policy (STRICT for perfect oracles).
+        use_index: selects the incremental deduction sweep
+            (:class:`repro.core.sweep.PendingPairIndex`); the naive full scan
+            is kept for cross-validation and produces identical results.
     """
 
     def __init__(
@@ -126,14 +66,13 @@ class InstantLabeler:
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         use_index: bool = True,
     ) -> None:
-        """``use_index`` selects the incremental deduction sweep
-        (:class:`repro.core.sweep.PendingPairIndex`); the naive full scan is
-        kept for cross-validation and produces identical results."""
-        self._instant = instant_decision
-        self._answer_policy = answer_policy
-        self._seed = seed
-        self._graph_policy = policy
-        self._use_index = use_index
+        self._dispatch = InstantDispatch(
+            instant_decision=instant_decision,
+            answer_policy=answer_policy,
+            seed=seed,
+            policy=policy,
+            use_index=use_index,
+        )
 
     def run(
         self,
@@ -141,99 +80,7 @@ class InstantLabeler:
         oracle: LabelOracle,
     ) -> InstantRunResult:
         """Label every pair in ``order``; return result plus the trace."""
-        pairs: List[Pair] = []
-        likelihood: Dict[Pair, float] = {}
-        for item in order:
-            if isinstance(item, CandidatePair):
-                pairs.append(item.pair)
-                likelihood[item.pair] = item.likelihood
-            else:
-                pairs.append(item)
-                likelihood[item] = 0.5
-
-        rng = random.Random(self._seed)
-        result = LabelingResult(order=pairs)
-        run = InstantRunResult(result=result)
-        labeled: Dict[Pair, Label] = {}
-        graph = ClusterGraph(policy=self._graph_policy)
-        index = PendingPairIndex(graph, pairs) if self._use_index else None
-        published: List[Pair] = []
-        published_set: Set[Pair] = set()
-        publish_round: Dict[Pair, int] = {}
-        unlabeled: List[Pair] = list(pairs)
-        n_answered = 0
-        n_publish_events = 0
-
-        def publish() -> None:
-            nonlocal n_publish_events
-            batch = parallel_crowdsourced_pairs(pairs, labeled, exclude=published_set)
-            if batch:
-                for pair in batch:
-                    publish_round[pair] = n_publish_events
-                    if index is not None:
-                        index.remove(pair)  # the crowd will answer it
-                published.extend(batch)
-                published_set.update(batch)
-                result.rounds.append(batch)
-                run.publish_events.append((n_answered, len(batch)))
-                n_publish_events += 1
-
-        def next_to_answer() -> Pair:
-            if self._answer_policy is AnswerPolicy.FIFO:
-                choice = 0
-            elif self._answer_policy is AnswerPolicy.RANDOM:
-                choice = rng.randrange(len(published))
-            else:  # NON_MATCHING_FIRST: least likely to match answered first
-                choice = min(range(len(published)), key=lambda i: likelihood[published[i]])
-            return published.pop(choice)
-
-        publish()
-        while len(labeled) < len(pairs):
-            if not published:
-                # With a perfect oracle this only happens when the remaining
-                # pairs are all deducible; with noisy answers (FIRST_WINS) the
-                # invariants can be violated, so recompute defensively.
-                publish()
-                assert published, "event loop stalled with unlabeled pairs remaining"
-            pair = next_to_answer()
-            published_set.discard(pair)
-            answer = oracle.label(pair)
-            n_answered += 1
-            labeled[pair] = answer
-            graph.add(pair, answer)
-            result.record(pair, answer, Provenance.CROWDSOURCED, publish_round[pair])
-            # Deduction sweep over unresolved pairs.  Published pairs are
-            # skipped: they are on the platform and will be crowd-answered.
-            if index is not None:
-                index.note_objects_seen(pair.left, pair.right)
-                for waiting, deduced in index.sweep():
-                    labeled[waiting] = deduced
-                    result.record(waiting, deduced, Provenance.DEDUCED, publish_round[pair])
-            else:
-                still: List[Pair] = []
-                for waiting in unlabeled:
-                    if waiting in labeled:
-                        continue
-                    if waiting in published_set:
-                        still.append(waiting)
-                        continue
-                    deduced = graph.deduce(waiting)
-                    if deduced is not None:
-                        labeled[waiting] = deduced
-                        result.record(waiting, deduced, Provenance.DEDUCED, publish_round[pair])
-                    else:
-                        still.append(waiting)
-                unlabeled = still
-            if (
-                len(labeled) < len(pairs)
-                and self._instant
-                and answer is Label.NON_MATCHING
-            ):
-                # A matching answer cannot unlock new publishes: selection
-                # already assumed all unlabeled pairs match (Section 5.2).
-                publish()
-            run.trace.append(AvailabilityPoint(n_answered, len(published)))
-        return run
+        return self._dispatch.run(order, oracle)
 
 
 def label_instant(

@@ -5,8 +5,7 @@ crowdsourced pairs needs ``C`` crowd round-trips.  The key insight of
 Section 5.1 is that a pair *must* be crowdsourced — no matter how earlier
 pairs turn out — when every path between its objects has a minimum of two
 non-matching edges even under the optimistic assumption that **all** unlabeled
-pairs before it are matching: real answers can only turn assumed-matching
-edges into non-matching ones, which never lowers a path's non-matching count.
+pairs before it are matching.
 
 Each round therefore publishes every such "must-crowdsource" pair at once,
 collects the answers, deduces what has become deducible, and repeats.  Every
@@ -15,83 +14,30 @@ order too (property-tested), so parallelism never increases the money cost;
 only the number of rounds shrinks — from ``C`` to the handful reported in
 paper Figures 13 and 14.
 
-Reproduction note: the paper's Algorithm 3 pseudocode inserts only the
-*selected* pairs as matching and leaves optimistically-deducible pairs out of
-the graph.  That variant is unsound in rare interleavings (an unlabeled pair
-whose optimistic deduction is non-matching may truly be matching, enabling
-deductions the selection ignored — the instant-decision mode can then
-over-publish).  We implement the paper's *prose* criterion instead: every
-unlabeled pair, selected or skipped, is assumed matching, which restores the
-minimum-non-matching-count argument.  See DESIGN.md section 5.
+The must-crowdsource selection and the optimistic cluster graph live in
+:mod:`repro.engine.frontier` (shared by every dispatch strategy and the
+campaign runner); :class:`ParallelLabeler` is a compatibility facade over
+:class:`repro.engine.dispatch.RoundParallelDispatch`.  See the frontier
+module for the reproduction note on Algorithm 3's pseudocode vs its prose.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
-from .cluster_graph import ClusterGraph, ConflictPolicy
+from ..engine.dispatch import RoundParallelDispatch
+from ..engine.frontier import OptimisticGraph, must_crowdsource_frontier
+from .cluster_graph import ConflictPolicy
 from .oracle import LabelOracle
-from .pairs import CandidatePair, Label, Pair, Provenance
+from .pairs import CandidatePair, Label, Pair
 from .result import LabelingResult
-from .sequential import _as_pairs
-from .union_find import UnionFind
 
-
-class OptimisticGraph:
-    """Cluster graph under the "all unlabeled pairs match" assumption.
-
-    Unlike :class:`~repro.core.cluster_graph.ClusterGraph`, merging two
-    clusters connected by a non-matching edge is *allowed* here: the edge
-    becomes a self-loop and is dropped, because in minimum-non-matching-count
-    semantics an intra-cluster non-matching edge can never lie on a minimal
-    path.  Likewise a non-matching edge inside one cluster is silently
-    ignored.  This permissiveness is exactly what the optimistic assumption
-    needs and would be a consistency violation anywhere else.
-    """
-
-    def __init__(self) -> None:
-        self._uf = UnionFind()
-        self._nm: Dict[Hashable, Set[Hashable]] = {}
-
-    def assume_matching(self, a: Hashable, b: Hashable) -> None:
-        """Merge the clusters of ``a`` and ``b`` (real or assumed match)."""
-        root_a = self._uf.find(a)
-        root_b = self._uf.find(b)
-        if root_a == root_b:
-            return
-        survivor = self._uf.union(root_a, root_b)
-        loser = root_b if survivor == root_a else root_a
-        loser_nm = self._nm.pop(loser, set())
-        if loser_nm:
-            survivor_nm = self._nm.setdefault(survivor, set())
-            for neighbour in loser_nm:
-                self._nm[neighbour].discard(loser)
-                if neighbour != survivor:
-                    self._nm[neighbour].add(survivor)
-                    survivor_nm.add(neighbour)
-            if not survivor_nm:
-                del self._nm[survivor]
-
-    def add_non_matching(self, a: Hashable, b: Hashable) -> None:
-        """Record a real non-matching answer (ignored if intra-cluster)."""
-        root_a = self._uf.find(a)
-        root_b = self._uf.find(b)
-        if root_a == root_b:
-            return
-        self._nm.setdefault(root_a, set()).add(root_b)
-        self._nm.setdefault(root_b, set()).add(root_a)
-
-    def must_crowdsource(self, pair: Pair) -> bool:
-        """True iff no path between the objects can have fewer than two
-        non-matching edges, i.e. the pair is undeducible under every possible
-        outcome of the assumed pairs."""
-        if pair.left not in self._uf or pair.right not in self._uf:
-            return True
-        root_left = self._uf.find(pair.left)
-        root_right = self._uf.find(pair.right)
-        if root_left == root_right:
-            return False
-        return root_right not in self._nm.get(root_left, ())
+__all__ = [
+    "OptimisticGraph",
+    "ParallelLabeler",
+    "label_parallel",
+    "parallel_crowdsourced_pairs",
+]
 
 
 def parallel_crowdsourced_pairs(
@@ -101,41 +47,11 @@ def parallel_crowdsourced_pairs(
 ) -> List[Pair]:
     """Identify the pairs that can be crowdsourced in parallel (Algorithm 3).
 
-    Scans ``order`` once, maintaining an :class:`OptimisticGraph`.  Labeled
-    pairs are inserted with their real label; every unlabeled pair is assumed
-    matching, and is selected for crowdsourcing when, at its position, it is
-    undeducible under that assumption (hence undeducible under *any* actual
-    outcome of the pairs before it).
-
-    Args:
-        order: the full labeling order.
-        labeled: pairs already labeled (crowdsourced or deduced).
-        exclude: pairs already published and awaiting answers; they keep
-            their assumed-matching role but are not re-published.  This is
-            the one-line change enabling the instant-decision optimisation
-            (Section 5.2).
-
-    Returns:
-        Pairs to publish now, in order.
+    Compatibility alias for
+    :func:`repro.engine.frontier.must_crowdsource_frontier` — see there for
+    the full contract.
     """
-    exclude = exclude or set()
-    graph = OptimisticGraph()
-    selected: List[Pair] = []
-    for item in order:
-        pair = item.pair if isinstance(item, CandidatePair) else item
-        known = labeled.get(pair)
-        if known is not None:
-            if known is Label.MATCHING:
-                graph.assume_matching(pair.left, pair.right)
-            else:
-                graph.add_non_matching(pair.left, pair.right)
-            continue
-        if graph.must_crowdsource(pair) and pair not in exclude:
-            selected.append(pair)
-        # Optimistic assumption: the unlabeled pair is matching — whether it
-        # was selected, excluded, or deducible (see module docstring).
-        graph.assume_matching(pair.left, pair.right)
-    return selected
+    return must_crowdsource_frontier(order, labeled, exclude=exclude)
 
 
 class ParallelLabeler:
@@ -168,39 +84,9 @@ class ParallelLabeler:
         Raises:
             RuntimeError: if ``max_rounds`` is exceeded.
         """
-        pairs = _as_pairs(order)
-        result = LabelingResult(order=pairs)
-        labeled: Dict[Pair, Label] = {}
-        graph = ClusterGraph(policy=self._policy)
-        round_index = 0
-        remaining = list(pairs)
-        while remaining:
-            if max_rounds is not None and round_index >= max_rounds:
-                raise RuntimeError(f"parallel labeling exceeded {max_rounds} rounds")
-            batch = parallel_crowdsourced_pairs(pairs, labeled)
-            assert batch, "a round must always publish at least one pair"
-            # Publish the whole batch, then collect answers.
-            for pair in batch:
-                answer = oracle.label(pair)
-                labeled[pair] = answer
-                graph.add(pair, answer)
-                result.record(pair, answer, Provenance.CROWDSOURCED, round_index)
-            result.rounds.append(batch)
-            # Deduction sweep (Algorithm 2 lines 6-8): resolve every pair now
-            # implied by the crowdsourced labels.
-            still_remaining: List[Pair] = []
-            for pair in remaining:
-                if pair in labeled:
-                    continue
-                deduced = graph.deduce(pair)
-                if deduced is not None:
-                    labeled[pair] = deduced
-                    result.record(pair, deduced, Provenance.DEDUCED, round_index)
-                else:
-                    still_remaining.append(pair)
-            remaining = still_remaining
-            round_index += 1
-        return result
+        return RoundParallelDispatch(policy=self._policy).run(
+            order, oracle, max_rounds=max_rounds
+        )
 
 
 def label_parallel(

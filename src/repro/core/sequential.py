@@ -8,19 +8,24 @@ query) and its answer inserted into the ClusterGraph.
 This algorithm attains the minimum number of crowdsourced pairs *for its
 order*, but serialises crowd work: each crowdsourced pair is its own round,
 which is the latency problem the parallel labeler (Section 5) solves.
+
+:class:`SequentialLabeler` is a compatibility facade over
+:class:`repro.engine.dispatch.SequentialDispatch`; the labeling loop itself
+lives in the shared :class:`repro.engine.LabelingEngine`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
+from ..engine.dispatch import SequentialDispatch
 from .cluster_graph import ClusterGraph, ConflictPolicy
 from .oracle import LabelOracle
 from .pairs import CandidatePair, Pair, Provenance
 from .result import LabelingResult
 
 
-def _as_pairs(order: Sequence[Union[Pair, CandidatePair]]) -> list[Pair]:
+def _as_pairs(order: Sequence[Union[Pair, CandidatePair]]) -> List[Pair]:
     return [item.pair if isinstance(item, CandidatePair) else item for item in order]
 
 
@@ -50,22 +55,7 @@ class SequentialLabeler:
             graph: optional pre-populated ClusterGraph to continue from
                 (its pairs count as already labeled).
         """
-        pairs = _as_pairs(order)
-        if graph is None:
-            graph = ClusterGraph(policy=self._policy)
-        result = LabelingResult(order=pairs)
-        round_index = 0
-        for pair in pairs:
-            deduced = graph.deduce(pair)
-            if deduced is not None:
-                result.record(pair, deduced, Provenance.DEDUCED, round_index)
-                continue
-            answer = oracle.label(pair)
-            graph.add(pair, answer)
-            result.rounds.append([pair])
-            result.record(pair, answer, Provenance.CROWDSOURCED, round_index)
-            round_index += 1
-        return result
+        return SequentialDispatch(policy=self._policy).run(order, oracle, graph=graph)
 
 
 def label_sequential(

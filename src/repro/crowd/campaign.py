@@ -11,7 +11,10 @@ quality is computed).  Three campaign styles cover the paper's comparisons:
   publish the must-crowdsource pairs, deduce everything implied as answers
   arrive, optionally re-deciding instantly after every HIT completion
   (Parallel(ID)); without instant decision it re-publishes only when the
-  platform drains (round-based Parallel).  Publishable pairs are buffered
+  platform drains (round-based Parallel).  The frontier computation and the
+  deduction sweep are the shared :class:`~repro.engine.LabelingEngine`,
+  driven at HIT granularity through
+  :class:`~repro.engine.HITDispatchAdapter`, which buffers publishable pairs
   into *full* HITs of the platform's batch size — partial HITs are flushed
   only when the platform would otherwise sit idle — so iterative publication
   does not inflate the HIT count the paper's batching strategy saves.
@@ -24,9 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
-from ..core.cluster_graph import ClusterGraph, ConflictPolicy
+from ..core.cluster_graph import ConflictPolicy
 from ..core.pairs import CandidatePair, Label, Pair, Provenance
-from ..core.parallel import parallel_crowdsourced_pairs
+from ..engine import HITDispatchAdapter, LabelingEngine
 from .platform import SimulatedPlatform
 
 
@@ -120,82 +123,36 @@ def run_transitive(
     conflicts, mirroring how cascaded deduction errors arise in the paper's
     Table 2.
     """
-    order = _pairs_of(candidates)
-    batch_size = platform.batch_size
     report = CampaignReport()
-    labeled: Dict[Pair, Label] = {}
-    graph = ClusterGraph(policy=policy)
-    published: Set[Pair] = set()  # on the platform, or buffered for it
-    buffer: List[Pair] = []  # selected pairs awaiting a full HIT
-    unlabeled: List[Pair] = list(order)
+    engine = LabelingEngine(_pairs_of(candidates), policy=policy)
 
     def publish_chunk(chunk: List[Pair]) -> None:
         hits = platform.publish_pairs(chunk)
         report.hit_batches.extend(list(hit.pairs) for hit in hits)
         report.publish_events.append((platform.now, len(hits)))
 
-    def flush(force: bool) -> None:
-        nonlocal buffer
-        while len(buffer) >= batch_size:
-            publish_chunk(buffer[:batch_size])
-            buffer = buffer[batch_size:]
-        if force and buffer:
-            publish_chunk(buffer)
-            buffer = []
+    adapter = HITDispatchAdapter(engine, publish_chunk, platform.batch_size)
+    n_completions = 0
 
-    def select_new() -> None:
-        batch = parallel_crowdsourced_pairs(order, labeled, exclude=published)
-        if batch:
-            buffer.extend(batch)
-            published.update(batch)
-        flush(force=False)
-
-    def sweep() -> None:
-        """Deduce unresolved pairs; buffered pairs may be rescued (they are
-        not on the platform yet), published ones are answered regardless."""
-        nonlocal unlabeled, buffer
-        rescued: Set[Pair] = set()
-        still: List[Pair] = []
-        buffered = set(buffer)
-        for pair in unlabeled:
-            if pair in labeled:
-                continue
-            if pair in published and pair not in buffered:
-                still.append(pair)
-                continue
-            deduced = graph.deduce(pair)
-            if deduced is not None:
-                labeled[pair] = deduced
-                report.labels[pair] = deduced
-                report.provenance[pair] = Provenance.DEDUCED
-                if pair in buffered:
-                    rescued.add(pair)
-                    published.discard(pair)
-            else:
-                still.append(pair)
-        unlabeled = still
-        if rescued:
-            buffer = [pair for pair in buffer if pair not in rescued]
-
-    select_new()
-    flush(force=True)  # the first round goes out even if it is a partial HIT
-    while unlabeled:
+    adapter.select_new()
+    adapter.flush(force=True)  # the first round goes out even if it is a partial HIT
+    while not engine.is_done:
         if platform.n_outstanding_hits == 0:
-            select_new()
-            flush(force=True)
+            adapter.select_new()
+            adapter.flush(force=True)
         completion = platform.step()
         assert completion is not None, "campaign stalled with pairs unlabeled"
-        for pair, label in completion.labels.items():
-            published.discard(pair)
-            labeled[pair] = label
-            report.labels[pair] = label
-            report.provenance[pair] = Provenance.CROWDSOURCED
-            if not graph.add(pair, label):
-                report.conflicts.append(pair)
+        report.conflicts.extend(
+            adapter.record_completion(list(completion.labels.items()), n_completions)
+        )
         report.completion_hours = completion.completed_at
-        sweep()
-        if unlabeled and instant_decision:
-            select_new()
+        adapter.sweep(n_completions)
+        n_completions += 1
+        if not engine.is_done and instant_decision:
+            adapter.select_new()
+    for pair, outcome in engine.result.outcomes.items():
+        report.labels[pair] = outcome.label
+        report.provenance[pair] = outcome.provenance
     # Any still-outstanding HITs are paid for regardless; record their
     # answers as they land (they do not extend the completion time, which is
     # defined by the last *needed* label).

@@ -1,0 +1,48 @@
+"""repro.engine — the event-driven labeling engine and dispatch strategies.
+
+One :class:`LabelingEngine` replaces the four hand-rolled labeling loops of
+the seed repo (sequential, round-parallel, instant, and the HIT-granularity
+campaign loop).  The engine owns the deduction graph, the incremental
+pending-pair frontier (:class:`repro.core.sweep.PendingPairIndex`), and the
+shared must-crowdsource selection; a pluggable :class:`DispatchStrategy`
+decides when to publish which frontier pairs.
+
+Public surface:
+
+* engine:     :class:`LabelingEngine`
+* frontier:   :class:`OptimisticGraph`, :func:`must_crowdsource_frontier`
+* strategies: :class:`SequentialDispatch`, :class:`RoundParallelDispatch`,
+              :class:`InstantDispatch` (+ :class:`AnswerPolicy`,
+              :class:`InstantRunResult`, :class:`AvailabilityPoint`)
+* adapter:    :class:`HITDispatchAdapter` (HIT-granularity campaigns)
+
+The legacy labeler classes in :mod:`repro.core` remain available as thin
+compatibility facades over these strategies.
+"""
+
+from .dispatch import (
+    AnswerPolicy,
+    AvailabilityPoint,
+    DispatchStrategy,
+    InstantDispatch,
+    InstantRunResult,
+    RoundParallelDispatch,
+    SequentialDispatch,
+)
+from .engine import LabelingEngine
+from .frontier import OptimisticGraph, must_crowdsource_frontier
+from .hit_adapter import HITDispatchAdapter
+
+__all__ = [
+    "AnswerPolicy",
+    "AvailabilityPoint",
+    "DispatchStrategy",
+    "HITDispatchAdapter",
+    "InstantDispatch",
+    "InstantRunResult",
+    "LabelingEngine",
+    "OptimisticGraph",
+    "RoundParallelDispatch",
+    "SequentialDispatch",
+    "must_crowdsource_frontier",
+]

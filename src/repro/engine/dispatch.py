@@ -1,0 +1,309 @@
+"""Pluggable dispatch strategies over the :class:`LabelingEngine`.
+
+The engine owns the deduction state and the must-crowdsource frontier; a
+*dispatch strategy* decides when to publish which frontier pairs and how the
+crowd's answers are simulated.  The three strategies here reproduce the
+paper's three labelers:
+
+* :class:`SequentialDispatch` — one pair per round (Section 3.2);
+* :class:`RoundParallelDispatch` — the full frontier per round, waiting for
+  every answer before re-deciding (Section 5.1, Algorithms 2-3);
+* :class:`InstantDispatch` — answer-at-a-time with the instant-decision and
+  non-matching-first optimisations (Section 5.2, Figure 15).
+
+The companion paper on the Expected Optimal Labeling Order problem
+(arXiv:1409.7472) treats ordering and dispatch as orthogonal components; the
+same separation here means hot-path work (the incremental frontier, future
+batching/async/sharding) lands once in the engine and benefits every
+strategy.  The legacy classes in :mod:`repro.core.sequential`,
+:mod:`repro.core.parallel`, and :mod:`repro.core.instant` are thin facades
+over these strategies.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from ..core.cluster_graph import ClusterGraph, ConflictPolicy
+from ..core.oracle import LabelOracle
+from ..core.pairs import CandidatePair, Label, Pair
+from ..core.result import LabelingResult
+from .engine import LabelingEngine
+
+
+@runtime_checkable
+class DispatchStrategy(Protocol):
+    """A labeling loop: drives a :class:`LabelingEngine` against an oracle."""
+
+    def run(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        oracle: LabelOracle,
+    ) -> LabelingResult:
+        """Label every pair in ``order``; return the full result."""
+        ...  # pragma: no cover - protocol
+
+
+class SequentialDispatch:
+    """Publish one must-crowdsource pair per round (paper Section 3.2).
+
+    Walks the order; each pair is either deduced for free or crowdsourced as
+    its own round.  Attains the minimum crowdsourced count for the order but
+    serialises crowd work — the latency problem the parallel strategies
+    solve.
+    """
+
+    def __init__(self, policy: ConflictPolicy = ConflictPolicy.STRICT) -> None:
+        self._policy = policy
+
+    def run(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        oracle: LabelOracle,
+        graph: Optional[ClusterGraph] = None,
+    ) -> LabelingResult:
+        """Label every pair in ``order``; oracle calls follow the order.
+
+        Args:
+            order: the labeling order.
+            oracle: answers crowdsourced queries.
+            graph: optional pre-populated deduction graph to continue from
+                (its pairs count as already labeled).
+        """
+        # The sequential loop deduces at visit time and never sweeps, so the
+        # incremental index would be pure overhead; it also must accept
+        # foreign graphs (e.g. the one-to-one extension's).
+        engine = LabelingEngine(order, policy=self._policy, graph=graph, use_index=False)
+        round_index = 0
+        for pair in engine.pairs:
+            deduced = engine.deduce(pair)
+            if deduced is not None:
+                engine.record_deduced(pair, deduced, round_index)
+                continue
+            answer = oracle.label(pair)
+            engine.record_answer(pair, answer, round_index)
+            engine.result.rounds.append([pair])
+            round_index += 1
+        return engine.result
+
+
+class RoundParallelDispatch:
+    """Publish the whole must-crowdsource frontier per round (Algorithm 2).
+
+    Every round publishes every pair that must be crowdsourced no matter how
+    the outstanding pairs turn out, collects all answers, sweeps deductions,
+    and repeats.  Money cost provably never exceeds the sequential strategy
+    on the same order (property-tested); only the round count shrinks.
+    """
+
+    def __init__(self, policy: ConflictPolicy = ConflictPolicy.STRICT) -> None:
+        self._policy = policy
+
+    def run(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        oracle: LabelOracle,
+        max_rounds: Optional[int] = None,
+    ) -> LabelingResult:
+        """Label every pair in ``order`` using batched crowd rounds.
+
+        Args:
+            order: the labeling order.
+            oracle: answers crowdsourced queries (one call per published
+                pair).
+            max_rounds: safety cap; the algorithm provably terminates (each
+                round crowdsources at least the first unlabeled pair), so the
+                cap exists only to fail fast on bugs.
+
+        Raises:
+            RuntimeError: if ``max_rounds`` is exceeded.
+        """
+        engine = LabelingEngine(order, policy=self._policy)
+        round_index = 0
+        while not engine.is_done:
+            if max_rounds is not None and round_index >= max_rounds:
+                raise RuntimeError(f"parallel labeling exceeded {max_rounds} rounds")
+            batch = engine.frontier()
+            assert batch, "a round must always publish at least one pair"
+            engine.publish(batch)
+            # Publish the whole batch, then collect answers.
+            for pair in batch:
+                engine.record_answer(pair, oracle.label(pair), round_index)
+            engine.result.rounds.append(batch)
+            # Deduction sweep (Algorithm 2 lines 6-8): incremental — only
+            # pairs whose endpoint clusters changed are re-checked.
+            engine.sweep(round_index)
+            round_index += 1
+        return engine.result
+
+
+class AnswerPolicy(enum.Enum):
+    """Which published pair does the crowd answer next?
+
+    FIFO:                publication order (deterministic baseline).
+    RANDOM:              uniformly random — how AMT actually assigns HITs,
+                         used for Parallel and Parallel(ID) in Figure 15.
+    NON_MATCHING_FIRST:  increasing likelihood of being a matching pair —
+                         the NF optimisation (only meaningful with ID).
+    """
+
+    FIFO = "fifo"
+    RANDOM = "random"
+    NON_MATCHING_FIRST = "non-matching-first"
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """One step of the Figure-15 series: after ``n_answered`` crowdsourced
+    answers, ``n_available`` published pairs were still waiting."""
+
+    n_answered: int
+    n_available: int
+
+
+@dataclass
+class InstantRunResult:
+    """Outcome of an event-driven labeling run.
+
+    Attributes:
+        result: the per-pair labeling result (rounds = publish events).
+        trace: availability after every answer (Figure 15's series).
+        publish_events: (answers so far, batch size) per publish event.
+    """
+
+    result: LabelingResult
+    trace: List[AvailabilityPoint] = field(default_factory=list)
+    publish_events: List[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_crowdsourced(self) -> int:
+        return self.result.n_crowdsourced
+
+    @property
+    def n_deduced(self) -> int:
+        return self.result.n_deduced
+
+    def availability_series(self) -> List[int]:
+        """Pool sizes after each answer, as a plain list."""
+        return [point.n_available for point in self.trace]
+
+    def mean_availability(self) -> float:
+        """Average pool size over the run — the paper's 'keep the crowd busy'
+        metric summarised as one number."""
+        if not self.trace:
+            return 0.0
+        return sum(point.n_available for point in self.trace) / len(self.trace)
+
+    def starvation_count(self, below: int = 1) -> int:
+        """How many times (mid-run) the pool dropped below ``below`` pairs."""
+        if not self.trace:
+            return 0
+        interior = self.trace[:-1]  # the pool is legitimately empty at the end
+        return sum(1 for point in interior if point.n_available < below)
+
+
+class InstantDispatch:
+    """Answer-at-a-time dispatch with optional ID and NF optimisations.
+
+    Simulates the Figure-15 interaction: a configurable answer policy picks
+    which published pair the crowd answers next, and the strategy re-decides
+    publication according to its optimisation level.
+
+    Published pairs are *not* resolved by the deduction sweep even if later
+    answers would imply their label — they are already on the platform and
+    will be answered.  Besides matching platform reality, this is what
+    guarantees progress: when the pool drains after a run of matching
+    answers, every remaining unlabeled pair is deducible from the answers
+    actually received.
+
+    Args:
+        instant_decision: publish new must-crowdsource pairs as soon as an
+            answer makes them identifiable (Section 5.2 "Instant Decision").
+            When False the strategy behaves like the round-based algorithm:
+            it waits for the whole published batch before publishing again.
+        answer_policy: how the simulated crowd picks the next pair to answer.
+        seed: RNG seed for the RANDOM policy.
+        policy: ClusterGraph conflict policy (STRICT for perfect oracles).
+        use_index: incremental deduction sweep (the engine default); the
+            naive full scan is kept for cross-validation and produces
+            identical results.
+    """
+
+    def __init__(
+        self,
+        instant_decision: bool = True,
+        answer_policy: AnswerPolicy = AnswerPolicy.RANDOM,
+        seed: int = 0,
+        policy: ConflictPolicy = ConflictPolicy.STRICT,
+        use_index: bool = True,
+    ) -> None:
+        self._instant = instant_decision
+        self._answer_policy = answer_policy
+        self._seed = seed
+        self._graph_policy = policy
+        self._use_index = use_index
+
+    def run(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        oracle: LabelOracle,
+    ) -> InstantRunResult:
+        """Label every pair in ``order``; return result plus the trace."""
+        engine = LabelingEngine(
+            order, policy=self._graph_policy, use_index=self._use_index
+        )
+        rng = random.Random(self._seed)
+        run = InstantRunResult(result=engine.result)
+        published: List[Pair] = []
+        publish_round: Dict[Pair, int] = {}
+        n_answered = 0
+        n_publish_events = 0
+
+        def publish() -> None:
+            nonlocal n_publish_events
+            batch = engine.frontier()
+            if batch:
+                engine.publish(batch)  # the crowd will answer these
+                for pair in batch:
+                    publish_round[pair] = n_publish_events
+                published.extend(batch)
+                engine.result.rounds.append(batch)
+                run.publish_events.append((n_answered, len(batch)))
+                n_publish_events += 1
+
+        def next_to_answer() -> Pair:
+            if self._answer_policy is AnswerPolicy.FIFO:
+                choice = 0
+            elif self._answer_policy is AnswerPolicy.RANDOM:
+                choice = rng.randrange(len(published))
+            else:  # NON_MATCHING_FIRST: least likely to match answered first
+                choice = min(
+                    range(len(published)),
+                    key=lambda i: engine.likelihoods[published[i]],
+                )
+            return published.pop(choice)
+
+        publish()
+        while not engine.is_done:
+            if not published:
+                # With a perfect oracle this only happens when the remaining
+                # pairs are all deducible; with noisy answers (FIRST_WINS) the
+                # invariants can be violated, so recompute defensively.
+                publish()
+                assert published, "event loop stalled with unlabeled pairs remaining"
+            pair = next_to_answer()
+            answer = oracle.label(pair)
+            n_answered += 1
+            engine.record_answer(pair, answer, publish_round[pair])
+            # Deduction sweep over unresolved pairs; published pairs are on
+            # the platform and stay withheld from it.
+            engine.sweep(publish_round[pair])
+            if not engine.is_done and self._instant and answer is Label.NON_MATCHING:
+                # A matching answer cannot unlock new publishes: selection
+                # already assumed all unlabeled pairs match (Section 5.2).
+                publish()
+            run.trace.append(AvailabilityPoint(n_answered, len(published)))
+        return run

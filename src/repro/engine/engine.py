@@ -1,0 +1,215 @@
+"""The LabelingEngine: one event-driven core shared by every labeler.
+
+The paper's framework is a single loop — deduce what transitivity implies,
+crowdsource only the rest — yet the seed repo implemented that loop four
+times (sequential, round-parallel, instant, and once more at HIT granularity
+in the campaign runner).  :class:`LabelingEngine` owns the shared state and
+event handling exactly once:
+
+* the :class:`~repro.core.cluster_graph.ClusterGraph` of received answers;
+* the pending-pair frontier, kept *incrementally* by
+  :class:`~repro.core.sweep.PendingPairIndex` — after an answer, only pairs
+  whose endpoint clusters changed are re-checked, instead of the O(pending)
+  full rescan the pre-refactor labelers performed;
+* the must-crowdsource selection
+  (:func:`~repro.engine.frontier.must_crowdsource_frontier`), shared by all
+  batch-publishing strategies;
+* the :class:`~repro.core.result.LabelingResult` bookkeeping, with its
+  invariant that every pair is recorded exactly once.
+
+Dispatch policy — *when* to publish *which* must-crowdsource pairs — is
+pluggable (see :mod:`repro.engine.dispatch`); the engine itself never calls
+an oracle or a platform.  Events flow in through three entry points:
+
+* :meth:`publish` — pairs handed to the crowd (excluded from future
+  frontiers; withheld pairs also leave the deduction sweep, because the
+  platform will answer them regardless);
+* :meth:`record_answer` — a crowd answer arrived;
+* :meth:`sweep` — resolve everything the answers so far imply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.cluster_graph import ClusterGraph, ConflictPolicy
+from ..core.pairs import CandidatePair, Label, Pair, Provenance
+from ..core.result import LabelingResult
+from ..core.sweep import PendingPairIndex
+from .frontier import must_crowdsource_frontier
+
+
+class LabelingEngine:
+    """Shared state machine for transitivity-aware labeling.
+
+    Args:
+        order: the labeling order (pairs or candidate pairs; candidate
+            likelihoods are retained for likelihood-aware dispatch).
+        policy: conflict policy for a freshly created graph (ignored when
+            ``graph`` is given).
+        graph: optional pre-populated deduction graph to continue from; any
+            object with the ``ClusterGraph`` ``add``/``deduce`` contract is
+            accepted (e.g. :class:`repro.ext.one_to_one.OneToOneClusterGraph`).
+        use_index: keep the pending-pair frontier incrementally via
+            :class:`PendingPairIndex`.  Disabled automatically for foreign
+            graph types without the listener slot; the full-scan fallback
+            produces identical results (property-tested) and exists for
+            cross-validation.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        *,
+        policy: ConflictPolicy = ConflictPolicy.STRICT,
+        graph: Optional[ClusterGraph] = None,
+        use_index: bool = True,
+    ) -> None:
+        # Duplicate pairs in the order collapse to their first occurrence:
+        # a pair has one label, and LabelingResult records each pair once.
+        self.pairs: List[Pair] = []
+        self.likelihoods: Dict[Pair, float] = {}
+        for item in order:
+            if isinstance(item, CandidatePair):
+                pair, likelihood = item.pair, item.likelihood
+            else:
+                pair, likelihood = item, 0.5
+            if pair not in self.likelihoods:
+                self.pairs.append(pair)
+                self.likelihoods[pair] = likelihood
+        self._position = {pair: i for i, pair in enumerate(self.pairs)}
+        self.graph = graph if graph is not None else ClusterGraph(policy=policy)
+        self.result = LabelingResult(order=list(self.pairs))
+        self.labeled: Dict[Pair, Label] = {}
+        #: Pairs handed to the crowd and not yet answered; excluded from the
+        #: frontier so they are never published twice.
+        self.published: Set[Pair] = set()
+        #: Published pairs that are also out of the deduction sweep's reach
+        #: (already on the platform: the crowd will answer them regardless).
+        self._withheld: Set[Pair] = set()
+        self._index: Optional[PendingPairIndex] = None
+        if use_index and isinstance(self.graph, ClusterGraph) and self.graph.listener is None:
+            self._index = PendingPairIndex(self.graph, self.pairs)
+        # Order-preserving pending list for the full-scan fallback sweep.
+        self._unlabeled: List[Pair] = list(self.pairs)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_labeled(self) -> int:
+        return len(self.labeled)
+
+    @property
+    def is_done(self) -> bool:
+        """True when every pair in the order has a final label."""
+        return len(self.labeled) >= len(self.pairs)
+
+    def deduce(self, pair: Pair) -> Optional[Label]:
+        """What the received answers imply about ``pair`` (Algorithm 1)."""
+        return self.graph.deduce(pair)
+
+    # ------------------------------------------------------------------
+    # frontier
+    # ------------------------------------------------------------------
+    def frontier(self) -> List[Pair]:
+        """The current must-crowdsource pairs, in order (Algorithm 3).
+
+        Already-published pairs keep their assumed-matching role but are not
+        selected again.
+        """
+        return must_crowdsource_frontier(self.pairs, self.labeled, exclude=self.published)
+
+    def publish(self, batch: Iterable[Pair], *, withhold: bool = True) -> None:
+        """Mark ``batch`` as handed to the crowd.
+
+        Args:
+            batch: pairs being published.
+            withhold: remove the pairs from the deduction sweep too (they are
+                on the platform and will be answered regardless).  Pass False
+                for pairs merely *buffered* toward a full HIT — those can
+                still be rescued by deduction before they reach the platform.
+        """
+        batch = list(batch)  # tolerate single-pass iterables
+        for pair in batch:
+            self.published.add(pair)
+        if withhold:
+            self.withhold(batch)
+
+    def withhold(self, batch: Iterable[Pair]) -> None:
+        """Take ``batch`` out of the deduction sweep (now on the platform)."""
+        for pair in batch:
+            self._withheld.add(pair)
+            if self._index is not None:
+                self._index.remove(pair)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def record_deduced(self, pair: Pair, label: Label, round_index: int) -> None:
+        """Record a label obtained for free via transitive relations."""
+        self.labeled[pair] = label
+        self.result.record(pair, label, Provenance.DEDUCED, round_index)
+        self.published.discard(pair)
+        if self._index is not None:
+            self._index.remove(pair)
+
+    def record_answer(self, pair: Pair, label: Label, round_index: int) -> bool:
+        """Record a crowd answer and fold it into the deduction graph.
+
+        The answer always becomes the pair's final label; under FIRST_WINS a
+        contradictory edge is dropped from the graph (and False returned) but
+        the label still stands — crowd answers win for published pairs.
+
+        Returns:
+            True if the edge was applied, False if it was rejected as a
+            conflict under the FIRST_WINS policy.
+
+        Raises:
+            InconsistentLabelError: under STRICT, when the answer contradicts
+                what the graph already implies.
+        """
+        self.published.discard(pair)
+        self._withheld.discard(pair)
+        self.labeled[pair] = label
+        applied = self.graph.add(pair, label)
+        self.result.record(pair, label, Provenance.CROWDSOURCED, round_index)
+        if self._index is not None:
+            self._index.remove(pair)
+            self._index.note_objects_seen(pair.left, pair.right)
+        return applied
+
+    def sweep(self, round_index: int) -> List[Tuple[Pair, Label]]:
+        """Resolve every pending pair the answers so far imply.
+
+        With the index this is incremental: only pairs whose endpoint
+        clusters changed since the last sweep are re-checked.  Without it,
+        the full pending list is rescanned (the pre-refactor behaviour, kept
+        for cross-validation).  Withheld pairs are never resolved — they are
+        on the platform and will be crowd-answered.
+
+        Returns:
+            (pair, deduced label) per newly resolved pair, in order position.
+        """
+        if self._index is not None:
+            resolved = sorted(
+                self._index.sweep(), key=lambda entry: self._position[entry[0]]
+            )
+        else:
+            resolved = []
+            still: List[Pair] = []
+            for pair in self._unlabeled:
+                if pair in self.labeled:
+                    continue
+                if pair in self._withheld:
+                    still.append(pair)
+                    continue
+                deduced = self.graph.deduce(pair)
+                if deduced is not None:
+                    resolved.append((pair, deduced))
+                else:
+                    still.append(pair)
+            self._unlabeled = still
+        for pair, label in resolved:
+            self.record_deduced(pair, label, round_index)
+        return resolved

@@ -1,0 +1,139 @@
+"""The must-crowdsource frontier (paper Section 5.1, Algorithm 3).
+
+A pair *must* be crowdsourced — no matter how earlier pairs turn out — when
+every path between its objects has a minimum of two non-matching edges even
+under the optimistic assumption that **all** unlabeled pairs before it are
+matching: real answers can only turn assumed-matching edges into non-matching
+ones, which never lowers a path's non-matching count.
+
+This module is the single shared implementation of that test.  Every
+dispatch strategy (round-parallel, instant-decision, the HIT-granularity
+campaign adapter) and the ``parallel_crowdsourced_pairs`` compatibility
+wrapper in :mod:`repro.core.parallel` call into it, so the optimistic
+semantics live in exactly one place.
+
+Reproduction note: the paper's Algorithm 3 pseudocode inserts only the
+*selected* pairs as matching and leaves optimistically-deducible pairs out of
+the graph.  That variant is unsound in rare interleavings (an unlabeled pair
+whose optimistic deduction is non-matching may truly be matching, enabling
+deductions the selection ignored — the instant-decision mode can then
+over-publish).  We implement the paper's *prose* criterion instead: every
+unlabeled pair, selected or skipped, is assumed matching, which restores the
+minimum-non-matching-count argument.  See docs/engine.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Union
+
+from ..core.pairs import CandidatePair, Label, Pair
+from ..core.union_find import UnionFind
+
+
+class OptimisticGraph:
+    """Cluster graph under the "all unlabeled pairs match" assumption.
+
+    Unlike :class:`~repro.core.cluster_graph.ClusterGraph`, merging two
+    clusters connected by a non-matching edge is *allowed* here: the edge
+    becomes a self-loop and is dropped, because in minimum-non-matching-count
+    semantics an intra-cluster non-matching edge can never lie on a minimal
+    path.  Likewise a non-matching edge inside one cluster is silently
+    ignored.  This permissiveness is exactly what the optimistic assumption
+    needs and would be a consistency violation anywhere else.
+    """
+
+    def __init__(self) -> None:
+        self._uf = UnionFind()
+        self._nm: Dict[Hashable, Set[Hashable]] = {}
+
+    def assume_matching(self, a: Hashable, b: Hashable) -> None:
+        """Merge the clusters of ``a`` and ``b`` (real or assumed match)."""
+        root_a = self._uf.find(a)
+        root_b = self._uf.find(b)
+        if root_a == root_b:
+            return
+        survivor = self._uf.union(root_a, root_b)
+        loser = root_b if survivor == root_a else root_a
+        loser_nm = self._nm.pop(loser, set())
+        if loser_nm:
+            survivor_nm = self._nm.setdefault(survivor, set())
+            for neighbour in loser_nm:
+                self._nm[neighbour].discard(loser)
+                if neighbour != survivor:
+                    self._nm[neighbour].add(survivor)
+                    survivor_nm.add(neighbour)
+            if not survivor_nm:
+                del self._nm[survivor]
+
+    def add_non_matching(self, a: Hashable, b: Hashable) -> None:
+        """Record a real non-matching answer (ignored if intra-cluster)."""
+        root_a = self._uf.find(a)
+        root_b = self._uf.find(b)
+        if root_a == root_b:
+            return
+        self._nm.setdefault(root_a, set()).add(root_b)
+        self._nm.setdefault(root_b, set()).add(root_a)
+
+    def deduce(self, pair: Pair) -> Optional[Label]:
+        """Optimistic ``DeduceLabel``: the label ``pair`` would get if every
+        assumed pair really were matching, or None when no path constrains
+        it."""
+        if pair.left not in self._uf or pair.right not in self._uf:
+            return None
+        root_left = self._uf.find(pair.left)
+        root_right = self._uf.find(pair.right)
+        if root_left == root_right:
+            return Label.MATCHING
+        if root_right in self._nm.get(root_left, ()):
+            return Label.NON_MATCHING
+        return None
+
+    def must_crowdsource(self, pair: Pair) -> bool:
+        """True iff no path between the objects can have fewer than two
+        non-matching edges, i.e. the pair is undeducible under every possible
+        outcome of the assumed pairs."""
+        return self.deduce(pair) is None
+
+
+def must_crowdsource_frontier(
+    order: Sequence[Union[Pair, CandidatePair]],
+    labeled: Dict[Pair, Label],
+    exclude: Optional[Set[Pair]] = None,
+) -> List[Pair]:
+    """Identify the pairs that can be crowdsourced in parallel (Algorithm 3).
+
+    Scans ``order`` once, maintaining an :class:`OptimisticGraph`.  Labeled
+    pairs are inserted with their real label; every unlabeled pair is assumed
+    matching, and is selected for crowdsourcing when, at its position, it is
+    undeducible under that assumption (hence undeducible under *any* actual
+    outcome of the pairs before it).
+
+    Args:
+        order: the full labeling order.
+        labeled: pairs already labeled (crowdsourced or deduced).
+        exclude: pairs already published and awaiting answers; they keep
+            their assumed-matching role but are not re-published.  This is
+            the one-line change enabling the instant-decision optimisation
+            (Section 5.2).
+
+    Returns:
+        Pairs to publish now, in order.
+    """
+    exclude = exclude or set()
+    graph = OptimisticGraph()
+    selected: List[Pair] = []
+    for item in order:
+        pair = item.pair if isinstance(item, CandidatePair) else item
+        known = labeled.get(pair)
+        if known is not None:
+            if known is Label.MATCHING:
+                graph.assume_matching(pair.left, pair.right)
+            else:
+                graph.add_non_matching(pair.left, pair.right)
+            continue
+        if graph.must_crowdsource(pair) and pair not in exclude:
+            selected.append(pair)
+        # Optimistic assumption: the unlabeled pair is matching — whether it
+        # was selected, excluded, or deducible (see module docstring).
+        graph.assume_matching(pair.left, pair.right)
+    return selected

@@ -1,0 +1,150 @@
+"""Pre-refactor reference labelers, frozen for engine parity testing.
+
+These are verbatim transcriptions of the seed repo's ``SequentialLabeler``
+and ``ParallelLabeler`` loops from before they became facades over the
+shared :class:`repro.engine.LabelingEngine` — including their own copy of
+the optimistic must-crowdsource scan and the O(pending) full-rescan
+deduction sweep.  They deliberately share nothing with ``repro.engine`` so
+the parity property tests compare two independent implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Union
+
+from repro.core.cluster_graph import ClusterGraph, ConflictPolicy
+from repro.core.oracle import LabelOracle
+from repro.core.pairs import CandidatePair, Label, Pair, Provenance
+from repro.core.result import LabelingResult
+from repro.core.union_find import UnionFind
+
+
+def _as_pairs(order: Sequence[Union[Pair, CandidatePair]]) -> List[Pair]:
+    return [item.pair if isinstance(item, CandidatePair) else item for item in order]
+
+
+def reference_sequential(
+    order: Sequence[Union[Pair, CandidatePair]],
+    oracle: LabelOracle,
+    policy: ConflictPolicy = ConflictPolicy.STRICT,
+) -> LabelingResult:
+    """The seed repo's one-pair-at-a-time loop (paper Section 3.2)."""
+    pairs = _as_pairs(order)
+    graph = ClusterGraph(policy=policy)
+    result = LabelingResult(order=pairs)
+    round_index = 0
+    for pair in pairs:
+        deduced = graph.deduce(pair)
+        if deduced is not None:
+            result.record(pair, deduced, Provenance.DEDUCED, round_index)
+            continue
+        answer = oracle.label(pair)
+        graph.add(pair, answer)
+        result.rounds.append([pair])
+        result.record(pair, answer, Provenance.CROWDSOURCED, round_index)
+        round_index += 1
+    return result
+
+
+class _ReferenceOptimisticGraph:
+    """The seed repo's optimistic cluster graph (all unlabeled pairs match)."""
+
+    def __init__(self) -> None:
+        self._uf = UnionFind()
+        self._nm: Dict[Hashable, Set[Hashable]] = {}
+
+    def assume_matching(self, a: Hashable, b: Hashable) -> None:
+        root_a = self._uf.find(a)
+        root_b = self._uf.find(b)
+        if root_a == root_b:
+            return
+        survivor = self._uf.union(root_a, root_b)
+        loser = root_b if survivor == root_a else root_a
+        loser_nm = self._nm.pop(loser, set())
+        if loser_nm:
+            survivor_nm = self._nm.setdefault(survivor, set())
+            for neighbour in loser_nm:
+                self._nm[neighbour].discard(loser)
+                if neighbour != survivor:
+                    self._nm[neighbour].add(survivor)
+                    survivor_nm.add(neighbour)
+            if not survivor_nm:
+                del self._nm[survivor]
+
+    def add_non_matching(self, a: Hashable, b: Hashable) -> None:
+        root_a = self._uf.find(a)
+        root_b = self._uf.find(b)
+        if root_a == root_b:
+            return
+        self._nm.setdefault(root_a, set()).add(root_b)
+        self._nm.setdefault(root_b, set()).add(root_a)
+
+    def must_crowdsource(self, pair: Pair) -> bool:
+        if pair.left not in self._uf or pair.right not in self._uf:
+            return True
+        root_left = self._uf.find(pair.left)
+        root_right = self._uf.find(pair.right)
+        if root_left == root_right:
+            return False
+        return root_right not in self._nm.get(root_left, ())
+
+
+def reference_parallel_selection(
+    order: Sequence[Union[Pair, CandidatePair]],
+    labeled: Dict[Pair, Label],
+    exclude: Optional[Set[Pair]] = None,
+) -> List[Pair]:
+    """The seed repo's Algorithm-3 selection scan."""
+    exclude = exclude or set()
+    graph = _ReferenceOptimisticGraph()
+    selected: List[Pair] = []
+    for item in order:
+        pair = item.pair if isinstance(item, CandidatePair) else item
+        known = labeled.get(pair)
+        if known is not None:
+            if known is Label.MATCHING:
+                graph.assume_matching(pair.left, pair.right)
+            else:
+                graph.add_non_matching(pair.left, pair.right)
+            continue
+        if graph.must_crowdsource(pair) and pair not in exclude:
+            selected.append(pair)
+        graph.assume_matching(pair.left, pair.right)
+    return selected
+
+
+def reference_parallel(
+    order: Sequence[Union[Pair, CandidatePair]],
+    oracle: LabelOracle,
+    policy: ConflictPolicy = ConflictPolicy.STRICT,
+) -> LabelingResult:
+    """The seed repo's round-based loop (Algorithm 2) with its O(pending)
+    full-rescan deduction sweep after every round."""
+    pairs = _as_pairs(order)
+    result = LabelingResult(order=pairs)
+    labeled: Dict[Pair, Label] = {}
+    graph = ClusterGraph(policy=policy)
+    round_index = 0
+    remaining = list(pairs)
+    while remaining:
+        batch = reference_parallel_selection(pairs, labeled)
+        assert batch, "a round must always publish at least one pair"
+        for pair in batch:
+            answer = oracle.label(pair)
+            labeled[pair] = answer
+            graph.add(pair, answer)
+            result.record(pair, answer, Provenance.CROWDSOURCED, round_index)
+        result.rounds.append(batch)
+        still_remaining: List[Pair] = []
+        for pair in remaining:
+            if pair in labeled:
+                continue
+            deduced = graph.deduce(pair)
+            if deduced is not None:
+                labeled[pair] = deduced
+                result.record(pair, deduced, Provenance.DEDUCED, round_index)
+            else:
+                still_remaining.append(pair)
+        remaining = still_remaining
+        round_index += 1
+    return result

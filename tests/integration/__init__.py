@@ -1,0 +1,1 @@
+"""Test package (enables the relative imports of tests.strategies)."""
