@@ -6,11 +6,20 @@ implementation uses union by size and path compression, giving effectively
 constant amortised time per operation.
 
 Elements may be arbitrary hashable objects and are added lazily on first use.
+
+Two extensions support the sharded backend and the incremental frontier:
+
+* :meth:`UnionFind.checkpoint` / :meth:`UnionFind.rollback` — a journal of
+  structural changes so a caller can apply speculative unions (the optimistic
+  "all unlabeled pairs match" scan) and undo them in time proportional to the
+  speculation, not the structure;
+* :meth:`UnionFind.absorb` — splice a *disjoint* union-find into this one in
+  O(len(other)), used when two component shards merge.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Set
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 
 class UnionFind:
@@ -30,6 +39,10 @@ class UnionFind:
         self._parent: Dict[Hashable, Hashable] = {}
         self._size: Dict[Hashable, int] = {}
         self._n_components = 0
+        # Journal of undoable structural changes; None when no checkpoint is
+        # active.  Entries: ("add", element) or ("union", survivor, loser,
+        # loser_size).
+        self._journal: Optional[List[Tuple]] = None
         for element in elements:
             self.add(element)
 
@@ -39,6 +52,8 @@ class UnionFind:
             self._parent[element] = element
             self._size[element] = 1
             self._n_components += 1
+            if self._journal is not None:
+                self._journal.append(("add", element))
 
     def __contains__(self, element: Hashable) -> bool:
         return element in self._parent
@@ -67,8 +82,12 @@ class UnionFind:
         root = element
         while parent[root] != root:
             root = parent[root]
-        while parent[element] != root:
-            parent[element], element = root, parent[element]
+        if self._journal is None:
+            # Path compression rewrites parent pointers; while a checkpoint
+            # is active we skip it so the journal stays proportional to the
+            # speculative unions (union by size keeps depth logarithmic).
+            while parent[element] != root:
+                parent[element], element = root, parent[element]
         return root
 
     def union(self, a: Hashable, b: Hashable) -> Hashable:
@@ -86,7 +105,71 @@ class UnionFind:
         self._parent[root_b] = root_a
         self._size[root_a] += self._size[root_b]
         self._n_components -= 1
+        if self._journal is not None:
+            self._journal.append(("union", root_a, root_b, self._size[root_b]))
         return root_a
+
+    # ------------------------------------------------------------------
+    # speculative operation (checkpoint / rollback)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Start journaling structural changes for a later :meth:`rollback`.
+
+        While a checkpoint is active, path compression is suspended (union by
+        size alone keeps find logarithmic), so undoing costs time proportional
+        to the operations performed since the checkpoint.
+
+        Raises:
+            RuntimeError: if a checkpoint is already active (the journal does
+                not nest).
+        """
+        if self._journal is not None:
+            raise RuntimeError("a checkpoint is already active")
+        self._journal = []
+
+    def rollback(self) -> None:
+        """Undo every structural change since :meth:`checkpoint`.
+
+        Raises:
+            RuntimeError: if no checkpoint is active.
+        """
+        if self._journal is None:
+            raise RuntimeError("no active checkpoint to roll back")
+        journal = self._journal
+        self._journal = None
+        for entry in reversed(journal):
+            if entry[0] == "union":
+                _, survivor, loser, loser_size = entry
+                self._parent[loser] = loser
+                self._size[survivor] -= loser_size
+                self._n_components += 1
+            else:  # ("add", element)
+                _, element = entry
+                del self._parent[element]
+                del self._size[element]
+                self._n_components -= 1
+
+    # ------------------------------------------------------------------
+    # disjoint splice (shard merging)
+    # ------------------------------------------------------------------
+    def absorb(self, other: "UnionFind") -> None:
+        """Splice a *disjoint* union-find into this one in O(len(other)).
+
+        Components are preserved unchanged on both sides — no unions happen;
+        the element universes are simply combined.  Used by the sharded
+        cluster graph to merge two component shards lazily.
+
+        Raises:
+            ValueError: if the element sets overlap.
+            RuntimeError: if either side has an active checkpoint.
+        """
+        if self._journal is not None or other._journal is not None:
+            raise RuntimeError("cannot absorb while a checkpoint is active")
+        if self._parent.keys() & other._parent.keys():
+            raise ValueError("absorb requires disjoint element sets")
+        self._parent.update(other._parent)
+        self._size.update(other._size)
+        self._n_components += other._n_components
 
     def connected(self, a: Hashable, b: Hashable) -> bool:
         """True iff ``a`` and ``b`` are in the same component."""

@@ -9,8 +9,11 @@ decides when to publish which frontier pairs.
 
 Public surface:
 
-* engine:     :class:`LabelingEngine`
-* frontier:   :class:`OptimisticGraph`, :func:`must_crowdsource_frontier`
+* engine:     :class:`LabelingEngine` (+ ``DEFAULT_SHARD_THRESHOLD``)
+* frontier:   :class:`OptimisticGraph`, :func:`must_crowdsource_frontier`,
+              :class:`FrontierCursor` (decided-prefix incremental selection)
+* sharding:   :class:`ShardedClusterGraph`, :class:`ShardedFrontier`
+              (per-component backend for 10M+ pair workloads)
 * strategies: :class:`SequentialDispatch`, :class:`RoundParallelDispatch`,
               :class:`InstantDispatch` (+ :class:`AnswerPolicy`,
               :class:`InstantRunResult`, :class:`AvailabilityPoint`)
@@ -29,14 +32,17 @@ from .dispatch import (
     RoundParallelDispatch,
     SequentialDispatch,
 )
-from .engine import LabelingEngine
-from .frontier import OptimisticGraph, must_crowdsource_frontier
+from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
+from .frontier import FrontierCursor, OptimisticGraph, must_crowdsource_frontier
 from .hit_adapter import HITDispatchAdapter
+from .sharding import ShardedClusterGraph, ShardedFrontier
 
 __all__ = [
     "AnswerPolicy",
     "AvailabilityPoint",
+    "DEFAULT_SHARD_THRESHOLD",
     "DispatchStrategy",
+    "FrontierCursor",
     "HITDispatchAdapter",
     "InstantDispatch",
     "InstantRunResult",
@@ -44,5 +50,7 @@ __all__ = [
     "OptimisticGraph",
     "RoundParallelDispatch",
     "SequentialDispatch",
+    "ShardedClusterGraph",
+    "ShardedFrontier",
     "must_crowdsource_frontier",
 ]

@@ -31,7 +31,7 @@ from ..core.cluster_graph import ClusterGraph, ConflictPolicy
 from ..core.oracle import LabelOracle
 from ..core.pairs import CandidatePair, Label, Pair
 from ..core.result import LabelingResult
-from .engine import LabelingEngine
+from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
 
 
 @runtime_checkable
@@ -56,8 +56,15 @@ class SequentialDispatch:
     solve.
     """
 
-    def __init__(self, policy: ConflictPolicy = ConflictPolicy.STRICT) -> None:
+    def __init__(
+        self,
+        policy: ConflictPolicy = ConflictPolicy.STRICT,
+        backend: str = "auto",
+        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+    ) -> None:
         self._policy = policy
+        self._backend = backend
+        self._shard_threshold = shard_threshold
 
     def run(
         self,
@@ -76,7 +83,14 @@ class SequentialDispatch:
         # The sequential loop deduces at visit time and never sweeps, so the
         # incremental index would be pure overhead; it also must accept
         # foreign graphs (e.g. the one-to-one extension's).
-        engine = LabelingEngine(order, policy=self._policy, graph=graph, use_index=False)
+        engine = LabelingEngine(
+            order,
+            policy=self._policy,
+            graph=graph,
+            use_index=False,
+            backend=self._backend,
+            shard_threshold=self._shard_threshold,
+        )
         round_index = 0
         for pair in engine.pairs:
             deduced = engine.deduce(pair)
@@ -99,8 +113,15 @@ class RoundParallelDispatch:
     on the same order (property-tested); only the round count shrinks.
     """
 
-    def __init__(self, policy: ConflictPolicy = ConflictPolicy.STRICT) -> None:
+    def __init__(
+        self,
+        policy: ConflictPolicy = ConflictPolicy.STRICT,
+        backend: str = "auto",
+        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+    ) -> None:
         self._policy = policy
+        self._backend = backend
+        self._shard_threshold = shard_threshold
 
     def run(
         self,
@@ -121,7 +142,12 @@ class RoundParallelDispatch:
         Raises:
             RuntimeError: if ``max_rounds`` is exceeded.
         """
-        engine = LabelingEngine(order, policy=self._policy)
+        engine = LabelingEngine(
+            order,
+            policy=self._policy,
+            backend=self._backend,
+            shard_threshold=self._shard_threshold,
+        )
         round_index = 0
         while not engine.is_done:
             if max_rounds is not None and round_index >= max_rounds:
@@ -230,6 +256,9 @@ class InstantDispatch:
         use_index: incremental deduction sweep (the engine default); the
             naive full scan is kept for cross-validation and produces
             identical results.
+        backend: engine deduction/frontier backend (``"auto"``,
+            ``"monolithic"``, or ``"sharded"``; see :class:`LabelingEngine`).
+        shard_threshold: the ``auto`` backend's sharding cut-over point.
     """
 
     def __init__(
@@ -239,12 +268,16 @@ class InstantDispatch:
         seed: int = 0,
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         use_index: bool = True,
+        backend: str = "auto",
+        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
     ) -> None:
         self._instant = instant_decision
         self._answer_policy = answer_policy
         self._seed = seed
         self._graph_policy = policy
         self._use_index = use_index
+        self._backend = backend
+        self._shard_threshold = shard_threshold
 
     def run(
         self,
@@ -253,7 +286,11 @@ class InstantDispatch:
     ) -> InstantRunResult:
         """Label every pair in ``order``; return result plus the trace."""
         engine = LabelingEngine(
-            order, policy=self._graph_policy, use_index=self._use_index
+            order,
+            policy=self._graph_policy,
+            use_index=self._use_index,
+            backend=self._backend,
+            shard_threshold=self._shard_threshold,
         )
         rng = random.Random(self._seed)
         run = InstantRunResult(result=engine.result)

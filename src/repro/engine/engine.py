@@ -36,7 +36,15 @@ from ..core.cluster_graph import ClusterGraph, ConflictPolicy
 from ..core.pairs import CandidatePair, Label, Pair, Provenance
 from ..core.result import LabelingResult
 from ..core.sweep import PendingPairIndex
-from .frontier import must_crowdsource_frontier
+from .frontier import FrontierCursor
+from .sharding import ShardedClusterGraph, ShardedFrontier
+
+#: Above this many pairs the ``auto`` backend shards the deduction graph and
+#: the frontier by connected component (see :mod:`repro.engine.sharding`).
+#: Below it the monolithic graph wins on constant factors.
+DEFAULT_SHARD_THRESHOLD = 100_000
+
+_BACKENDS = ("auto", "monolithic", "sharded")
 
 
 class LabelingEngine:
@@ -50,11 +58,20 @@ class LabelingEngine:
         graph: optional pre-populated deduction graph to continue from; any
             object with the ``ClusterGraph`` ``add``/``deduce`` contract is
             accepted (e.g. :class:`repro.ext.one_to_one.OneToOneClusterGraph`).
+            An explicit graph pins the engine to the monolithic path.
         use_index: keep the pending-pair frontier incrementally via
             :class:`PendingPairIndex`.  Disabled automatically for foreign
             graph types without the listener slot; the full-scan fallback
             produces identical results (property-tested) and exists for
             cross-validation.
+        backend: ``"monolithic"`` (one :class:`ClusterGraph` + one
+            :class:`FrontierCursor`), ``"sharded"`` (per-component
+            :class:`ShardedClusterGraph` + :class:`ShardedFrontier`), or
+            ``"auto"`` — sharded iff the order has at least
+            ``shard_threshold`` pairs.  Both backends are property-tested
+            identical in observable behaviour; sharding is purely a
+            scaling feature.
+        shard_threshold: the ``auto`` cut-over point.
     """
 
     def __init__(
@@ -64,7 +81,11 @@ class LabelingEngine:
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         graph: Optional[ClusterGraph] = None,
         use_index: bool = True,
+        backend: str = "auto",
+        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
     ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         # Duplicate pairs in the order collapse to their first occurrence:
         # a pair has one label, and LabelingResult records each pair once.
         self.pairs: List[Pair] = []
@@ -78,7 +99,30 @@ class LabelingEngine:
                 self.pairs.append(pair)
                 self.likelihoods[pair] = likelihood
         self._position = {pair: i for i, pair in enumerate(self.pairs)}
-        self.graph = graph if graph is not None else ClusterGraph(policy=policy)
+        if graph is not None:
+            # A caller-provided graph (pre-populated or foreign) pins the
+            # monolithic path: its contents cannot be redistributed.
+            # Explicitly requesting sharding alongside one is a contradiction
+            # the caller must resolve, not a silent downgrade.
+            if backend == "sharded":
+                raise ValueError(
+                    "backend='sharded' cannot be combined with an explicit "
+                    "graph: a pre-populated graph cannot be redistributed "
+                    "into shards (drop the graph argument or use "
+                    "backend='auto'/'monolithic')"
+                )
+            self.backend = "monolithic"
+            self.graph = graph
+        else:
+            if backend == "auto":
+                backend = (
+                    "sharded" if len(self.pairs) >= shard_threshold else "monolithic"
+                )
+            self.backend = backend
+            if backend == "sharded":
+                self.graph = ShardedClusterGraph(policy=policy)
+            else:
+                self.graph = ClusterGraph(policy=policy)
         self.result = LabelingResult(order=list(self.pairs))
         self.labeled: Dict[Pair, Label] = {}
         #: Pairs handed to the crowd and not yet answered; excluded from the
@@ -88,10 +132,21 @@ class LabelingEngine:
         #: (already on the platform: the crowd will answer them regardless).
         self._withheld: Set[Pair] = set()
         self._index: Optional[PendingPairIndex] = None
-        if use_index and isinstance(self.graph, ClusterGraph) and self.graph.listener is None:
+        if (
+            use_index
+            and isinstance(self.graph, (ClusterGraph, ShardedClusterGraph))
+            and self.graph.listener is None
+        ):
             self._index = PendingPairIndex(self.graph, self.pairs)
         # Order-preserving pending list for the full-scan fallback sweep.
         self._unlabeled: List[Pair] = list(self.pairs)
+        # Frontier machinery: per-component cached frontiers when sharded,
+        # a single decided-prefix cursor otherwise.  Both reproduce
+        # must_crowdsource_frontier exactly (property-tested).  Built lazily
+        # on the first frontier() call — strategies that deduce at visit
+        # time (SequentialDispatch) never pay for it.
+        self._sharded_frontier: Optional[ShardedFrontier] = None
+        self._frontier_cursor: Optional[FrontierCursor] = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -116,9 +171,28 @@ class LabelingEngine:
         """The current must-crowdsource pairs, in order (Algorithm 3).
 
         Already-published pairs keep their assumed-matching role but are not
-        selected again.
+        selected again.  The selection is incremental: the monolithic backend
+        skips the decided prefix of the order (:class:`FrontierCursor`), the
+        sharded backend additionally recomputes only components touched since
+        the last call (:class:`ShardedFrontier`).
         """
-        return must_crowdsource_frontier(self.pairs, self.labeled, exclude=self.published)
+        if self.backend == "sharded":
+            if self._sharded_frontier is None:
+                # Safe to build late: a fresh ShardedFrontier starts with
+                # every component dirty, so it reads the current labeled/
+                # published state in full on its first selection.
+                self._sharded_frontier = ShardedFrontier(self.pairs)
+            return self._sharded_frontier.frontier(self.labeled, self.published)
+        if self._frontier_cursor is None:
+            self._frontier_cursor = FrontierCursor(self.pairs)
+        return self._frontier_cursor.frontier(self.labeled, self.published)
+
+    def _mark_frontier_dirty(self, pair: Pair) -> None:
+        """A pair's labeled/published status changed — invalidate its
+        component's cached frontier (sharded backend only; a no-op until
+        the frontier machinery exists, which starts all-dirty anyway)."""
+        if self._sharded_frontier is not None:
+            self._sharded_frontier.mark_dirty(pair)
 
     def publish(self, batch: Iterable[Pair], *, withhold: bool = True) -> None:
         """Mark ``batch`` as handed to the crowd.
@@ -133,6 +207,7 @@ class LabelingEngine:
         batch = list(batch)  # tolerate single-pass iterables
         for pair in batch:
             self.published.add(pair)
+            self._mark_frontier_dirty(pair)
         if withhold:
             self.withhold(batch)
 
@@ -151,6 +226,7 @@ class LabelingEngine:
         self.labeled[pair] = label
         self.result.record(pair, label, Provenance.DEDUCED, round_index)
         self.published.discard(pair)
+        self._mark_frontier_dirty(pair)
         if self._index is not None:
             self._index.remove(pair)
 
@@ -172,6 +248,7 @@ class LabelingEngine:
         self.published.discard(pair)
         self._withheld.discard(pair)
         self.labeled[pair] = label
+        self._mark_frontier_dirty(pair)
         applied = self.graph.add(pair, label)
         self.result.record(pair, label, Provenance.CROWDSOURCED, round_index)
         if self._index is not None:

@@ -24,7 +24,16 @@ minimum-non-matching-count argument.  See docs/engine.md.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Union
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..core.pairs import CandidatePair, Label, Pair
 from ..core.union_find import UnionFind
@@ -40,11 +49,54 @@ class OptimisticGraph:
     path.  Likewise a non-matching edge inside one cluster is silently
     ignored.  This permissiveness is exactly what the optimistic assumption
     needs and would be a consistency violation anywhere else.
+
+    :meth:`checkpoint` / :meth:`rollback` journal all structural changes so
+    the selection scan can apply its *speculative* assumed-matching merges on
+    top of a persistent prefix and undo them in time proportional to the
+    speculation (see :class:`FrontierCursor`).
     """
 
     def __init__(self) -> None:
         self._uf = UnionFind()
         self._nm: Dict[Hashable, Set[Hashable]] = {}
+        # Undo log for the active checkpoint; None when not journaling.
+        # Entries: ("restore_key", key, set), ("del_key", key),
+        # ("add", set, element) and ("discard", set, element) — each the
+        # *inverse* of the mutation performed.
+        self._log: Optional[List[Tuple]] = None
+
+    def checkpoint(self) -> None:
+        """Start journaling changes for a later :meth:`rollback`.
+
+        Raises:
+            RuntimeError: if a checkpoint is already active.
+        """
+        if self._log is not None:
+            raise RuntimeError("a checkpoint is already active")
+        self._uf.checkpoint()
+        self._log = []
+
+    def rollback(self) -> None:
+        """Undo every change since :meth:`checkpoint`.
+
+        Raises:
+            RuntimeError: if no checkpoint is active.
+        """
+        if self._log is None:
+            raise RuntimeError("no active checkpoint to roll back")
+        log = self._log
+        self._log = None
+        for entry in reversed(log):
+            op = entry[0]
+            if op == "add":
+                entry[1].add(entry[2])
+            elif op == "discard":
+                entry[1].discard(entry[2])
+            elif op == "restore_key":
+                self._nm[entry[1]] = entry[2]
+            else:  # "del_key"
+                del self._nm[entry[1]]
+        self._uf.rollback()
 
     def assume_matching(self, a: Hashable, b: Hashable) -> None:
         """Merge the clusters of ``a`` and ``b`` (real or assumed match)."""
@@ -54,16 +106,30 @@ class OptimisticGraph:
             return
         survivor = self._uf.union(root_a, root_b)
         loser = root_b if survivor == root_a else root_a
-        loser_nm = self._nm.pop(loser, set())
-        if loser_nm:
-            survivor_nm = self._nm.setdefault(survivor, set())
-            for neighbour in loser_nm:
-                self._nm[neighbour].discard(loser)
-                if neighbour != survivor:
-                    self._nm[neighbour].add(survivor)
-                    survivor_nm.add(neighbour)
-            if not survivor_nm:
-                del self._nm[survivor]
+        log = self._log
+        loser_nm = self._nm.pop(loser, None)
+        if loser_nm is None:
+            return
+        if log is not None:
+            log.append(("restore_key", loser, loser_nm))
+        survivor_nm = self._nm.get(survivor)
+        if survivor_nm is None:
+            survivor_nm = self._nm[survivor] = set()
+            if log is not None:
+                log.append(("del_key", survivor))
+        for neighbour in loser_nm:
+            neighbour_nm = self._nm[neighbour] if neighbour != survivor else survivor_nm
+            neighbour_nm.discard(loser)
+            if log is not None:
+                log.append(("add", neighbour_nm, loser))
+            if neighbour != survivor and survivor not in neighbour_nm:
+                neighbour_nm.add(survivor)
+                survivor_nm.add(neighbour)
+                if log is not None:
+                    log.append(("discard", neighbour_nm, survivor))
+                    log.append(("discard", survivor_nm, neighbour))
+        if not survivor_nm and log is None:
+            del self._nm[survivor]
 
     def add_non_matching(self, a: Hashable, b: Hashable) -> None:
         """Record a real non-matching answer (ignored if intra-cluster)."""
@@ -71,8 +137,17 @@ class OptimisticGraph:
         root_b = self._uf.find(b)
         if root_a == root_b:
             return
-        self._nm.setdefault(root_a, set()).add(root_b)
-        self._nm.setdefault(root_b, set()).add(root_a)
+        log = self._log
+        for key, other in ((root_a, root_b), (root_b, root_a)):
+            bucket = self._nm.get(key)
+            if bucket is None:
+                bucket = self._nm[key] = set()
+                if log is not None:
+                    log.append(("del_key", key))
+            if other not in bucket:
+                bucket.add(other)
+                if log is not None:
+                    log.append(("discard", bucket, other))
 
     def deduce(self, pair: Pair) -> Optional[Label]:
         """Optimistic ``DeduceLabel``: the label ``pair`` would get if every
@@ -137,3 +212,114 @@ def must_crowdsource_frontier(
         # was selected, excluded, or deducible (see module docstring).
         graph.assume_matching(pair.left, pair.right)
     return selected
+
+
+class FrontierCursor:
+    """Incremental Algorithm-3 selection with a decided-prefix cursor.
+
+    :func:`must_crowdsource_frontier` rebuilds its optimistic graph from
+    position 0 on every call, although the leading run of already-labeled
+    pairs contributes exactly the same insertions each time — labels are
+    final once assigned.  The cursor keeps a persistent
+    :class:`OptimisticGraph` holding precisely that decided prefix and, per
+    call, scans only the remaining suffix: the suffix's temporary
+    assumed-matching merges are applied under a checkpoint and rolled back
+    afterwards, so a selection costs O(suffix) instead of O(order).  This is
+    what makes instant-decision re-publishes cheap late in a run, when most
+    of the order is already decided.
+
+    Selections are exactly those of :func:`must_crowdsource_frontier` on the
+    same arguments (property-tested).
+
+    Args:
+        order: the (sub)sequence of the labeling order this cursor covers.
+        positions: optional global order positions of ``order``'s entries —
+            used by the sharded frontier, whose per-component cursors cover
+            interleaved subsequences.  Defaults to 0..len(order)-1.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        positions: Optional[Sequence[int]] = None,
+    ) -> None:
+        pairs = [item.pair if isinstance(item, CandidatePair) else item for item in order]
+        if positions is None:
+            positions = range(len(pairs))
+        elif len(positions) != len(pairs):
+            raise ValueError("positions must parallel the order")
+        self._entries: List[Tuple[int, Pair]] = list(zip(positions, pairs))
+        self._cursor = 0
+        self._graph = OptimisticGraph()
+
+    @property
+    def decided_prefix(self) -> int:
+        """How many leading positions are permanently folded into the base
+        graph (grows monotonically as labels become final)."""
+        return self._cursor
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _apply(self, pair: Pair, label: Label) -> None:
+        if label is Label.MATCHING:
+            self._graph.assume_matching(pair.left, pair.right)
+        else:
+            self._graph.add_non_matching(pair.left, pair.right)
+
+    def select(
+        self,
+        labeled: Dict[Pair, Label],
+        exclude: Optional[Set[Pair]] = None,
+    ) -> List[Tuple[int, Pair]]:
+        """The must-crowdsource selection as ``(position, pair)`` tuples.
+
+        Args:
+            labeled: pairs with final labels; must be a superset of what any
+                earlier call saw (labels never change, so the decided prefix
+                only grows).
+            exclude: published pairs awaiting answers — assumed matching but
+                not re-selected.
+
+        Returns:
+            Selected entries in order-position order.
+        """
+        exclude = exclude or ()
+        entries = self._entries
+        n = len(entries)
+        cursor = self._cursor
+        # Fold newly decided prefix positions permanently into the base graph.
+        while cursor < n:
+            known = labeled.get(entries[cursor][1])
+            if known is None:
+                break
+            self._apply(entries[cursor][1], known)
+            cursor += 1
+        self._cursor = cursor
+        if cursor == n:
+            return []
+        graph = self._graph
+        selected: List[Tuple[int, Pair]] = []
+        graph.checkpoint()
+        try:
+            for i in range(cursor, n):
+                position, pair = entries[i]
+                known = labeled.get(pair)
+                if known is not None:
+                    self._apply(pair, known)
+                    continue
+                if graph.must_crowdsource(pair) and pair not in exclude:
+                    selected.append((position, pair))
+                # Optimistic assumption, exactly as in the full scan.
+                graph.assume_matching(pair.left, pair.right)
+        finally:
+            graph.rollback()
+        return selected
+
+    def frontier(
+        self,
+        labeled: Dict[Pair, Label],
+        exclude: Optional[Set[Pair]] = None,
+    ) -> List[Pair]:
+        """Like :meth:`select`, without the positions."""
+        return [pair for _, pair in self.select(labeled, exclude)]

@@ -1,0 +1,242 @@
+"""The perf-trajectory gate: compare_bench must flag real timing regressions,
+tolerate noise inside the threshold, and survive metric churn (new/removed
+entries) across PRs."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _MODULE_PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+sys.modules["compare_bench"] = compare_bench
+_spec.loader.exec_module(compare_bench)
+
+
+def _artifact(results: dict) -> dict:
+    return {"suite": "bench_core_micro", "results": results}
+
+
+def _write(tmp_path: Path, name: str, results: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(_artifact(results)))
+    return path
+
+
+BASELINE = {
+    "union_find_unions": {"mean_s": 0.010, "rounds": 100},
+    "selection_scan": {"mean_s": 0.020, "rounds": 50},
+    "sweep": {"total_s": 2.0, "n_answers": 1000},
+    "speedup": {"speedup": 100.0},
+}
+
+
+class TestComputeDeltas:
+    def test_within_threshold_is_ok(self):
+        fresh = {
+            "union_find_unions": {"mean_s": 0.011, "rounds": 100},
+            "selection_scan": {"mean_s": 0.018, "rounds": 50},
+            "sweep": {"total_s": 2.2, "n_answers": 1000},
+            "speedup": {"speedup": 90.0},
+        }
+        deltas, scale = compare_bench.compute_deltas(BASELINE, fresh)
+        assert scale == 1.0
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+        by_metric = {(d.metric, d.field): d for d in deltas}
+        # non-timing fields (rounds, speedup, n_answers) are never tracked
+        assert ("speedup", "speedup") not in by_metric
+        assert by_metric[("sweep", "total_s")].status(0.25) == "ok"
+
+    def test_regression_detected(self):
+        fresh = {
+            "union_find_unions": {"mean_s": 0.010},
+            "selection_scan": {"mean_s": 0.030},  # +50%
+            "sweep": {"total_s": 2.0},
+        }
+        deltas, _ = compare_bench.compute_deltas(BASELINE, fresh)
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert [(d.metric, d.field) for d in failed] == [("selection_scan", "mean_s")]
+        assert failed[0].status(0.25) == "regressed"
+
+    def test_improvement_reported_not_failed(self):
+        fresh = {
+            "union_find_unions": {"mean_s": 0.010},
+            "selection_scan": {"mean_s": 0.001},
+            "sweep": {"total_s": 2.0},
+        }
+        deltas, _ = compare_bench.compute_deltas(BASELINE, fresh)
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+        by_metric = {(d.metric, d.field): d for d in deltas}
+        assert by_metric[("selection_scan", "mean_s")].status(0.25) == "faster"
+
+    def test_new_metrics_never_gate(self):
+        fresh = {
+            "union_find_unions": {"mean_s": 0.010},
+            "selection_scan": {"mean_s": 0.020},
+            "sweep": {"total_s": 2.0},
+            "brand_new_bench": {"mean_s": 5.0},
+        }
+        deltas, _ = compare_bench.compute_deltas(BASELINE, fresh)
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+        by_metric = {(d.metric, d.field): d for d in deltas}
+        assert by_metric[("brand_new_bench", "mean_s")].status(0.25) == "new"
+
+    def test_gone_metrics_fail_the_gate(self):
+        """A tracked timing that vanishes must fail: silently losing a
+        benchmark erodes the trajectory."""
+        fresh = {
+            "union_find_unions": {"mean_s": 0.010},
+            "selection_scan": {"mean_s": 0.020},
+            "sweep": {"total_s": 2.0},
+        }
+        baseline = dict(BASELINE)
+        baseline["retired_bench"] = {"mean_s": 0.5}
+        deltas, _ = compare_bench.compute_deltas(baseline, fresh)
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert [(d.metric, d.field) for d in failed] == [("retired_bench", "mean_s")]
+        assert failed[0].status(0.25) == "gone"
+
+    def test_calibration_rescales_and_exempts(self):
+        # fresh machine runs everything 2x slower, uniformly: calibration
+        # must absorb the slowdown and pass the gate.
+        fresh = {
+            "union_find_unions": {"mean_s": 0.020},
+            "selection_scan": {"mean_s": 0.040},
+            "sweep": {"total_s": 4.0},
+        }
+        deltas, scale = compare_bench.compute_deltas(
+            BASELINE, fresh, calibrate="union_find_unions"
+        )
+        assert scale == pytest.approx(2.0)
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+        by_metric = {(d.metric, d.field): d for d in deltas}
+        assert by_metric[("union_find_unions", "mean_s")].status(0.25) == "calibration"
+
+    def test_calibration_still_catches_real_regressions(self):
+        fresh = {
+            "union_find_unions": {"mean_s": 0.020},  # machine 2x slower
+            "selection_scan": {"mean_s": 0.120},  # 6x slower: 3x beyond machine
+            "sweep": {"total_s": 4.0},
+        }
+        deltas, _ = compare_bench.compute_deltas(
+            BASELINE, fresh, calibrate="union_find_unions"
+        )
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert [(d.metric, d.field) for d in failed] == [("selection_scan", "mean_s")]
+
+    def test_median_calibration_absorbs_machine_speed(self):
+        """A uniform 2x machine slowdown passes; no metric is exempted."""
+        fresh = {
+            "union_find_unions": {"mean_s": 0.020},
+            "selection_scan": {"mean_s": 0.040},
+            "sweep": {"total_s": 4.0},
+        }
+        deltas, scale = compare_bench.compute_deltas(BASELINE, fresh, calibrate="median")
+        assert scale == pytest.approx(2.0)
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+        assert all(d.status(0.25) != "calibration" for d in deltas)
+
+    def test_median_calibration_cannot_be_shifted_by_one_regression(self):
+        """One genuinely regressed metric does not drag the median proxy, so
+        it is still flagged on an otherwise-uniformly-slower machine."""
+        fresh = {
+            "union_find_unions": {"mean_s": 0.020},  # 2x (machine)
+            "selection_scan": {"mean_s": 0.200},  # 10x: real regression
+            "sweep": {"total_s": 4.0},  # 2x (machine)
+        }
+        deltas, scale = compare_bench.compute_deltas(BASELINE, fresh, calibrate="median")
+        assert scale == pytest.approx(2.0)
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert [(d.metric, d.field) for d in failed] == [("selection_scan", "mean_s")]
+
+    def test_unknown_calibration_metric_rejected(self):
+        with pytest.raises(ValueError):
+            compare_bench.compute_deltas(BASELINE, BASELINE, calibrate="nope")
+        with pytest.raises(ValueError):
+            compare_bench.compute_deltas({}, {}, calibrate="median")
+
+    def test_single_sample_timings_get_slack(self):
+        """One-shot totals carry more variance than multi-round means: with
+        the default 2x slack, +40% on a total_s passes while +40% on a
+        mean_s fails."""
+        fresh = {
+            "union_find_unions": {"mean_s": 0.010},
+            "selection_scan": {"mean_s": 0.028},  # +40% on a mean: fails
+            "sweep": {"total_s": 2.8},  # +40% on a single sample: ok at 2x slack
+        }
+        deltas, _ = compare_bench.compute_deltas(BASELINE, fresh)
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert [(d.metric, d.field) for d in failed] == [("selection_scan", "mean_s")]
+        by_metric = {(d.metric, d.field): d for d in deltas}
+        assert by_metric[("sweep", "total_s")].status(0.25, 2.0) == "ok"
+        # beyond the widened bar it still fails
+        fresh["sweep"] = {"total_s": 3.2}  # +60%
+        deltas, _ = compare_bench.compute_deltas(BASELINE, fresh)
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert ("sweep", "total_s") in [(d.metric, d.field) for d in failed]
+
+
+class TestRenderTable:
+    def test_table_lists_every_tracked_timing(self):
+        deltas, scale = compare_bench.compute_deltas(BASELINE, BASELINE)
+        table = compare_bench.render_table(deltas, 0.25, scale)
+        assert "| metric | field | baseline | fresh |" in table
+        for metric in ("union_find_unions", "selection_scan", "sweep"):
+            assert f"`{metric}`" in table
+        assert "✅ ok" in table
+        assert "25%" in table
+
+    def test_units_scale_readably(self):
+        assert compare_bench._fmt_seconds(2.5e-6) == "2.5µs"
+        assert compare_bench._fmt_seconds(0.0025) == "2.50ms"
+        assert compare_bench._fmt_seconds(2.5) == "2.500s"
+        assert compare_bench._fmt_seconds(None) == "—"
+
+
+class TestMainCLI:
+    def test_exit_zero_and_summary_written(self, tmp_path, capsys):
+        baseline = _write(tmp_path, "baseline.json", BASELINE)
+        fresh = _write(tmp_path, "fresh.json", BASELINE)
+        summary = tmp_path / "summary.md"
+        code = compare_bench.main(
+            [
+                "--baseline", str(baseline),
+                "--fresh", str(fresh),
+                "--summary", str(summary),
+            ]
+        )
+        assert code == 0
+        assert "perf trajectory OK" in capsys.readouterr().out
+        assert "Perf trajectory" in summary.read_text()
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = _write(tmp_path, "baseline.json", BASELINE)
+        fresh_results = {
+            key: dict(value) for key, value in BASELINE.items()
+        }
+        fresh_results["sweep"] = {"total_s": 3.5, "n_answers": 1000}  # +75%
+        fresh = _write(tmp_path, "fresh.json", fresh_results)
+        code = compare_bench.main(["--baseline", str(baseline), "--fresh", str(fresh)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION: sweep.total_s" in captured.err
+
+    def test_exit_one_on_gone_metric(self, tmp_path, capsys):
+        baseline_results = dict(BASELINE)
+        baseline_results["retired_bench"] = {"mean_s": 0.5}
+        baseline = _write(tmp_path, "baseline.json", baseline_results)
+        fresh = _write(tmp_path, "fresh.json", BASELINE)
+        code = compare_bench.main(["--baseline", str(baseline), "--fresh", str(fresh)])
+        assert code == 1
+        assert "MISSING: retired_bench.mean_s" in capsys.readouterr().err
+
+    def test_rejects_non_artifact(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            compare_bench.load_results(bogus)
