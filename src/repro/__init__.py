@@ -73,11 +73,15 @@ from .core import (
 # Imported after .core: the engine's dispatch strategies are re-imported by
 # the core labeler facades, so repro.core must finish initialising first.
 from .engine import (
+    AsyncDispatch,
+    CrowdRuntime,
     DispatchStrategy,
     HITDispatchAdapter,
     InstantDispatch,
     LabelingEngine,
     RoundParallelDispatch,
+    RuntimeMode,
+    RuntimeReport,
     SequentialDispatch,
     must_crowdsource_frontier,
 )
@@ -86,10 +90,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnswerPolicy",
+    "AsyncDispatch",
     "CandidatePair",
     "ClusterGraph",
     "ConflictPolicy",
     "CountingOracle",
+    "CrowdRuntime",
     "DispatchStrategy",
     "ExpectedOrderSorter",
     "FrameworkRun",
@@ -108,6 +114,8 @@ __all__ = [
     "Provenance",
     "RandomOrderSorter",
     "RoundParallelDispatch",
+    "RuntimeMode",
+    "RuntimeReport",
     "SequentialDispatch",
     "SequentialLabeler",
     "TransitiveJoinFramework",

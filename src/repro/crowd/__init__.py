@@ -1,22 +1,28 @@
-"""Simulated crowdsourcing platform — the AMT substitute.
+"""Crowd platforms — the simulator, async clients, and campaign runners.
 
 Provides HIT batching, worker models, majority-vote aggregation, latency
-models, a discrete-event platform simulator, and campaign runners for the
-paper's Section 6.4 experiments.
+models, a discrete-event platform simulator, the async
+:class:`PlatformClient` seam (simulated / polling / webhook-push clients),
+and campaign runners for the paper's Section 6.4 experiments.
 """
 
+# NOTE: import order matters here.  ``campaign`` sits on the engine side of
+# the crowd<->engine seam (it drives ``repro.engine.async_dispatch``), so it
+# must be imported after every module the engine's runtime needs from this
+# package (budget, latency, hit, platform, clients); otherwise a first
+# import entering through ``repro.engine`` cannot resolve the cycle.
 from .aggregation import (
     agreement_rate,
     aggregate_assignments,
     majority_vote,
     unanimous_or,
 )
-from .budget import DEFAULT_PRICE_PER_ASSIGNMENT, CostLedger, CostModel
-from .campaign import (
-    CampaignReport,
-    run_non_parallel,
-    run_non_transitive,
-    run_transitive,
+from .budget import (
+    DEFAULT_PRICE_PER_ASSIGNMENT,
+    BudgetExceededError,
+    BudgetPolicy,
+    CostLedger,
+    CostModel,
 )
 from .hit import (
     DEFAULT_ASSIGNMENTS,
@@ -27,7 +33,13 @@ from .hit import (
     n_hits_needed,
     pairs_of_hits,
 )
-from .latency import FixedLatency, LatencyModel, LognormalLatency, ZeroLatency
+from .latency import (
+    FixedLatency,
+    LatencyModel,
+    LognormalLatency,
+    TimeoutPolicy,
+    ZeroLatency,
+)
 from .platform import HITCompletion, PlatformStats, SimulatedPlatform
 from .worker import (
     AmbiguityAwareWorker,
@@ -38,11 +50,31 @@ from .worker import (
     WorkerModel,
     make_worker_pool,
 )
+from .clients import (
+    CallbackPlatformClient,
+    HITExpiry,
+    InMemoryCrowdBackend,
+    ManualClock,
+    PlatformClient,
+    PlatformEvent,
+    PollingPlatformClient,
+    RestCrowdBackend,
+    SimulatedPlatformClient,
+)
+from .campaign import (
+    CampaignReport,
+    run_non_parallel,
+    run_non_transitive,
+    run_transitive,
+)
 
 __all__ = [
     "AmbiguityAwareWorker",
     "Assignment",
     "BernoulliWorker",
+    "BudgetExceededError",
+    "BudgetPolicy",
+    "CallbackPlatformClient",
     "CampaignReport",
     "CostLedger",
     "CostModel",
@@ -52,12 +84,21 @@ __all__ = [
     "FixedLatency",
     "HIT",
     "HITCompletion",
+    "HITExpiry",
+    "InMemoryCrowdBackend",
     "LatencyModel",
     "LognormalLatency",
+    "ManualClock",
     "PerfectWorker",
+    "PlatformClient",
+    "PlatformEvent",
     "PlatformStats",
+    "PollingPlatformClient",
     "QualificationTest",
+    "RestCrowdBackend",
     "SimulatedPlatform",
+    "SimulatedPlatformClient",
+    "TimeoutPolicy",
     "Worker",
     "WorkerModel",
     "ZeroLatency",

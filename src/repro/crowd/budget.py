@@ -9,7 +9,8 @@ objective.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 DEFAULT_PRICE_PER_ASSIGNMENT = 0.02  # dollars; the paper's 2 cents
 
@@ -38,6 +39,56 @@ class CostModel:
         """Dollars for ``n_hits`` HITs each replicated ``assignments_per_hit``
         times."""
         return self.assignment_cost(n_hits * assignments_per_hit)
+
+
+class BudgetExceededError(RuntimeError):
+    """Submitting more work would overrun the campaign's budget policy."""
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Spending cap enforced by the crowd runtime at submission time.
+
+    The pre-async campaigns could only cap spend by construction (fewer
+    candidate pairs); against a live platform the cap must be a *runtime*
+    policy checked before every submission, because deduction savings —
+    hence the final spend — are only discovered as answers arrive.
+
+    Attributes:
+        max_cost: dollar ceiling for the campaign (None = unlimited).
+        max_assignments: assignment-count ceiling (None = unlimited).
+        model: pricing used to convert assignments to dollars.
+    """
+
+    max_cost: Optional[float] = None
+    max_assignments: Optional[int] = None
+    model: CostModel = field(default_factory=lambda: CostModel())
+
+    def __post_init__(self) -> None:
+        if self.max_cost is not None and self.max_cost < 0:
+            raise ValueError("max_cost must be non-negative")
+        if self.max_assignments is not None and self.max_assignments < 0:
+            raise ValueError("max_assignments must be non-negative")
+
+    def authorize(self, assignments_committed: int, new_assignments: int) -> int:
+        """Approve committing ``new_assignments`` more; returns the new total.
+
+        Raises:
+            BudgetExceededError: if the submission would overrun either cap.
+        """
+        total = assignments_committed + new_assignments
+        if self.max_assignments is not None and total > self.max_assignments:
+            raise BudgetExceededError(
+                f"submitting {new_assignments} assignments would commit {total}, "
+                f"exceeding the cap of {self.max_assignments}"
+            )
+        cost = self.model.assignment_cost(total)
+        if self.max_cost is not None and cost > self.max_cost + 1e-9:
+            raise BudgetExceededError(
+                f"submitting {new_assignments} assignments would commit "
+                f"${cost:.2f}, exceeding the budget of ${self.max_cost:.2f}"
+            )
+        return total
 
 
 @dataclass

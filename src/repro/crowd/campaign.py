@@ -1,6 +1,6 @@
 """Crowdsourcing campaigns: labeling strategies driven by the platform.
 
-A *campaign* wires a labeling strategy to the discrete-event platform at HIT
+A *campaign* wires a labeling strategy to a crowd platform at HIT
 granularity, producing the quantities the paper's Section 6.4 tables report:
 number of HITs, completion time, money cost, and the final labels (from which
 quality is computed).  Three campaign styles cover the paper's comparisons:
@@ -11,15 +11,18 @@ quality is computed).  Three campaign styles cover the paper's comparisons:
   publish the must-crowdsource pairs, deduce everything implied as answers
   arrive, optionally re-deciding instantly after every HIT completion
   (Parallel(ID)); without instant decision it re-publishes only when the
-  platform drains (round-based Parallel).  The frontier computation and the
-  deduction sweep are the shared :class:`~repro.engine.LabelingEngine`,
-  driven at HIT granularity through
-  :class:`~repro.engine.HITDispatchAdapter`, which buffers publishable pairs
-  into *full* HITs of the platform's batch size — partial HITs are flushed
-  only when the platform would otherwise sit idle — so iterative publication
-  does not inflate the HIT count the paper's batching strategy saves.
+  platform drains (round-based Parallel).
 * :func:`run_non_parallel` — publish a fixed list of HITs strictly one at a
   time (Table 1's Non-Parallel opponent).
+
+All three are thin synchronous facades over the async crowd runtime
+(:class:`repro.engine.async_dispatch.CrowdRuntime`) running the
+:class:`~repro.crowd.clients.SimulatedPlatformClient` to completion: the
+frontier computation, the deduction sweep, full-HIT buffering
+(:class:`~repro.engine.hit_adapter.HITDispatchAdapter`), and — crucially —
+the application of out-of-order crowd answers are the same code path a live
+:class:`~repro.crowd.clients.PollingPlatformClient` or
+:class:`~repro.crowd.clients.CallbackPlatformClient` campaign exercises.
 """
 
 from __future__ import annotations
@@ -29,7 +32,9 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from ..core.cluster_graph import ConflictPolicy
 from ..core.pairs import CandidatePair, Label, Pair, Provenance
-from ..engine import HITDispatchAdapter, LabelingEngine
+from ..engine import async_dispatch as _runtime
+from ..engine.engine import LabelingEngine
+from .clients import SimulatedPlatformClient
 from .platform import SimulatedPlatform
 
 
@@ -79,7 +84,28 @@ def _pairs_of(order: Sequence[CandidatePair | Pair]) -> List[Pair]:
     return [item.pair if isinstance(item, CandidatePair) else item for item in order]
 
 
-def _finalize(report: CampaignReport, platform: SimulatedPlatform) -> CampaignReport:
+def _report_from(
+    engine: LabelingEngine,
+    runtime_report: "_runtime.RuntimeReport",
+    platform: SimulatedPlatform,
+) -> CampaignReport:
+    """Assemble the campaign view of an engine run + runtime report."""
+    report = CampaignReport()
+    for pair, outcome in engine.result.outcomes.items():
+        report.labels[pair] = outcome.label
+        report.provenance[pair] = outcome.provenance
+    # Any still-outstanding HITs were paid for regardless; record their
+    # answers as they land (they do not extend the completion time, which
+    # is defined by the last *needed* label).
+    for completion in runtime_report.leftovers:
+        for pair, label in completion.labels.items():
+            if pair not in report.labels:
+                report.labels[pair] = label
+                report.provenance[pair] = Provenance.CROWDSOURCED
+    report.completion_hours = runtime_report.completion_hours
+    report.publish_events = list(runtime_report.publish_events)
+    report.hit_batches = [list(batch) for batch in runtime_report.hit_batches]
+    report.conflicts = list(runtime_report.conflicts)
     report.n_hits = platform.stats.hits_published
     report.n_assignments = platform.stats.assignments_completed
     report.cost = platform.ledger.total
@@ -91,17 +117,18 @@ def run_non_transitive(
     platform: SimulatedPlatform,
 ) -> CampaignReport:
     """Publish every pair simultaneously; no deduction (paper's baseline)."""
-    pairs = _pairs_of(candidates)
-    report = CampaignReport()
-    hits = platform.publish_pairs(pairs)
-    report.hit_batches.extend(list(hit.pairs) for hit in hits)
-    report.publish_events.append((platform.now, len(hits)))
-    for completion in platform.run_to_completion():
-        for pair, label in completion.labels.items():
-            report.labels[pair] = label
-            report.provenance[pair] = Provenance.CROWDSOURCED
-        report.completion_hours = completion.completed_at
-    return _finalize(report, platform)
+    # FIRST_WINS because the baseline takes the crowd's word per pair: with
+    # noisy workers the answers need not be mutually consistent, and no
+    # deduction ever reads the graph anyway.
+    engine = LabelingEngine(
+        _pairs_of(candidates), policy=ConflictPolicy.FIRST_WINS, use_index=False
+    )
+    runtime = _runtime.CrowdRuntime(
+        engine,
+        SimulatedPlatformClient(platform),
+        mode=_runtime.RuntimeMode.FLOOD,
+    )
+    return _report_from(engine, runtime.run_sync(), platform)
 
 
 def run_transitive(
@@ -123,45 +150,17 @@ def run_transitive(
     conflicts, mirroring how cascaded deduction errors arise in the paper's
     Table 2.
     """
-    report = CampaignReport()
     engine = LabelingEngine(_pairs_of(candidates), policy=policy)
-
-    def publish_chunk(chunk: List[Pair]) -> None:
-        hits = platform.publish_pairs(chunk)
-        report.hit_batches.extend(list(hit.pairs) for hit in hits)
-        report.publish_events.append((platform.now, len(hits)))
-
-    adapter = HITDispatchAdapter(engine, publish_chunk, platform.batch_size)
-    n_completions = 0
-
-    adapter.select_new()
-    adapter.flush(force=True)  # the first round goes out even if it is a partial HIT
-    while not engine.is_done:
-        if platform.n_outstanding_hits == 0:
-            adapter.select_new()
-            adapter.flush(force=True)
-        completion = platform.step()
-        assert completion is not None, "campaign stalled with pairs unlabeled"
-        report.conflicts.extend(
-            adapter.record_completion(list(completion.labels.items()), n_completions)
-        )
-        report.completion_hours = completion.completed_at
-        adapter.sweep(n_completions)
-        n_completions += 1
-        if not engine.is_done and instant_decision:
-            adapter.select_new()
-    for pair, outcome in engine.result.outcomes.items():
-        report.labels[pair] = outcome.label
-        report.provenance[pair] = outcome.provenance
-    # Any still-outstanding HITs are paid for regardless; record their
-    # answers as they land (they do not extend the completion time, which is
-    # defined by the last *needed* label).
-    for completion in platform.run_to_completion():
-        for pair, label in completion.labels.items():
-            if pair not in report.labels:
-                report.labels[pair] = label
-                report.provenance[pair] = Provenance.CROWDSOURCED
-    return _finalize(report, platform)
+    runtime = _runtime.CrowdRuntime(
+        engine,
+        SimulatedPlatformClient(platform),
+        mode=(
+            _runtime.RuntimeMode.HIT_INSTANT
+            if instant_decision
+            else _runtime.RuntimeMode.HIT_ROUNDS
+        ),
+    )
+    return _report_from(engine, runtime.run_sync(), platform)
 
 
 def run_non_parallel(
@@ -173,15 +172,12 @@ def run_non_parallel(
     Each inner sequence is one HIT's pairs; the next HIT is published only
     after the previous one fully completes.
     """
-    report = CampaignReport()
-    for chunk in hits_pairs:
-        hits = platform.publish_pairs(list(chunk))
-        report.hit_batches.extend(list(hit.pairs) for hit in hits)
-        report.publish_events.append((platform.now, len(hits)))
-        completion = platform.step()
-        assert completion is not None, "published HIT never completed"
-        for pair, label in completion.labels.items():
-            report.labels[pair] = label
-            report.provenance[pair] = Provenance.CROWDSOURCED
-        report.completion_hours = completion.completed_at
-    return _finalize(report, platform)
+    flat = [pair for chunk in hits_pairs for pair in chunk]
+    engine = LabelingEngine(flat, policy=ConflictPolicy.FIRST_WINS, use_index=False)
+    runtime = _runtime.CrowdRuntime(
+        engine,
+        SimulatedPlatformClient(platform),
+        mode=_runtime.RuntimeMode.SERIAL,
+        preplanned=hits_pairs,
+    )
+    return _report_from(engine, runtime.run_sync(), platform)

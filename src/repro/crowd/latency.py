@@ -88,6 +88,33 @@ class FixedLatency:
 
 
 @dataclass(frozen=True)
+class TimeoutPolicy:
+    """Latency cap enforced by the crowd runtime, not the simulator.
+
+    On a live platform a HIT can sit unclaimed indefinitely; the runtime
+    bounds that by requesting ``hit_timeout`` as the expiry deadline on
+    every submission and re-issuing the unanswered pairs of each expired
+    HIT — at most ``max_reissues`` times per HIT lineage, after which the
+    campaign fails fast instead of spinning forever.
+
+    Attributes:
+        hit_timeout: expiry deadline per HIT, in the platform client's
+            clock units (simulated hours, or wall seconds for live
+            clients).
+        max_reissues: re-publication attempts per expired HIT lineage.
+    """
+
+    hit_timeout: float
+    max_reissues: int = 3
+
+    def __post_init__(self) -> None:
+        if self.hit_timeout <= 0:
+            raise ValueError("hit_timeout must be positive")
+        if self.max_reissues < 0:
+            raise ValueError("max_reissues must be non-negative")
+
+
+@dataclass(frozen=True)
 class ZeroLatency:
     """Everything is instantaneous — isolates counting from timing."""
 

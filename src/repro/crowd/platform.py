@@ -140,6 +140,11 @@ class SimulatedPlatform:
         return self._batch_size
 
     @property
+    def n_assignments(self) -> int:
+        """Replication factor per HIT (what one HIT costs in assignments)."""
+        return self._n_assignments
+
+    @property
     def n_outstanding_hits(self) -> int:
         """HITs published but not yet fully completed."""
         return len(self._incomplete_hits)

@@ -7,6 +7,14 @@ pending-pair frontier (:class:`repro.core.sweep.PendingPairIndex`), and the
 shared must-crowdsource selection; a pluggable :class:`DispatchStrategy`
 decides when to publish which frontier pairs.
 
+Since the async-first refactor the primary driver is the event loop, not
+the simulator: :class:`CrowdRuntime` drives the engine from asyncio over
+the :class:`~repro.crowd.clients.PlatformClient` seam (simulated, polling,
+or webhook-push crowds), applying out-of-order completions, re-issuing
+expired HITs, and enforcing budget/latency policies at submission time.
+The synchronous strategies and the campaign runners are thin facades that
+run the simulated client to completion.
+
 Public surface:
 
 * engine:     :class:`LabelingEngine` (+ ``DEFAULT_SHARD_THRESHOLD``)
@@ -14,6 +22,8 @@ Public surface:
               :class:`FrontierCursor` (decided-prefix incremental selection)
 * sharding:   :class:`ShardedClusterGraph`, :class:`ShardedFrontier`
               (per-component backend for 10M+ pair workloads)
+* runtime:    :class:`CrowdRuntime`, :class:`RuntimeMode`,
+              :class:`RuntimeReport`, :class:`AsyncDispatch`
 * strategies: :class:`SequentialDispatch`, :class:`RoundParallelDispatch`,
               :class:`InstantDispatch` (+ :class:`AnswerPolicy`,
               :class:`InstantRunResult`, :class:`AvailabilityPoint`)
@@ -23,6 +33,7 @@ The legacy labeler classes in :mod:`repro.core` remain available as thin
 compatibility facades over these strategies.
 """
 
+from .async_dispatch import AsyncDispatch, CrowdRuntime, RuntimeMode, RuntimeReport
 from .dispatch import (
     AnswerPolicy,
     AvailabilityPoint,
@@ -39,7 +50,9 @@ from .sharding import ShardedClusterGraph, ShardedFrontier
 
 __all__ = [
     "AnswerPolicy",
+    "AsyncDispatch",
     "AvailabilityPoint",
+    "CrowdRuntime",
     "DEFAULT_SHARD_THRESHOLD",
     "DispatchStrategy",
     "FrontierCursor",
@@ -49,6 +62,8 @@ __all__ = [
     "LabelingEngine",
     "OptimisticGraph",
     "RoundParallelDispatch",
+    "RuntimeMode",
+    "RuntimeReport",
     "SequentialDispatch",
     "ShardedClusterGraph",
     "ShardedFrontier",

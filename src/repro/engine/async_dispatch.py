@@ -1,0 +1,511 @@
+"""The async-first crowd runtime: one event loop for every labeler.
+
+Historically the discrete-event simulator was the primary abstraction —
+each labeling loop *stepped* it and the idea of "a crowd answer arrived"
+was buried inside four different while-loops.  This module inverts that:
+:class:`CrowdRuntime` drives a :class:`~repro.engine.engine.LabelingEngine`
+from an asyncio loop over the :class:`~repro.crowd.clients.PlatformClient`
+seam, and the simulator is just one client among several
+(:class:`~repro.crowd.clients.SimulatedPlatformClient`,
+:class:`~repro.crowd.clients.PollingPlatformClient`,
+:class:`~repro.crowd.clients.CallbackPlatformClient`).
+
+The runtime owns everything a live campaign needs that a simulator got for
+free:
+
+* in-flight HIT bookkeeping and *out-of-order* completion application
+  through the engine's ``record_answer``/``sweep`` seam (both the
+  monolithic and the sharded backend — the runtime never looks inside);
+* re-issue of expired HITs (unanswered pairs go back out as fresh HITs);
+* budget (:class:`~repro.crowd.budget.BudgetPolicy`) and latency
+  (:class:`~repro.crowd.latency.TimeoutPolicy`) limits enforced at
+  submission time as *runtime policies*, not simulator features.
+
+Dispatch semantics are a :class:`RuntimeMode`: the paper's sequential and
+round-based labelers, the HIT-granularity campaign modes (instant decision
+or re-publish-on-drain), the publish-everything baseline, and the serial
+HIT replay.  The synchronous strategies (`SequentialDispatch`,
+`RoundParallelDispatch`) and the campaign runners in
+:mod:`repro.crowd.campaign` are thin facades that run this runtime over
+the simulated client to completion — there is exactly one code path for
+applying crowd answers.  :class:`AsyncDispatch` exposes the same semantics
+as an awaitable strategy for callers that already live in an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.cluster_graph import ConflictPolicy
+from ..core.oracle import LabelOracle
+from ..core.pairs import CandidatePair, Pair
+from ..core.result import LabelingResult
+from ..crowd.budget import BudgetPolicy
+from ..crowd.clients import (
+    HITExpiry,
+    PlatformClient,
+    SimulatedPlatformClient,
+)
+from ..crowd.hit import HIT, n_hits_needed
+from ..crowd.latency import TimeoutPolicy
+from ..crowd.platform import HITCompletion
+from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
+from .hit_adapter import HITDispatchAdapter
+
+
+class RuntimeMode(enum.Enum):
+    """When the runtime publishes which pairs (the dispatch semantics).
+
+    SEQUENTIAL:  one pair in flight at a time, deduction at visit time —
+                 the paper's Section 3.2 labeler.
+    ROUNDS:      the full must-crowdsource frontier per round; the next
+                 round is decided only once every answer of the current
+                 one has arrived (Section 5.1, Algorithms 2-3).
+    HIT_INSTANT: HIT granularity with instant decision — re-select after
+                 every completion, buffering toward full HITs
+                 (Section 6.4, Parallel(ID)).
+    HIT_ROUNDS:  HIT granularity, re-selecting only when the platform
+                 drains (round-based Parallel).
+    FLOOD:       publish every pair up front, no deduction — the
+                 non-transitive baseline.
+    SERIAL:      publish pre-batched HITs strictly one at a time (Table 1's
+                 Non-Parallel opponent); requires ``preplanned``.
+    """
+
+    SEQUENTIAL = "sequential"
+    ROUNDS = "rounds"
+    HIT_INSTANT = "instant"
+    HIT_ROUNDS = "hit-rounds"
+    FLOOD = "flood"
+    SERIAL = "serial"
+
+
+@dataclass
+class RuntimeReport:
+    """Everything the runtime observed that the engine result does not hold.
+
+    Attributes:
+        publish_events: (client time, HITs published) per submission burst.
+        hit_batches: pair composition of every published HIT, in
+            publication order (re-issues included).
+        conflicts: pairs whose crowd answer contradicted the deduction
+            graph (possible only with noisy answers under FIRST_WINS).
+        completion_hours: client time when the last *needed* label became
+            known.
+        n_completions: HIT completions applied.
+        n_expired_hits: expiry events received.
+        n_reissued_hits: fresh HITs published to replace expired ones.
+        assignments_committed: assignments submitted (the budget metric).
+        leftovers: completions that arrived after the campaign was already
+            decided (outstanding work settled by ``drain``).
+    """
+
+    publish_events: List[Tuple[float, int]] = field(default_factory=list)
+    hit_batches: List[List[Pair]] = field(default_factory=list)
+    conflicts: List[Pair] = field(default_factory=list)
+    completion_hours: float = 0.0
+    n_completions: int = 0
+    n_expired_hits: int = 0
+    n_reissued_hits: int = 0
+    assignments_committed: int = 0
+    leftovers: List[HITCompletion] = field(default_factory=list)
+
+
+class CrowdRuntime:
+    """Asyncio event loop driving a :class:`LabelingEngine` over a client.
+
+    Args:
+        engine: the labeling engine (any backend; the runtime only uses
+            the ``frontier``/``publish``/``record_answer``/``sweep`` seam).
+        client: the platform client to submit to and await events from.
+        mode: dispatch semantics (:class:`RuntimeMode` or its value).
+        budget: optional spending cap checked before every submission.
+        timeout: optional per-HIT expiry deadline + re-issue cap; without
+            it the runtime requests no deadline and re-issues expired HITs
+            without limit (clients that inject expiry cap themselves).
+        max_rounds: ROUNDS-mode safety cap (the algorithm provably
+            terminates; the cap exists to fail fast on bugs).
+        preplanned: SERIAL-mode HIT contents, one inner sequence per HIT.
+
+    The runtime is single-shot: build, ``await run()`` (or ``run_sync()``
+    from synchronous code), read the report.
+    """
+
+    def __init__(
+        self,
+        engine: LabelingEngine,
+        client: PlatformClient,
+        *,
+        mode: Union[RuntimeMode, str] = RuntimeMode.HIT_INSTANT,
+        budget: Optional[BudgetPolicy] = None,
+        timeout: Optional[TimeoutPolicy] = None,
+        max_rounds: Optional[int] = None,
+        preplanned: Optional[Sequence[Sequence[Pair]]] = None,
+    ) -> None:
+        self._engine = engine
+        self._client = client
+        self._mode = RuntimeMode(mode)
+        self._budget = budget
+        self._timeout = timeout
+        self._max_rounds = max_rounds
+        if (preplanned is not None) != (self._mode is RuntimeMode.SERIAL):
+            raise ValueError("preplanned batches are for SERIAL mode exactly")
+        self._preplanned = [list(chunk) for chunk in preplanned or ()]
+        self.report = RuntimeReport()
+        self._ran = False
+        # How many times each in-flight HIT's lineage has been re-issued
+        # (for TimeoutPolicy.max_reissues); entries are dropped when the
+        # HIT settles, whichever way.
+        self._reissue_counts: Dict[int, int] = {}
+        # Mode state.
+        self._round_index = 0
+        self._cursor = 0  # SEQUENTIAL: next unvisited order position
+        self._round_batch: List[Pair] = []
+        self._round_outstanding: Set[Pair] = set()
+        self._adapter: Optional[HITDispatchAdapter] = None
+        if self._mode in (RuntimeMode.HIT_INSTANT, RuntimeMode.HIT_ROUNDS):
+            self._adapter = HITDispatchAdapter(
+                engine, self._buffer_chunk, client.batch_size
+            )
+        self._pending_chunks: List[List[Pair]] = []
+
+    @property
+    def engine(self) -> LabelingEngine:
+        return self._engine
+
+    @property
+    def client(self) -> PlatformClient:
+        return self._client
+
+    # ------------------------------------------------------------------
+    # submission plumbing
+    # ------------------------------------------------------------------
+    def _buffer_chunk(self, chunk: List[Pair]) -> None:
+        """Synchronous landing spot for the HIT adapter's publish calls;
+        the async loop flushes these to the client right after."""
+        self._pending_chunks.append(chunk)
+
+    async def _flush_chunks(self) -> None:
+        while self._pending_chunks:
+            await self._submit(self._pending_chunks.pop(0))
+
+    async def _submit(self, pairs: Sequence[Pair]) -> List[HIT]:
+        """Publish ``pairs``; enforce the budget; record the burst."""
+        pairs = list(pairs)
+        new_assignments = 0
+        if pairs:
+            new_assignments = (
+                n_hits_needed(len(pairs), self._client.batch_size)
+                * self._client.n_assignments
+            )
+        if self._budget is not None:
+            self.report.assignments_committed = self._budget.authorize(
+                self.report.assignments_committed, new_assignments
+            )
+        else:
+            self.report.assignments_committed += new_assignments
+        hit_timeout = self._timeout.hit_timeout if self._timeout else None
+        hits = await self._client.submit_pairs(pairs, timeout=hit_timeout)
+        self.report.hit_batches.extend(list(hit.pairs) for hit in hits)
+        self.report.publish_events.append((self._client.now, len(hits)))
+        return hits
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run_sync(self) -> RuntimeReport:
+        """Drive the loop to completion from synchronous code."""
+        return asyncio.run(self.run())
+
+    async def run(self) -> RuntimeReport:
+        """Publish, await events, apply answers; returns the report.
+
+        Raises:
+            BudgetExceededError: a submission would overrun the budget.
+            RuntimeError: the platform drained with pairs unlabeled, a HIT
+                lineage exceeded ``max_reissues``, or ROUNDS mode exceeded
+                ``max_rounds``.
+        """
+        if self._ran:
+            raise RuntimeError("CrowdRuntime is single-shot; build a new one")
+        self._ran = True
+        try:
+            if self._mode is RuntimeMode.SERIAL:
+                await self._run_serial()
+            else:
+                await self._start()
+                await self._event_loop()
+            self.report.leftovers = await self._client.drain()
+        finally:
+            await self._client.close()
+        return self.report
+
+    async def _event_loop(self) -> None:
+        engine = self._engine
+        while not engine.is_done:
+            if (
+                self._adapter is not None
+                and self._client.n_outstanding_hits == 0
+            ):
+                # The platform would otherwise sit idle: re-select and
+                # force out even a partial HIT (paper Section 6.4).
+                self._adapter.select_new()
+                self._adapter.flush(force=True)
+                await self._flush_chunks()
+            event = await self._client.next_event()
+            if event is None:
+                raise RuntimeError(
+                    "crowd runtime stalled: platform drained with "
+                    f"{len(engine.pairs) - engine.n_labeled} pairs unlabeled"
+                )
+            if isinstance(event, HITExpiry):
+                await self._on_expiry(event)
+                continue
+            self._reissue_counts.pop(event.hit.hit_id, None)
+            await self._on_completion(event)
+
+    async def _start(self) -> None:
+        if self._mode is RuntimeMode.FLOOD:
+            # The baseline publishes unconditionally (even an empty order
+            # records its single publish burst, as the old runner did).
+            await self._submit(self._engine.pairs)
+        elif self._engine.is_done:
+            return
+        elif self._mode is RuntimeMode.SEQUENTIAL:
+            await self._advance_sequential()
+        elif self._mode is RuntimeMode.ROUNDS:
+            await self._start_round()
+        else:  # HIT_INSTANT / HIT_ROUNDS
+            self._adapter.select_new()
+            self._adapter.flush(force=True)
+            await self._flush_chunks()
+
+    # ------------------------------------------------------------------
+    # expiry / re-issue
+    # ------------------------------------------------------------------
+    async def _on_expiry(self, event: HITExpiry) -> List[HIT]:
+        """Re-issue the expired HIT's still-unanswered pairs."""
+        hit = event.hit
+        self.report.n_expired_hits += 1
+        chain = self._reissue_counts.pop(hit.hit_id, 0) + 1
+        if self._timeout is not None and chain > self._timeout.max_reissues:
+            raise RuntimeError(
+                f"HIT {hit.hit_id} expired after {chain - 1} re-issues, "
+                f"exceeding TimeoutPolicy.max_reissues={self._timeout.max_reissues}"
+            )
+        unanswered = [p for p in hit.pairs if p not in self._engine.labeled]
+        if not unanswered:
+            return []
+        reissued = await self._submit(unanswered)
+        for new_hit in reissued:
+            self._reissue_counts[new_hit.hit_id] = chain
+        self.report.n_reissued_hits += len(reissued)
+        return reissued
+
+    # ------------------------------------------------------------------
+    # completion application (the one code path)
+    # ------------------------------------------------------------------
+    def _apply_labels(
+        self, event: HITCompletion, round_index: int, track_conflicts: bool = False
+    ) -> List[Pair]:
+        """Fold a completion's answers into the engine, skipping pairs a
+        re-issue race already answered.  Returns the pairs applied."""
+        engine = self._engine
+        applied: List[Pair] = []
+        for pair, label in event.labels.items():
+            if pair in engine.labeled:
+                continue  # duplicate delivery (expired HIT completed late)
+            ok = engine.record_answer(pair, label, round_index)
+            if track_conflicts and not ok:
+                self.report.conflicts.append(pair)
+            applied.append(pair)
+        self.report.completion_hours = event.completed_at
+        return applied
+
+    async def _on_completion(self, event: HITCompletion) -> None:
+        mode = self._mode
+        if mode is RuntimeMode.SEQUENTIAL:
+            for pair in self._apply_labels(event, self._round_index):
+                self._engine.result.rounds.append([pair])
+                self._round_index += 1
+            self.report.n_completions += 1
+            await self._advance_sequential()
+        elif mode is RuntimeMode.ROUNDS:
+            applied = self._apply_labels(event, self._round_index)
+            self._round_outstanding.difference_update(applied)
+            self.report.n_completions += 1
+            if not self._round_outstanding:
+                self._engine.result.rounds.append(self._round_batch)
+                # Deduction sweep (Algorithm 2 lines 6-8): incremental —
+                # only pairs whose endpoint clusters changed are re-checked.
+                self._engine.sweep(self._round_index)
+                self._round_index += 1
+                if not self._engine.is_done:
+                    await self._start_round()
+        elif mode is RuntimeMode.FLOOD:
+            self._apply_labels(event, self.report.n_completions)
+            self.report.n_completions += 1
+        else:  # HIT_INSTANT / HIT_ROUNDS
+            self._apply_labels(
+                event, self.report.n_completions, track_conflicts=True
+            )
+            # Rescued pairs leave the adapter's buffer; on-platform pairs
+            # stay withheld from the sweep (the crowd will answer them).
+            self._adapter.sweep(self.report.n_completions)
+            self.report.n_completions += 1
+            if not self._engine.is_done and mode is RuntimeMode.HIT_INSTANT:
+                self._adapter.select_new()
+                await self._flush_chunks()
+
+    # ------------------------------------------------------------------
+    # mode drivers
+    # ------------------------------------------------------------------
+    async def _advance_sequential(self) -> None:
+        """Visit the order: deduce for free, submit the next paid pair."""
+        engine = self._engine
+        while self._cursor < len(engine.pairs):
+            pair = engine.pairs[self._cursor]
+            if pair in engine.labeled:
+                self._cursor += 1
+                continue
+            deduced = engine.deduce(pair)
+            if deduced is not None:
+                engine.record_deduced(pair, deduced, self._round_index)
+                self._cursor += 1
+                continue
+            self._cursor += 1
+            engine.publish([pair])
+            await self._submit([pair])
+            return
+
+    async def _start_round(self) -> None:
+        if self._max_rounds is not None and self._round_index >= self._max_rounds:
+            raise RuntimeError(
+                f"parallel labeling exceeded {self._max_rounds} rounds"
+            )
+        batch = self._engine.frontier()
+        assert batch, "a round must always publish at least one pair"
+        self._engine.publish(batch)
+        self._round_batch = batch
+        self._round_outstanding = set(batch)
+        await self._submit(batch)
+
+    async def _run_serial(self) -> None:
+        """SERIAL mode: each preplanned HIT fully completes before the
+        next is published (Table 1's Non-Parallel baseline)."""
+        for chunk in self._preplanned:
+            hits = await self._submit(chunk)
+            waiting = {hit.hit_id for hit in hits}
+            while waiting:
+                event = await self._client.next_event()
+                if event is None:
+                    raise RuntimeError("published HIT never completed")
+                if isinstance(event, HITExpiry):
+                    waiting.discard(event.hit.hit_id)
+                    waiting.update(h.hit_id for h in await self._on_expiry(event))
+                    continue
+                self._reissue_counts.pop(event.hit.hit_id, None)
+                waiting.discard(event.hit.hit_id)
+                self._apply_labels(event, self.report.n_completions)
+                self._engine.result.rounds.append(list(event.hit.pairs))
+                self.report.n_completions += 1
+
+
+class AsyncDispatch:
+    """Awaitable dispatch strategy over any :class:`PlatformClient`.
+
+    The async counterpart of :class:`~repro.engine.dispatch.SequentialDispatch`
+    and :class:`~repro.engine.dispatch.RoundParallelDispatch`: same labeling
+    semantics (property-tested identical against the frozen pre-refactor
+    references), but answers are *awaited* from a platform client instead of
+    pulled from a stepped simulator — out of order, with expiry and
+    re-issue, against either engine backend.
+
+    Args:
+        mode: ``RuntimeMode.SEQUENTIAL`` or ``RuntimeMode.ROUNDS`` (the two
+            pair-granularity labelers; HIT-granularity campaigns live in
+            :mod:`repro.crowd.campaign`).
+        client_factory: builds the platform client for a run, given the
+            oracle; defaults to the deterministic simulated client
+            (:meth:`SimulatedPlatformClient.for_oracle`).  Clients that do
+            not consult the oracle (live platforms) may ignore it.
+        policy: conflict policy for the engine's deduction graph.
+        backend: engine backend (``"auto"``, ``"monolithic"``, ``"sharded"``).
+        shard_threshold: the ``auto`` backend's cut-over point.
+        budget: optional runtime spending cap.
+        timeout: optional per-HIT expiry deadline + re-issue cap.
+        max_rounds: ROUNDS-mode safety cap.
+
+    After a run, :attr:`last_report` holds the runtime's
+    :class:`RuntimeReport` (publish bursts, expiries, re-issues, spend).
+    """
+
+    def __init__(
+        self,
+        mode: Union[RuntimeMode, str] = RuntimeMode.ROUNDS,
+        *,
+        client_factory=None,
+        policy: ConflictPolicy = ConflictPolicy.STRICT,
+        backend: str = "auto",
+        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+        budget: Optional[BudgetPolicy] = None,
+        timeout: Optional[TimeoutPolicy] = None,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        mode = RuntimeMode(mode)
+        if mode not in (RuntimeMode.SEQUENTIAL, RuntimeMode.ROUNDS):
+            raise ValueError(
+                "AsyncDispatch labels at pair granularity: mode must be "
+                f"SEQUENTIAL or ROUNDS, got {mode}"
+            )
+        self._mode = mode
+        self._client_factory = client_factory
+        self._policy = policy
+        self._backend = backend
+        self._shard_threshold = shard_threshold
+        self._budget = budget
+        self._timeout = timeout
+        self._max_rounds = max_rounds
+        self.last_report: Optional[RuntimeReport] = None
+
+    def _make_client(self, oracle: LabelOracle) -> PlatformClient:
+        if self._client_factory is not None:
+            return self._client_factory(oracle)
+        return SimulatedPlatformClient.for_oracle(oracle)
+
+    async def run_async(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        oracle: LabelOracle,
+    ) -> LabelingResult:
+        """Label every pair in ``order`` from inside an event loop."""
+        engine = LabelingEngine(
+            order,
+            policy=self._policy,
+            # The sequential loop deduces at visit time and never sweeps,
+            # so the incremental index would be pure overhead.
+            use_index=self._mode is not RuntimeMode.SEQUENTIAL,
+            backend=self._backend,
+            shard_threshold=self._shard_threshold,
+        )
+        runtime = CrowdRuntime(
+            engine,
+            self._make_client(oracle),
+            mode=self._mode,
+            budget=self._budget,
+            timeout=self._timeout,
+            max_rounds=self._max_rounds,
+        )
+        self.last_report = await runtime.run()
+        return engine.result
+
+    def run(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        oracle: LabelOracle,
+    ) -> LabelingResult:
+        """Synchronous entry point (spins a private event loop)."""
+        return asyncio.run(self.run_async(order, oracle))

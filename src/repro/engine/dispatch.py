@@ -18,6 +18,17 @@ batching/async/sharding) lands once in the engine and benefits every
 strategy.  The legacy classes in :mod:`repro.core.sequential`,
 :mod:`repro.core.parallel`, and :mod:`repro.core.instant` are thin facades
 over these strategies.
+
+Since the async-first refactor, :class:`SequentialDispatch` and
+:class:`RoundParallelDispatch` are themselves synchronous facades: each run
+builds a :class:`~repro.engine.async_dispatch.CrowdRuntime` over the
+deterministic simulated client
+(:meth:`~repro.crowd.clients.SimulatedPlatformClient.for_oracle`) and drives
+it to completion — the same event loop, answer-application path, and expiry
+handling that live campaigns use, property-tested identical to the frozen
+pre-refactor labelers.  :class:`InstantDispatch` keeps its bespoke loop: its
+answer *policies* (which published pair the crowd answers next) simulate the
+Figure-15 crowd itself, which is not a platform concern.
 """
 
 from __future__ import annotations
@@ -31,6 +42,8 @@ from ..core.cluster_graph import ClusterGraph, ConflictPolicy
 from ..core.oracle import LabelOracle
 from ..core.pairs import CandidatePair, Label, Pair
 from ..core.result import LabelingResult
+from ..crowd.clients import SimulatedPlatformClient
+from .async_dispatch import CrowdRuntime, RuntimeMode
 from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
 
 
@@ -91,16 +104,11 @@ class SequentialDispatch:
             backend=self._backend,
             shard_threshold=self._shard_threshold,
         )
-        round_index = 0
-        for pair in engine.pairs:
-            deduced = engine.deduce(pair)
-            if deduced is not None:
-                engine.record_deduced(pair, deduced, round_index)
-                continue
-            answer = oracle.label(pair)
-            engine.record_answer(pair, answer, round_index)
-            engine.result.rounds.append([pair])
-            round_index += 1
+        CrowdRuntime(
+            engine,
+            SimulatedPlatformClient.for_oracle(oracle),
+            mode=RuntimeMode.SEQUENTIAL,
+        ).run_sync()
         return engine.result
 
 
@@ -148,21 +156,12 @@ class RoundParallelDispatch:
             backend=self._backend,
             shard_threshold=self._shard_threshold,
         )
-        round_index = 0
-        while not engine.is_done:
-            if max_rounds is not None and round_index >= max_rounds:
-                raise RuntimeError(f"parallel labeling exceeded {max_rounds} rounds")
-            batch = engine.frontier()
-            assert batch, "a round must always publish at least one pair"
-            engine.publish(batch)
-            # Publish the whole batch, then collect answers.
-            for pair in batch:
-                engine.record_answer(pair, oracle.label(pair), round_index)
-            engine.result.rounds.append(batch)
-            # Deduction sweep (Algorithm 2 lines 6-8): incremental — only
-            # pairs whose endpoint clusters changed are re-checked.
-            engine.sweep(round_index)
-            round_index += 1
+        CrowdRuntime(
+            engine,
+            SimulatedPlatformClient.for_oracle(oracle),
+            mode=RuntimeMode.ROUNDS,
+            max_rounds=max_rounds,
+        ).run_sync()
         return engine.result
 
 

@@ -18,8 +18,11 @@ event handling exactly once:
   invariant that every pair is recorded exactly once.
 
 Dispatch policy — *when* to publish *which* must-crowdsource pairs — is
-pluggable (see :mod:`repro.engine.dispatch`); the engine itself never calls
-an oracle or a platform.  Events flow in through three entry points:
+pluggable (see :mod:`repro.engine.dispatch` for the synchronous strategies
+and :mod:`repro.engine.async_dispatch` for the asyncio runtime that drives
+them all); the engine itself never calls an oracle or a platform, and never
+waits — which is exactly what lets the async runtime apply crowd answers in
+whatever order they arrive.  Events flow in through three entry points:
 
 * :meth:`publish` — pairs handed to the crowd (excluded from future
   frontiers; withheld pairs also leave the deduction sweep, because the

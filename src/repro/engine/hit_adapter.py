@@ -1,10 +1,14 @@
-"""HIT-granularity adapter: drives the LabelingEngine against a platform.
+"""HIT-granularity adapter: buffers engine frontier pairs into full HITs.
 
-The campaign runner (:mod:`repro.crowd.campaign`) publishes work in HITs of
-the platform's batch size rather than pair by pair.  Pre-refactor it carried
-its own copy of the frontier computation and deduction sweep; this adapter
-replaces that fourth reimplementation with a thin buffering layer over the
-shared :class:`~repro.engine.engine.LabelingEngine`:
+Campaigns publish work in HITs of the platform's batch size rather than
+pair by pair.  Pre-refactor the campaign runner carried its own copy of the
+frontier computation and deduction sweep; this adapter replaces that fourth
+reimplementation with a thin buffering layer over the shared
+:class:`~repro.engine.engine.LabelingEngine`.  Since the async-first
+refactor it is instantiated by the HIT-granularity modes of
+:class:`~repro.engine.async_dispatch.CrowdRuntime`, which flushes its
+published chunks through the :class:`~repro.crowd.clients.PlatformClient`
+seam:
 
 * frontier pairs are buffered until a *full* HIT can be published — partial
   HITs are flushed only when the platform would otherwise sit idle — so

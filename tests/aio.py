@@ -1,0 +1,30 @@
+"""Explicit event-loop runner for async tests.
+
+The suite deliberately does not depend on ``pytest-asyncio`` being
+importable (the tier-1 environment is dependency-light); async tests call
+:func:`run_async` instead, which gives every awaited scenario its own fresh
+event loop *and a hard timeout* — a stalled await fails fast with a clear
+error instead of hanging the tier-1 job.  CI additionally installs
+``pytest-asyncio`` / ``pytest-timeout`` (see the test extras in
+``pyproject.toml``) for a process-level backstop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, TypeVar
+
+T = TypeVar("T")
+
+#: Generous per-test ceiling: every scenario in the suite finishes in
+#: milliseconds; only a genuinely stalled await ever gets near this.
+ASYNC_TEST_TIMEOUT_S = 30.0
+
+
+def run_async(coro: Awaitable[T], timeout: float = ASYNC_TEST_TIMEOUT_S) -> T:
+    """Run ``coro`` on a fresh event loop, failing after ``timeout``s."""
+
+    async def _guarded() -> T:
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(_guarded())

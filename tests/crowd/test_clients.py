@@ -1,0 +1,355 @@
+"""Unit tests for the PlatformClient implementations and runtime policies."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Label, Pair
+from repro.crowd.budget import BudgetExceededError, BudgetPolicy, CostModel
+from repro.crowd.clients import (
+    CallbackPlatformClient,
+    HITExpiry,
+    InMemoryCrowdBackend,
+    ManualClock,
+    PlatformClient,
+    PollingPlatformClient,
+    SimulatedPlatformClient,
+)
+from repro.crowd.latency import TimeoutPolicy
+from repro.crowd.platform import HITCompletion
+from repro.engine import CrowdRuntime, LabelingEngine, RuntimeMode
+
+from ..aio import run_async
+from ..conftest import FIGURE3_ENTITIES
+
+ENTITIES = {"a": 0, "b": 0, "c": 1, "d": 1, "e": 2}
+TRUTH = GroundTruthOracle(ENTITIES)
+PAIRS = [Pair("a", "b"), Pair("c", "d"), Pair("a", "c"), Pair("d", "e")]
+
+
+class TestSimulatedPlatformClient:
+    def test_protocol_conformance(self):
+        client = SimulatedPlatformClient.for_oracle(TRUTH)
+        assert isinstance(client, PlatformClient)
+
+    def test_submit_step_drain_cycle(self):
+        async def scenario():
+            client = SimulatedPlatformClient.for_oracle(TRUTH, batch_size=2)
+            hits = await client.submit_pairs(PAIRS)
+            assert [len(hit) for hit in hits] == [2, 2]
+            assert client.n_outstanding_hits == 2
+            first = await client.next_event()
+            assert isinstance(first, HITCompletion)
+            assert first.hit.hit_id == hits[0].hit_id  # zero latency => FIFO
+            assert first.labels == {p: TRUTH.label(p) for p in hits[0].pairs}
+            leftovers = await client.drain()
+            assert [c.hit.hit_id for c in leftovers] == [hits[1].hit_id]
+            assert await client.next_event() is None
+            assert client.n_outstanding_hits == 0
+
+        run_async(scenario())
+
+    def test_expiry_injection_reports_each_hit_at_most_once(self):
+        async def scenario():
+            base = SimulatedPlatformClient.for_oracle(TRUTH, batch_size=1)
+            client = SimulatedPlatformClient(
+                base.platform, expire_probability=1.0, expire_seed=0
+            )
+            hits = await client.submit_pairs(PAIRS[:1])
+            event = await client.next_event()
+            assert isinstance(event, HITExpiry)
+            assert event.hit.hit_id == hits[0].hit_id
+            # Re-issued as a fresh HIT: that one expires (once) too, and so
+            # on — each *hit id* expires at most once.
+            again = await client.submit_pairs(PAIRS[:1])
+            event = await client.next_event()
+            assert isinstance(event, HITExpiry)
+            assert event.hit.hit_id == again[0].hit_id
+
+        run_async(scenario())
+
+    def test_rejects_bad_probability(self):
+        platform = SimulatedPlatformClient.for_oracle(TRUTH).platform
+        with pytest.raises(ValueError):
+            SimulatedPlatformClient(platform, expire_probability=1.5)
+
+
+class TestInMemoryCrowdBackend:
+    def test_requires_exactly_one_answer_source(self):
+        with pytest.raises(ValueError):
+            InMemoryCrowdBackend()
+        with pytest.raises(ValueError):
+            InMemoryCrowdBackend(
+                oracle=TRUTH, answer_fn=lambda pair: Label.MATCHING
+            )
+
+    def test_scheduled_completion_requires_clock(self):
+        with pytest.raises(ValueError):
+            InMemoryCrowdBackend(oracle=TRUTH, latency=lambda rng: 1.0)
+
+    def test_complete_all_orders(self):
+        backend = InMemoryCrowdBackend(oracle=TRUTH, seed=1)
+        backend.create_hits(
+            [
+                {"hit_id": i, "pairs": (PAIRS[i],), "n_assignments": 1}
+                for i in range(4)
+            ]
+        )
+        assert backend.pending_ids() == [0, 1, 2, 3]
+        order = backend.complete_all(order="lifo")
+        assert order == [3, 2, 1, 0]
+        fetched = [record["hit_id"] for record in backend.fetch_completed()]
+        assert fetched == [3, 2, 1, 0]
+        assert backend.fetch_completed() == []
+
+    def test_expire_removes_pending(self):
+        backend = InMemoryCrowdBackend(oracle=TRUTH)
+        backend.create_hits([{"hit_id": 9, "pairs": (PAIRS[0],), "n_assignments": 1}])
+        assert backend.expire_hit(9) is True
+        assert backend.expire_hit(9) is False
+        with pytest.raises(KeyError):
+            backend.complete(9)
+
+
+class TestPollingPlatformClient:
+    def make(self, **kwargs):
+        clock = ManualClock()
+        backend = InMemoryCrowdBackend(oracle=TRUTH)
+        client = PollingPlatformClient(
+            backend,
+            batch_size=1,
+            n_assignments=1,
+            poll_interval=1.0,
+            clock=clock.now,
+            sleep=clock.sleep,
+            **kwargs,
+        )
+        return clock, backend, client
+
+    def test_out_of_order_fetch(self):
+        async def scenario():
+            _, backend, client = self.make()
+            hits = await client.submit_pairs(PAIRS)
+            backend.complete(hits[2].hit_id)
+            backend.complete(hits[0].hit_id)
+            first = await client.next_event()
+            second = await client.next_event()
+            assert [first.hit.hit_id, second.hit.hit_id] == [
+                hits[2].hit_id,
+                hits[0].hit_id,
+            ]
+            assert first.labels == {PAIRS[2]: TRUTH.label(PAIRS[2])}
+
+        run_async(scenario())
+
+    def test_timeout_expires_and_late_completion_is_dropped(self):
+        async def scenario():
+            clock, backend, client = self.make(hit_timeout=5.0)
+            hits = await client.submit_pairs(PAIRS[:1])
+            clock.advance(6.0)
+            event = await client.next_event()
+            assert isinstance(event, HITExpiry)
+            assert event.hit.hit_id == hits[0].hit_id
+            assert client.n_outstanding_hits == 0
+            # The backend can no longer complete it (expired server-side)...
+            with pytest.raises(KeyError):
+                backend.complete(hits[0].hit_id)
+            # ...and even a forged late record for that id is ignored.
+            backend.create_hits(
+                [{"hit_id": hits[0].hit_id, "pairs": hits[0].pairs, "n_assignments": 1}]
+            )
+            backend.complete(hits[0].hit_id)
+            assert await client.next_event() is None
+
+        run_async(scenario())
+
+    def test_cancel_and_drain(self):
+        async def scenario():
+            _, backend, client = self.make()
+            hits = await client.submit_pairs(PAIRS[:2])
+            backend.complete(hits[0].hit_id)
+            assert await client.cancel(hits[1].hit_id) is True
+            assert await client.cancel(hits[1].hit_id) is False
+            leftovers = await client.drain()
+            assert [c.hit.hit_id for c in leftovers] == [hits[0].hit_id]
+            assert client.n_outstanding_hits == 0
+            assert backend.n_expired == 1
+
+        run_async(scenario())
+
+    def test_polling_waits_for_scheduled_results(self):
+        async def scenario():
+            clock = ManualClock()
+            backend = InMemoryCrowdBackend(
+                oracle=TRUTH,
+                clock=clock.now,
+                latency=lambda rng: 3.5,
+            )
+            client = PollingPlatformClient(
+                backend,
+                batch_size=4,
+                n_assignments=1,
+                poll_interval=1.0,
+                clock=clock.now,
+                sleep=clock.sleep,
+            )
+            await client.submit_pairs(PAIRS)
+            event = await client.next_event()
+            assert isinstance(event, HITCompletion)
+            # Three empty polls advanced the virtual clock past 3.5.
+            assert clock.now() >= 3.5
+
+        run_async(scenario())
+
+
+class TestCallbackPlatformClient:
+    def test_push_delivery_wakes_the_consumer(self):
+        async def scenario():
+            outbox = []
+            client = CallbackPlatformClient(
+                outbox.extend, batch_size=2, n_assignments=1
+            )
+            hits = await client.submit_pairs(PAIRS)
+            assert [h.hit_id for h in outbox] == [h.hit_id for h in hits]
+
+            async def webhook():
+                await asyncio.sleep(0)
+                for hit in reversed(outbox):  # deliberately out of order
+                    client.deliver_completion(
+                        hit.hit_id, {p: TRUTH.label(p) for p in hit.pairs}
+                    )
+
+            task = asyncio.create_task(webhook())
+            first = await client.next_event()
+            second = await client.next_event()
+            await task
+            assert [first.hit.hit_id, second.hit.hit_id] == [
+                hits[1].hit_id,
+                hits[0].hit_id,
+            ]
+            assert await client.next_event() is None
+
+        run_async(scenario())
+
+    def test_delivery_validation(self):
+        async def scenario():
+            client = CallbackPlatformClient(lambda hits: None, batch_size=2)
+            (hit,) = await client.submit_pairs(PAIRS[:2])
+            with pytest.raises(ValueError):
+                client.deliver_completion(hit.hit_id, {PAIRS[0]: Label.MATCHING})
+            assert client.deliver_completion(999, {}) is False
+            assert client.deliver_expiry(hit.hit_id) is True
+            assert client.deliver_expiry(hit.hit_id) is False
+
+        run_async(scenario())
+
+    def test_cancel_wakes_a_blocked_consumer(self):
+        """Cancelling the last outstanding HIT must wake a task parked in
+        next_event so it can observe the drained client and return None."""
+
+        async def scenario():
+            client = CallbackPlatformClient(lambda hits: None, batch_size=4)
+            (hit,) = await client.submit_pairs(PAIRS)
+            waiter = asyncio.create_task(client.next_event())
+            await asyncio.sleep(0)  # let the waiter park on the event
+            assert not waiter.done()
+            assert await client.cancel(hit.hit_id) is True
+            return await asyncio.wait_for(waiter, timeout=5.0)
+
+        assert run_async(scenario()) is None
+
+    def test_cancel_invokes_callback(self):
+        async def scenario():
+            cancelled = []
+            client = CallbackPlatformClient(
+                lambda hits: None, cancel_hit=cancelled.append, batch_size=4
+            )
+            (hit,) = await client.submit_pairs(PAIRS)
+            await client.close()
+            assert cancelled == [hit.hit_id]
+            assert client.n_outstanding_hits == 0
+
+        run_async(scenario())
+
+    def test_full_campaign_over_webhooks(self):
+        """A transitive campaign whose crowd is a concurrent webhook task
+        answering HITs last-in-first-out."""
+        truth = GroundTruthOracle(FIGURE3_ENTITIES)
+        order = [
+            Pair("o1", "o2"),
+            Pair("o2", "o3"),
+            Pair("o1", "o6"),
+            Pair("o1", "o3"),
+            Pair("o4", "o5"),
+            Pair("o4", "o6"),
+            Pair("o2", "o4"),
+            Pair("o5", "o6"),
+        ]
+
+        async def scenario():
+            outbox = []
+            client = CallbackPlatformClient(
+                outbox.extend, batch_size=3, n_assignments=1
+            )
+            engine = LabelingEngine(order)
+            runtime = CrowdRuntime(engine, client, mode=RuntimeMode.HIT_INSTANT)
+
+            async def crowd():
+                while True:
+                    while outbox:
+                        hit = outbox.pop()  # LIFO: answers arrive out of order
+                        client.deliver_completion(
+                            hit.hit_id, {p: truth.label(p) for p in hit.pairs}
+                        )
+                    await asyncio.sleep(0)
+
+            task = asyncio.create_task(crowd())
+            try:
+                report = await runtime.run()
+            finally:
+                task.cancel()
+            return engine, report
+
+        engine, report = run_async(scenario())
+        assert engine.is_done
+        for pair in order:
+            assert engine.result.label_of(pair) is truth.label(pair)
+        # Transitivity still saves money at HIT granularity: 8 candidates,
+        # at most 6 crowdsourced (Figure 3's optimum).
+        assert engine.result.n_crowdsourced <= 6
+
+
+class TestRuntimePolicies:
+    def test_budget_policy_authorize(self):
+        policy = BudgetPolicy(max_assignments=5)
+        assert policy.authorize(0, 5) == 5
+        with pytest.raises(BudgetExceededError):
+            policy.authorize(5, 1)
+
+    def test_budget_policy_cost_cap(self):
+        policy = BudgetPolicy(max_cost=0.10, model=CostModel(0.02))
+        assert policy.authorize(0, 5) == 5
+        with pytest.raises(BudgetExceededError):
+            policy.authorize(5, 1)
+
+    def test_budget_policy_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPolicy(max_cost=-1.0)
+        with pytest.raises(ValueError):
+            BudgetPolicy(max_assignments=-2)
+
+    def test_timeout_policy_validation(self):
+        with pytest.raises(ValueError):
+            TimeoutPolicy(hit_timeout=0.0)
+        with pytest.raises(ValueError):
+            TimeoutPolicy(hit_timeout=1.0, max_reissues=-1)
+
+    def test_manual_clock(self):
+        clock = ManualClock(start=2.0)
+        clock.advance(1.5)
+        assert clock.now() == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)

@@ -1,0 +1,341 @@
+"""Async runtime parity: AsyncDispatch must replicate the frozen references.
+
+The async-first refactor routes every labeler through
+:class:`repro.engine.async_dispatch.CrowdRuntime`; these tests pin that
+runtime to the frozen pre-refactor loops in ``tests/engine/reference.py``:
+
+* over the deterministic simulated client (FIFO, zero latency) the parity
+  is *exact* — labels, rounds, oracle-call order, per-pair outcome records;
+* under seeded shuffled completion orders (many workers, lognormal
+  latency) and under injected expiry + re-issue, the observable result —
+  labels, per-round published sets, crowdsourced counts — is still
+  identical, on both the monolithic and the sharded engine backend;
+* a full campaign through :class:`PollingPlatformClient` against the
+  in-memory fake backend completes with out-of-order completions and an
+  expired-and-reissued HIT;
+* budget and timeout limits are enforced as runtime policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Pair
+from repro.crowd.budget import BudgetExceededError, BudgetPolicy
+from repro.crowd.clients import (
+    InMemoryCrowdBackend,
+    ManualClock,
+    PollingPlatformClient,
+    SimulatedPlatformClient,
+)
+from repro.crowd.latency import LognormalLatency, TimeoutPolicy
+from repro.crowd.platform import HITCompletion, SimulatedPlatform
+from repro.crowd.worker import make_worker_pool
+from repro.engine import AsyncDispatch, CrowdRuntime, LabelingEngine, RuntimeMode
+
+from ..aio import run_async
+from ..conftest import FIGURE3_ENTITIES, FIGURE3_PAIRS
+from ..strategies import worlds
+from .reference import reference_parallel, reference_sequential
+from .test_parity import RecordingOracle
+
+BACKENDS = ("monolithic", "sharded")
+
+
+def shuffled_client_factory(seed: int):
+    """Simulated client whose completions arrive out of publication order:
+    a pool of perfect workers with distinct speeds plus lognormal pickup
+    delays, one pair per HIT."""
+
+    def factory(oracle):
+        platform = SimulatedPlatform(
+            workers=make_worker_pool(8, seed=seed),
+            truth=oracle,
+            latency=LognormalLatency(),
+            batch_size=1,
+            n_assignments=1,
+            seed=seed,
+        )
+        return SimulatedPlatformClient(platform)
+
+    return factory
+
+
+def expiring_client_factory(seed: int, probability: float = 0.4):
+    """Deterministic FIFO client that additionally abandons a seeded
+    fraction of HITs (each at most once), forcing the re-issue path."""
+
+    def factory(oracle):
+        client = SimulatedPlatformClient.for_oracle(oracle, seed=seed)
+        return SimulatedPlatformClient(
+            client.platform, expire_probability=probability, expire_seed=seed
+        )
+
+    return factory
+
+
+class TestSequentialParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_parity_over_fifo_client(self, backend, world):
+        """Deterministic client: outcome records match the reference
+        byte-for-byte, and the oracle is consulted in the same order."""
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        ref_oracle = RecordingOracle(truth)
+        new_oracle = RecordingOracle(truth)
+        reference = reference_sequential(candidates, ref_oracle)
+        result = AsyncDispatch(RuntimeMode.SEQUENTIAL, backend=backend).run(
+            candidates, new_oracle
+        )
+        assert result.outcomes == reference.outcomes
+        assert result.rounds == reference.rounds
+        assert new_oracle.calls == ref_oracle.calls
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(worlds())
+    @settings(max_examples=20, deadline=None)
+    def test_parity_under_expiry_and_reissue(self, backend, world):
+        """Abandoned HITs are re-issued until answered; the final result
+        is indistinguishable from the reference run."""
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        reference = reference_sequential(candidates, truth)
+        dispatch = AsyncDispatch(
+            RuntimeMode.SEQUENTIAL,
+            backend=backend,
+            client_factory=expiring_client_factory(seed=3),
+        )
+        result = dispatch.run(candidates, truth)
+        assert result.labels() == reference.labels()
+        assert result.rounds == reference.rounds
+        assert result.n_crowdsourced == reference.n_crowdsourced
+        assert result.n_deduced == reference.n_deduced
+
+
+class TestRoundsParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_parity_over_fifo_client(self, backend, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        ref_oracle = RecordingOracle(truth)
+        new_oracle = RecordingOracle(truth)
+        reference = reference_parallel(candidates, ref_oracle)
+        result = AsyncDispatch(RuntimeMode.ROUNDS, backend=backend).run(
+            candidates, new_oracle
+        )
+        assert result.outcomes == reference.outcomes
+        assert result.rounds == reference.rounds
+        assert new_oracle.calls == ref_oracle.calls
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    @given(worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_parity_under_shuffled_completion_orders(self, backend, seed, world):
+        """Answers applied out of order must not change what each round
+        publishes, what every pair is labeled, or what anything costs —
+        rounds are decided by the *set* of answers, not their arrival."""
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        reference = reference_parallel(candidates, truth)
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            backend=backend,
+            client_factory=shuffled_client_factory(seed),
+        )
+        result = dispatch.run(candidates, truth)
+        assert result.labels() == reference.labels()
+        assert result.rounds == reference.rounds
+        assert result.n_crowdsourced == reference.n_crowdsourced
+        assert result.n_deduced == reference.n_deduced
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(worlds())
+    @settings(max_examples=20, deadline=None)
+    def test_parity_under_expiry_and_reissue(self, backend, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        reference = reference_parallel(candidates, truth)
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            backend=backend,
+            client_factory=expiring_client_factory(seed=5),
+        )
+        result = dispatch.run(candidates, truth)
+        assert result.labels() == reference.labels()
+        assert result.rounds == reference.rounds
+        assert result.n_crowdsourced == reference.n_crowdsourced
+
+
+class TestExpiryIsExercised:
+    def test_reissues_actually_happen_and_are_reported(self):
+        """On a fixed workload the expiring client must produce expiries,
+        and the runtime must re-issue and still label everything."""
+        entity_of = {f"o{i}": i // 3 for i in range(18)}
+        objects = sorted(entity_of)
+        order = [
+            Pair(objects[i], objects[j])
+            for i in range(len(objects))
+            for j in range(i + 1, len(objects))
+        ]
+        truth = GroundTruthOracle(entity_of)
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            client_factory=expiring_client_factory(seed=11, probability=0.5),
+        )
+        result = dispatch.run(order, truth)
+        assert result.labels() == reference_parallel(order, truth).labels()
+        assert dispatch.last_report is not None
+        assert dispatch.last_report.n_expired_hits > 0
+        assert dispatch.last_report.n_reissued_hits > 0
+
+
+class TestPollingCampaign:
+    def test_out_of_order_and_expired_hits_complete(self):
+        """The acceptance scenario: a HIT-granularity campaign over
+        :class:`PollingPlatformClient` against the in-memory fake, with
+        scheduled (shuffled) completion latencies and one HIT the fake
+        worker abandons — the campaign expires it, re-issues the pairs,
+        and still resolves every candidate correctly."""
+        entity_of = {f"o{i}": i // 2 for i in range(10)}
+        objects = sorted(entity_of)
+        order = [
+            Pair(objects[i], objects[j])
+            for i in range(len(objects))
+            for j in range(i + 1, len(objects))
+        ]
+        truth = GroundTruthOracle(entity_of)
+        clock = ManualClock()
+        backend = InMemoryCrowdBackend(
+            oracle=truth,
+            clock=clock.now,
+            latency=lambda rng: rng.uniform(1.0, 10.0),
+            drop_hit_ids={1},
+            seed=7,
+        )
+        client = PollingPlatformClient(
+            backend,
+            batch_size=4,
+            n_assignments=1,
+            poll_interval=0.5,
+            clock=clock.now,
+            sleep=clock.sleep,
+        )
+        completion_ids = []
+        original_next_event = client.next_event
+
+        async def recording_next_event():
+            event = await original_next_event()
+            if isinstance(event, HITCompletion):
+                completion_ids.append(event.hit.hit_id)
+            return event
+
+        client.next_event = recording_next_event  # type: ignore[method-assign]
+
+        engine = LabelingEngine(order)
+        runtime = CrowdRuntime(
+            engine,
+            client,
+            mode=RuntimeMode.HIT_INSTANT,
+            timeout=TimeoutPolicy(hit_timeout=30.0, max_reissues=3),
+        )
+        report = run_async(runtime.run())
+
+        assert engine.is_done
+        for pair in order:
+            assert engine.result.label_of(pair) is truth.label(pair)
+        assert report.n_expired_hits >= 1
+        assert report.n_reissued_hits >= 1
+        # Scheduled latencies shuffle delivery: completions must not have
+        # arrived in publication order.
+        assert completion_ids != sorted(completion_ids)
+        # The dropped HIT's replacement was a fresh id created on the fake.
+        assert backend.n_expired >= 1
+        assert backend.n_created == len(report.hit_batches)
+
+
+class TestRuntimePolicies:
+    def figure3_order(self):
+        return [FIGURE3_PAIRS[f"p{i}"] for i in range(1, 9)]
+
+    def test_budget_policy_blocks_overrun(self):
+        truth = GroundTruthOracle(FIGURE3_ENTITIES)
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            budget=BudgetPolicy(max_assignments=1),
+        )
+        # Figure 3 needs two rounds ({p1,p2,p3,p5,p6} then {p7}): the
+        # second submission must be refused.
+        with pytest.raises(BudgetExceededError):
+            dispatch.run(self.figure3_order(), truth)
+
+    def test_budget_policy_admits_a_sufficient_cap(self):
+        truth = GroundTruthOracle(FIGURE3_ENTITIES)
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            budget=BudgetPolicy(max_assignments=10),
+        )
+        result = dispatch.run(self.figure3_order(), truth)
+        assert result.n_crowdsourced == 6
+        assert dispatch.last_report is not None
+        assert dispatch.last_report.assignments_committed <= 10
+
+    def test_timeout_policy_caps_reissue_chains(self):
+        """A HIT lineage that keeps expiring fails fast instead of
+        spinning forever."""
+        truth = GroundTruthOracle(FIGURE3_ENTITIES)
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            client_factory=expiring_client_factory(seed=0, probability=1.0),
+            timeout=TimeoutPolicy(hit_timeout=1.0, max_reissues=2),
+        )
+        with pytest.raises(RuntimeError, match="max_reissues"):
+            dispatch.run(self.figure3_order(), truth)
+
+    def test_async_dispatch_rejects_hit_modes(self):
+        with pytest.raises(ValueError):
+            AsyncDispatch(RuntimeMode.HIT_INSTANT)
+
+    def test_runtime_rejects_mismatched_preplanned(self):
+        engine = LabelingEngine([Pair("a", "b")])
+        client = SimulatedPlatformClient.for_oracle(
+            GroundTruthOracle({"a": 0, "b": 0})
+        )
+        with pytest.raises(ValueError):
+            CrowdRuntime(engine, client, mode=RuntimeMode.ROUNDS, preplanned=[[]])
+        with pytest.raises(ValueError):
+            CrowdRuntime(engine, client, mode=RuntimeMode.SERIAL)
+
+    def test_runtime_is_single_shot(self):
+        truth = GroundTruthOracle({"a": 0, "b": 0})
+        engine = LabelingEngine([Pair("a", "b")])
+        runtime = CrowdRuntime(
+            engine,
+            SimulatedPlatformClient.for_oracle(truth),
+            mode=RuntimeMode.ROUNDS,
+        )
+        run_async(runtime.run())
+        assert engine.is_done
+        with pytest.raises(RuntimeError, match="single-shot"):
+            run_async(runtime.run())
+
+
+class TestAwaitableEntryPoint:
+    @given(worlds())
+    @settings(max_examples=20, deadline=None)
+    def test_run_async_inside_a_loop_matches_run(self, world):
+        """run_async awaited from caller-owned loops gives the same result
+        as the synchronous wrapper."""
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        sync_result = AsyncDispatch(RuntimeMode.ROUNDS).run(candidates, truth)
+        async_result = run_async(
+            AsyncDispatch(RuntimeMode.ROUNDS).run_async(candidates, truth)
+        )
+        assert async_result.outcomes == sync_result.outcomes
