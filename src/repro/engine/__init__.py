@@ -22,6 +22,10 @@ Public surface:
               :class:`FrontierCursor` (decided-prefix incremental selection)
 * sharding:   :class:`ShardedClusterGraph`, :class:`ShardedFrontier`
               (per-component backend for 10M+ pair workloads)
+* parallel:   :class:`ProcessShardExecutor`,
+              :class:`ParallelShardedClusterGraph`, :class:`ShardWorkerError`
+              (+ ``DEFAULT_PARALLEL_THRESHOLD``) — the sharded decomposition
+              fanned out across worker processes (``backend="parallel"``)
 * runtime:    :class:`CrowdRuntime`, :class:`RuntimeMode`,
               :class:`RuntimeReport`, :class:`AsyncDispatch`
 * strategies: :class:`SequentialDispatch`, :class:`RoundParallelDispatch`,
@@ -46,6 +50,12 @@ from .dispatch import (
 from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
 from .frontier import FrontierCursor, OptimisticGraph, must_crowdsource_frontier
 from .hit_adapter import HITDispatchAdapter
+from .parallel import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    ParallelShardedClusterGraph,
+    ProcessShardExecutor,
+    ShardWorkerError,
+)
 from .sharding import ShardedClusterGraph, ShardedFrontier
 
 __all__ = [
@@ -53,6 +63,7 @@ __all__ = [
     "AsyncDispatch",
     "AvailabilityPoint",
     "CrowdRuntime",
+    "DEFAULT_PARALLEL_THRESHOLD",
     "DEFAULT_SHARD_THRESHOLD",
     "DispatchStrategy",
     "FrontierCursor",
@@ -61,10 +72,13 @@ __all__ = [
     "InstantRunResult",
     "LabelingEngine",
     "OptimisticGraph",
+    "ParallelShardedClusterGraph",
+    "ProcessShardExecutor",
     "RoundParallelDispatch",
     "RuntimeMode",
     "RuntimeReport",
     "SequentialDispatch",
+    "ShardWorkerError",
     "ShardedClusterGraph",
     "ShardedFrontier",
     "must_crowdsource_frontier",

@@ -54,6 +54,7 @@ from ..crowd.latency import TimeoutPolicy
 from ..crowd.platform import HITCompletion
 from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
 from .hit_adapter import HITDispatchAdapter
+from .parallel import DEFAULT_PARALLEL_THRESHOLD
 
 
 class RuntimeMode(enum.Enum):
@@ -241,6 +242,11 @@ class CrowdRuntime:
             self.report.leftovers = await self._client.drain()
         finally:
             await self._client.close()
+            # The runtime owns the campaign lifecycle: release the engine's
+            # parallel-backend worker processes (no-op on in-process
+            # backends).  Result state lives in this process and stays
+            # readable after close.
+            self._engine.close()
         return self.report
 
     async def _event_loop(self) -> None:
@@ -451,6 +457,8 @@ class AsyncDispatch:
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         backend: str = "auto",
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        n_workers: Optional[int] = None,
         budget: Optional[BudgetPolicy] = None,
         timeout: Optional[TimeoutPolicy] = None,
         max_rounds: Optional[int] = None,
@@ -466,6 +474,8 @@ class AsyncDispatch:
         self._policy = policy
         self._backend = backend
         self._shard_threshold = shard_threshold
+        self._parallel_threshold = parallel_threshold
+        self._n_workers = n_workers
         self._budget = budget
         self._timeout = timeout
         self._max_rounds = max_rounds
@@ -490,6 +500,8 @@ class AsyncDispatch:
             use_index=self._mode is not RuntimeMode.SEQUENTIAL,
             backend=self._backend,
             shard_threshold=self._shard_threshold,
+            parallel_threshold=self._parallel_threshold,
+            n_workers=self._n_workers,
         )
         runtime = CrowdRuntime(
             engine,

@@ -45,6 +45,7 @@ from ..core.result import LabelingResult
 from ..crowd.clients import SimulatedPlatformClient
 from .async_dispatch import CrowdRuntime, RuntimeMode
 from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
+from .parallel import DEFAULT_PARALLEL_THRESHOLD
 
 
 @runtime_checkable
@@ -74,10 +75,14 @@ class SequentialDispatch:
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         backend: str = "auto",
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        n_workers: Optional[int] = None,
     ) -> None:
         self._policy = policy
         self._backend = backend
         self._shard_threshold = shard_threshold
+        self._parallel_threshold = parallel_threshold
+        self._n_workers = n_workers
 
     def run(
         self,
@@ -103,6 +108,8 @@ class SequentialDispatch:
             use_index=False,
             backend=self._backend,
             shard_threshold=self._shard_threshold,
+            parallel_threshold=self._parallel_threshold,
+            n_workers=self._n_workers,
         )
         CrowdRuntime(
             engine,
@@ -126,10 +133,14 @@ class RoundParallelDispatch:
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         backend: str = "auto",
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        n_workers: Optional[int] = None,
     ) -> None:
         self._policy = policy
         self._backend = backend
         self._shard_threshold = shard_threshold
+        self._parallel_threshold = parallel_threshold
+        self._n_workers = n_workers
 
     def run(
         self,
@@ -155,6 +166,8 @@ class RoundParallelDispatch:
             policy=self._policy,
             backend=self._backend,
             shard_threshold=self._shard_threshold,
+            parallel_threshold=self._parallel_threshold,
+            n_workers=self._n_workers,
         )
         CrowdRuntime(
             engine,
@@ -269,6 +282,8 @@ class InstantDispatch:
         use_index: bool = True,
         backend: str = "auto",
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        n_workers: Optional[int] = None,
     ) -> None:
         self._instant = instant_decision
         self._answer_policy = answer_policy
@@ -277,6 +292,8 @@ class InstantDispatch:
         self._use_index = use_index
         self._backend = backend
         self._shard_threshold = shard_threshold
+        self._parallel_threshold = parallel_threshold
+        self._n_workers = n_workers
 
     def run(
         self,
@@ -290,7 +307,16 @@ class InstantDispatch:
             use_index=self._use_index,
             backend=self._backend,
             shard_threshold=self._shard_threshold,
+            parallel_threshold=self._parallel_threshold,
+            n_workers=self._n_workers,
         )
+        try:
+            return self._run(engine, oracle)
+        finally:
+            # Release parallel-backend workers (no-op on in-process backends).
+            engine.close()
+
+    def _run(self, engine: LabelingEngine, oracle: LabelOracle) -> InstantRunResult:
         rng = random.Random(self._seed)
         run = InstantRunResult(result=engine.result)
         published: List[Pair] = []

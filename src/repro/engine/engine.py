@@ -40,6 +40,11 @@ from ..core.pairs import CandidatePair, Label, Pair, Provenance
 from ..core.result import LabelingResult
 from ..core.sweep import PendingPairIndex
 from .frontier import FrontierCursor
+from .parallel import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    ParallelShardedClusterGraph,
+    ProcessShardExecutor,
+)
 from .sharding import ShardedClusterGraph, ShardedFrontier
 
 #: Above this many pairs the ``auto`` backend shards the deduction graph and
@@ -47,7 +52,7 @@ from .sharding import ShardedClusterGraph, ShardedFrontier
 #: Below it the monolithic graph wins on constant factors.
 DEFAULT_SHARD_THRESHOLD = 100_000
 
-_BACKENDS = ("auto", "monolithic", "sharded")
+_BACKENDS = ("auto", "monolithic", "sharded", "parallel")
 
 
 class LabelingEngine:
@@ -69,12 +74,23 @@ class LabelingEngine:
             cross-validation.
         backend: ``"monolithic"`` (one :class:`ClusterGraph` + one
             :class:`FrontierCursor`), ``"sharded"`` (per-component
-            :class:`ShardedClusterGraph` + :class:`ShardedFrontier`), or
-            ``"auto"`` — sharded iff the order has at least
-            ``shard_threshold`` pairs.  Both backends are property-tested
-            identical in observable behaviour; sharding is purely a
-            scaling feature.
+            :class:`ShardedClusterGraph` + :class:`ShardedFrontier`),
+            ``"parallel"`` (the sharded decomposition fanned out across a
+            :class:`~repro.engine.parallel.ProcessShardExecutor` worker
+            pool; falls back to in-process sharding below
+            ``parallel_threshold`` pairs, where pipe latency would dominate),
+            or ``"auto"`` — sharded iff the order has at least
+            ``shard_threshold`` pairs.  All backends are property-tested
+            identical in observable behaviour; sharding and process
+            parallelism are purely scaling features.
         shard_threshold: the ``auto`` cut-over point.
+        parallel_threshold: below this many pairs ``backend="parallel"``
+            silently uses the in-process sharded backend instead (pass 0 to
+            force worker processes, as the differential tests do).
+        n_workers: worker process count for the parallel backend (defaults
+            to the available CPUs, capped at 8).
+        mp_start_method: multiprocessing start method for the parallel
+            backend (default: ``fork`` where available, else ``spawn``).
     """
 
     def __init__(
@@ -86,6 +102,9 @@ class LabelingEngine:
         use_index: bool = True,
         backend: str = "auto",
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        n_workers: Optional[int] = None,
+        mp_start_method: Optional[str] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -102,14 +121,15 @@ class LabelingEngine:
                 self.pairs.append(pair)
                 self.likelihoods[pair] = likelihood
         self._position = {pair: i for i, pair in enumerate(self.pairs)}
+        self._executor: Optional[ProcessShardExecutor] = None
         if graph is not None:
             # A caller-provided graph (pre-populated or foreign) pins the
             # monolithic path: its contents cannot be redistributed.
             # Explicitly requesting sharding alongside one is a contradiction
             # the caller must resolve, not a silent downgrade.
-            if backend == "sharded":
+            if backend in ("sharded", "parallel"):
                 raise ValueError(
-                    "backend='sharded' cannot be combined with an explicit "
+                    f"backend={backend!r} cannot be combined with an explicit "
                     "graph: a pre-populated graph cannot be redistributed "
                     "into shards (drop the graph argument or use "
                     "backend='auto'/'monolithic')"
@@ -121,8 +141,21 @@ class LabelingEngine:
                 backend = (
                     "sharded" if len(self.pairs) >= shard_threshold else "monolithic"
                 )
+            elif backend == "parallel" and len(self.pairs) < parallel_threshold:
+                # Process orchestration only pays for itself at scale: the
+                # documented auto-fallback to in-process sharding.
+                backend = "sharded"
             self.backend = backend
-            if backend == "sharded":
+            if backend == "parallel":
+                self._executor = ProcessShardExecutor(
+                    self.pairs,
+                    positions=self._position,
+                    policy=policy,
+                    n_workers=n_workers,
+                    start_method=mp_start_method,
+                )
+                self.graph = ParallelShardedClusterGraph(self._executor, policy)
+            elif backend == "sharded":
                 self.graph = ShardedClusterGraph(policy=policy)
             else:
                 self.graph = ClusterGraph(policy=policy)
@@ -147,9 +180,14 @@ class LabelingEngine:
         # a single decided-prefix cursor otherwise.  Both reproduce
         # must_crowdsource_frontier exactly (property-tested).  Built lazily
         # on the first frontier() call — strategies that deduce at visit
-        # time (SequentialDispatch) never pay for it.
+        # time (SequentialDispatch) never pay for it.  On the parallel
+        # backend the frontier lives inside the workers instead.
         self._sharded_frontier: Optional[ShardedFrontier] = None
         self._frontier_cursor: Optional[FrontierCursor] = None
+        # True while sweep() is folding executor-resolved deductions back in:
+        # the workers already recorded those, so record_deduced must not
+        # echo them across the pipe again.
+        self._applying_executor_sweep = False
 
     # ------------------------------------------------------------------
     # inspection
@@ -167,6 +205,27 @@ class LabelingEngine:
         """What the received answers imply about ``pair`` (Algorithm 1)."""
         return self.graph.deduce(pair)
 
+    @property
+    def executor(self):
+        """The parallel backend's :class:`ProcessShardExecutor`, or None."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release backend resources (the parallel backend's worker
+        processes).  Idempotent; a no-op on in-process backends.  After
+        closing, graph queries on the parallel backend raise
+        :class:`~repro.engine.parallel.ShardWorkerError` — the labeling
+        result and label map remain readable (they live in this process).
+        """
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "LabelingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # frontier
     # ------------------------------------------------------------------
@@ -179,6 +238,11 @@ class LabelingEngine:
         sharded backend additionally recomputes only components touched since
         the last call (:class:`ShardedFrontier`).
         """
+        if self._executor is not None:
+            # The workers recompute their dirty components concurrently and
+            # already know every labeled/published change (events were routed
+            # to them as they happened).
+            return self._executor.frontier()
         if self.backend == "sharded":
             if self._sharded_frontier is None:
                 # Safe to build late: a fresh ShardedFrontier starts with
@@ -211,15 +275,25 @@ class LabelingEngine:
         for pair in batch:
             self.published.add(pair)
             self._mark_frontier_dirty(pair)
+        if self._executor is not None:
+            # One routed message covers both the publish and the optional
+            # withhold on the owning workers.
+            self._executor.publish(batch, withhold=withhold)
+            if withhold:
+                self._withheld.update(batch)
+            return
         if withhold:
             self.withhold(batch)
 
     def withhold(self, batch: Iterable[Pair]) -> None:
         """Take ``batch`` out of the deduction sweep (now on the platform)."""
+        batch = list(batch)
         for pair in batch:
             self._withheld.add(pair)
             if self._index is not None:
                 self._index.remove(pair)
+        if self._executor is not None:
+            self._executor.withhold(batch)
 
     # ------------------------------------------------------------------
     # events
@@ -232,6 +306,11 @@ class LabelingEngine:
         self._mark_frontier_dirty(pair)
         if self._index is not None:
             self._index.remove(pair)
+        if self._executor is not None and not self._applying_executor_sweep:
+            # A deduction decided in this process (visit-time path): the
+            # owning worker must learn it too.  Sweep-resolved deductions
+            # skip this — the worker recorded them before replying.
+            self._executor.record_deduced(pair, label)
 
     def record_answer(self, pair: Pair, label: Label, round_index: int) -> bool:
         """Record a crowd answer and fold it into the deduction graph.
@@ -271,6 +350,15 @@ class LabelingEngine:
         Returns:
             (pair, deduced label) per newly resolved pair, in order position.
         """
+        if self._executor is not None:
+            resolved = self._executor.sweep()
+            self._applying_executor_sweep = True
+            try:
+                for pair, label in resolved:
+                    self.record_deduced(pair, label, round_index)
+            finally:
+                self._applying_executor_sweep = False
+            return resolved
         if self._index is not None:
             resolved = sorted(
                 self._index.sweep(), key=lambda entry: self._position[entry[0]]

@@ -19,6 +19,22 @@ from repro.core.result import LabelingResult
 from repro.core.union_find import UnionFind
 
 
+class RecordingOracle(LabelOracle):
+    """Wraps an oracle and records the pairs it is asked about, in order.
+
+    The differential suites compare oracle-call *order* between a strategy
+    and its frozen reference, so this helper lives here with the references.
+    """
+
+    def __init__(self, inner: LabelOracle) -> None:
+        self.inner = inner
+        self.calls: List[Pair] = []
+
+    def label(self, pair: Pair) -> Label:
+        self.calls.append(pair)
+        return self.inner.label(pair)
+
+
 def _as_pairs(order: Sequence[Union[Pair, CandidatePair]]) -> List[Pair]:
     return [item.pair if isinstance(item, CandidatePair) else item for item in order]
 

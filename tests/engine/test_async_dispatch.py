@@ -38,8 +38,7 @@ from repro.engine import AsyncDispatch, CrowdRuntime, LabelingEngine, RuntimeMod
 from ..aio import run_async
 from ..conftest import FIGURE3_ENTITIES, FIGURE3_PAIRS
 from ..strategies import worlds
-from .reference import reference_parallel, reference_sequential
-from .test_parity import RecordingOracle
+from .reference import RecordingOracle, reference_parallel, reference_sequential
 
 BACKENDS = ("monolithic", "sharded")
 

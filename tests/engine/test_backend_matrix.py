@@ -1,0 +1,179 @@
+"""The backend parity matrix: every dispatch strategy × every engine backend.
+
+Before this suite existed, backend parity lived in copy-pasted per-backend
+test classes (``test_parity.py`` asserted the monolithic backend against the
+frozen PR-1 references, ``test_sharding.py`` repeated the same assertions
+for ``backend="sharded"``).  This file replaces those copies with one
+parametrized matrix, so a future backend gets full parity coverage by adding
+one entry to :data:`BACKENDS`.
+
+Every cell of the matrix is pinned to the frozen pre-refactor references in
+``tests/engine/reference.py`` (see docs/engine.md, "Testing: the frozen
+reference pattern"):
+
+* ``SequentialDispatch`` and ``AsyncDispatch(SEQUENTIAL)`` must replicate
+  ``reference_sequential`` — labels, outcome records, per-round published
+  lists, and oracle-call order;
+* ``RoundParallelDispatch`` and ``AsyncDispatch(ROUNDS)`` must replicate
+  ``reference_parallel`` the same way;
+* ``InstantDispatch`` makes seeded rng-driven choices with no sequential
+  reference, so its non-monolithic cells are pinned to the *monolithic* run
+  instead: identical frontiers mean identical published pools, so labels,
+  rounds, the availability trace, and the publish events must all coincide.
+
+The ``parallel`` column runs real worker processes (``parallel_threshold=0``
+forces them even on these small worlds), so every cell here is also an
+end-to-end differential test of the process-parallel executor.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Label, Pair
+from repro.engine import (
+    AsyncDispatch,
+    InstantDispatch,
+    RoundParallelDispatch,
+    RuntimeMode,
+    SequentialDispatch,
+)
+
+from ..strategies import worlds
+from .reference import RecordingOracle, reference_parallel, reference_sequential
+
+BACKENDS = ("monolithic", "sharded", "parallel")
+
+#: Worker processes per parallel-backend engine in this file: enough to
+#: split multi-component worlds, small enough to keep per-example spawn
+#: cost negligible.
+PARALLEL_WORKERS = 2
+
+
+def backend_options(backend: str) -> dict:
+    """Constructor kwargs that force the named backend on tiny worlds."""
+    options = {"backend": backend}
+    if backend == "parallel":
+        options.update(parallel_threshold=0, n_workers=PARALLEL_WORKERS)
+    return options
+
+
+def sequential_strategy(backend: str):
+    return SequentialDispatch(**backend_options(backend))
+
+
+def async_sequential_strategy(backend: str):
+    return AsyncDispatch(RuntimeMode.SEQUENTIAL, **backend_options(backend))
+
+
+def rounds_strategy(backend: str):
+    return RoundParallelDispatch(**backend_options(backend))
+
+
+def async_rounds_strategy(backend: str):
+    return AsyncDispatch(RuntimeMode.ROUNDS, **backend_options(backend))
+
+
+SEQUENTIAL_STRATEGIES = {
+    "sequential": sequential_strategy,
+    "async-sequential": async_sequential_strategy,
+}
+ROUNDS_STRATEGIES = {
+    "rounds": rounds_strategy,
+    "async-rounds": async_rounds_strategy,
+}
+
+
+class TestSequentialMatrix:
+    """One-pair-per-round labelers vs the frozen sequential reference."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("strategy", sorted(SEQUENTIAL_STRATEGIES))
+    @given(worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_matches_reference(self, backend, strategy, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        ref_oracle = RecordingOracle(truth)
+        new_oracle = RecordingOracle(truth)
+        reference = reference_sequential(candidates, ref_oracle)
+        result = SEQUENTIAL_STRATEGIES[strategy](backend).run(candidates, new_oracle)
+        assert result.labels() == reference.labels()
+        assert result.outcomes == reference.outcomes
+        assert result.rounds == reference.rounds
+        assert new_oracle.calls == ref_oracle.calls
+
+
+class TestRoundsMatrix:
+    """Frontier-per-round labelers vs the frozen parallel reference."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("strategy", sorted(ROUNDS_STRATEGIES))
+    @given(worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_matches_reference(self, backend, strategy, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        ref_oracle = RecordingOracle(truth)
+        new_oracle = RecordingOracle(truth)
+        reference = reference_parallel(candidates, ref_oracle)
+        result = ROUNDS_STRATEGIES[strategy](backend).run(candidates, new_oracle)
+        assert result.labels() == reference.labels()
+        assert result.outcomes == reference.outcomes
+        assert result.rounds == reference.rounds
+        assert new_oracle.calls == ref_oracle.calls
+
+
+class TestInstantMatrix:
+    """InstantDispatch across backends: rng-driven choices from the
+    published pool must coincide whenever the frontiers coincide, so the
+    whole trace is pinned to the monolithic run."""
+
+    @pytest.mark.parametrize("backend", [b for b in BACKENDS if b != "monolithic"])
+    @given(worlds())
+    @settings(max_examples=12, deadline=None)
+    def test_identical_to_monolithic(self, backend, world):
+        candidates, entity_of = world
+        truth = GroundTruthOracle(entity_of)
+        seed = 17
+        mono = InstantDispatch(seed=seed, backend="monolithic").run(candidates, truth)
+        other = InstantDispatch(seed=seed, **backend_options(backend)).run(
+            candidates, truth
+        )
+        assert other.result.labels() == mono.result.labels()
+        assert other.result.rounds == mono.result.rounds
+        assert other.trace == mono.trace
+        assert other.publish_events == mono.publish_events
+
+
+class TestEdgeCaseMatrix:
+    """Deterministic engine edge cases, uniform across backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_duplicate_pairs_collapse_to_first_occurrence(self, backend):
+        truth = GroundTruthOracle({"a": 1, "b": 1, "c": 2})
+        order = [Pair("a", "b"), Pair("a", "c"), Pair("a", "b")]
+        for make in (sequential_strategy, rounds_strategy):
+            result = make(backend).run(order, truth)
+            assert result.n_pairs == 2
+            assert result.n_crowdsourced == 2
+            assert result.label_of(Pair("a", "b")) is Label.MATCHING
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_pair_order(self, backend):
+        truth = GroundTruthOracle({"a": 0, "b": 0})
+        result = rounds_strategy(backend).run([Pair("a", "b")], truth)
+        assert result.labels() == {Pair("a", "b"): Label.MATCHING}
+        assert result.rounds == [[Pair("a", "b")]]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fully_deducible_tail(self, backend):
+        """A chain whose last pair is implied: only the chain is paid for."""
+        truth = GroundTruthOracle({"a": 0, "b": 0, "c": 0})
+        order = [Pair("a", "b"), Pair("b", "c"), Pair("a", "c")]
+        result = rounds_strategy(backend).run(order, truth)
+        assert result.n_crowdsourced == 2
+        assert result.n_deduced == 1
+        assert result.label_of(Pair("a", "c")) is Label.MATCHING

@@ -1,125 +1,26 @@
-"""Engine parity: the dispatch strategies must replicate the pre-refactor
-labelers exactly, on randomized worlds.
+"""Engine-level parity and edge cases for machinery the backend matrix
+does not cover.
 
-``tests/engine/reference.py`` holds frozen transcriptions of the seed
-repo's loops; these property tests pin the refactor to them:
-
-* ``SequentialDispatch`` ≡ old ``SequentialLabeler`` — same labels, same
-  crowdsourced count, same oracle-call order;
-* ``RoundParallelDispatch`` ≡ old ``ParallelLabeler`` — same per-round
-  published sets (and, being order-preserving scans, the same lists);
-* the shared frontier ≡ the old Algorithm-3 selection scan at arbitrary
-  intermediate labeling states.
+Strategy-vs-reference parity across every backend lives in
+``tests/engine/test_backend_matrix.py`` (one parametrized suite instead of
+per-backend copies); what remains here is the *frontier machinery* itself —
+the shared Algorithm-3 selection against the seed repo's frozen scan — and
+engine edge cases that are backend-independent.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings
 
-from repro.core.oracle import GroundTruthOracle, LabelOracle
+from repro.core.oracle import GroundTruthOracle
 from repro.core.pairs import Label, Pair
-from repro.engine import (
-    LabelingEngine,
-    RoundParallelDispatch,
-    SequentialDispatch,
-    must_crowdsource_frontier,
-)
+from repro.engine import LabelingEngine, must_crowdsource_frontier
 
 from ..strategies import worlds
-from .reference import (
-    reference_parallel,
-    reference_parallel_selection,
-    reference_sequential,
-)
-
-
-class RecordingOracle(LabelOracle):
-    """Wraps an oracle and records the pairs it is asked about, in order."""
-
-    def __init__(self, inner: LabelOracle) -> None:
-        self.inner = inner
-        self.calls: list[Pair] = []
-
-    def label(self, pair: Pair) -> Label:
-        self.calls.append(pair)
-        return self.inner.label(pair)
-
-
-class TestSequentialParity:
-    @given(worlds())
-    @settings(max_examples=80, deadline=None)
-    def test_matches_reference_exactly(self, world):
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        ref_oracle = RecordingOracle(truth)
-        new_oracle = RecordingOracle(truth)
-        reference = reference_sequential(candidates, ref_oracle)
-        result = SequentialDispatch().run(candidates, new_oracle)
-        assert result.labels() == reference.labels()
-        assert result.n_crowdsourced == reference.n_crowdsourced
-        assert result.n_deduced == reference.n_deduced
-        assert new_oracle.calls == ref_oracle.calls
-        assert result.rounds == reference.rounds
-
-    @given(worlds())
-    @settings(max_examples=40, deadline=None)
-    def test_outcome_records_identical(self, world):
-        """Provenance, round index, and record position all match."""
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        reference = reference_sequential(candidates, truth)
-        result = SequentialDispatch().run(candidates, truth)
-        assert result.outcomes == reference.outcomes
-
-
-class TestRoundParallelParity:
-    @given(worlds())
-    @settings(max_examples=80, deadline=None)
-    def test_same_published_sets_per_round(self, world):
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        reference = reference_parallel(candidates, truth)
-        result = RoundParallelDispatch().run(candidates, truth)
-        assert result.rounds == reference.rounds
-        assert result.labels() == reference.labels()
-        assert result.n_crowdsourced == reference.n_crowdsourced
-
-    @given(worlds())
-    @settings(max_examples=40, deadline=None)
-    def test_outcome_records_identical(self, world):
-        """The incremental sweep resolves the same pairs in the same rounds
-        (and, position-sorted, records them in the same order) as the
-        reference's full rescan."""
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        reference = reference_parallel(candidates, truth)
-        result = RoundParallelDispatch().run(candidates, truth)
-        assert result.outcomes == reference.outcomes
-
-    @given(worlds())
-    @settings(max_examples=40, deadline=None)
-    def test_oracle_call_order_matches(self, world):
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        ref_oracle = RecordingOracle(truth)
-        new_oracle = RecordingOracle(truth)
-        reference_parallel(candidates, ref_oracle)
-        RoundParallelDispatch().run(candidates, new_oracle)
-        assert new_oracle.calls == ref_oracle.calls
+from .reference import reference_parallel_selection
 
 
 class TestEngineEdgeCases:
-    def test_duplicate_pairs_collapse_to_first_occurrence(self):
-        """An order repeating a pair must terminate and label it once (the
-        pre-refactor parallel loop tolerated duplicates; sequential did not)."""
-        truth = GroundTruthOracle({"a": 1, "b": 1, "c": 2})
-        order = [Pair("a", "b"), Pair("a", "c"), Pair("a", "b")]
-        for dispatch in (SequentialDispatch(), RoundParallelDispatch()):
-            result = dispatch.run(order, truth)
-            assert result.n_pairs == 2
-            assert result.n_crowdsourced == 2
-            assert result.label_of(Pair("a", "b")) is Label.MATCHING
-
     def test_publish_accepts_single_pass_iterables(self):
         """publish() must materialise generators before its two passes."""
         engine = LabelingEngine([Pair("a", "b"), Pair("b", "c"), Pair("a", "c")])

@@ -8,11 +8,11 @@ Sharding is purely a scaling feature — these tests pin it to:
   answer sequences: identical deductions, cluster partitions, counters,
   conflicts, and listener event streams — including adversarial all-positive
   sequences that force every shard to merge into one;
-* the frozen PR-1 reference labelers (``tests/engine/reference.py``) when a
-  dispatch strategy runs with ``backend="sharded"``: identical labels,
-  oracle-call order, and per-round published sets;
 * the shared :func:`must_crowdsource_frontier` for the per-component
   :class:`ShardedFrontier` at arbitrary labeled/published states.
+
+Strategy-level parity against the frozen PR-1 references (every dispatch
+strategy × every backend) lives in ``tests/engine/test_backend_matrix.py``.
 """
 
 from __future__ import annotations
@@ -27,21 +27,19 @@ from repro.core.cluster_graph import (
     ConflictPolicy,
     InconsistentLabelError,
 )
-from repro.core.oracle import GroundTruthOracle, LabelOracle
+from repro.core.oracle import GroundTruthOracle
 from repro.core.pairs import Label, Pair
 from repro.core.sweep import PendingPairIndex
 from repro.engine import (
-    InstantDispatch,
     LabelingEngine,
     RoundParallelDispatch,
-    SequentialDispatch,
     ShardedClusterGraph,
     ShardedFrontier,
     must_crowdsource_frontier,
 )
 
 from ..strategies import worlds
-from .reference import reference_parallel, reference_parallel_selection, reference_sequential
+from .reference import reference_parallel_selection
 
 
 class RecordingListener:
@@ -55,16 +53,6 @@ class RecordingListener:
 
     def on_edge(self, root_a, root_b) -> None:
         self.events.append(("edge", root_a, root_b))
-
-
-class RecordingOracle(LabelOracle):
-    def __init__(self, inner: LabelOracle) -> None:
-        self.inner = inner
-        self.calls: list[Pair] = []
-
-    def label(self, pair: Pair) -> Label:
-        self.calls.append(pair)
-        return self.inner.label(pair)
 
 
 def _assert_graphs_equal(mono: ClusterGraph, sharded: ShardedClusterGraph, probes) -> None:
@@ -215,52 +203,7 @@ class TestGraphParity:
         sharded.check_invariants()
 
 
-class TestEngineShardedParity:
-    """Dispatch strategies on backend="sharded" vs the frozen PR-1 references."""
-
-    @given(worlds())
-    @settings(max_examples=60, deadline=None)
-    def test_sequential_matches_reference(self, world):
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        ref_oracle = RecordingOracle(truth)
-        new_oracle = RecordingOracle(truth)
-        reference = reference_sequential(candidates, ref_oracle)
-        result = SequentialDispatch(backend="sharded").run(candidates, new_oracle)
-        assert result.labels() == reference.labels()
-        assert result.outcomes == reference.outcomes
-        assert new_oracle.calls == ref_oracle.calls
-        assert result.rounds == reference.rounds
-
-    @given(worlds())
-    @settings(max_examples=60, deadline=None)
-    def test_round_parallel_matches_reference(self, world):
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        ref_oracle = RecordingOracle(truth)
-        new_oracle = RecordingOracle(truth)
-        reference = reference_parallel(candidates, ref_oracle)
-        result = RoundParallelDispatch(backend="sharded").run(candidates, new_oracle)
-        assert result.rounds == reference.rounds
-        assert result.labels() == reference.labels()
-        assert result.outcomes == reference.outcomes
-        assert new_oracle.calls == ref_oracle.calls
-
-    @given(worlds(), st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None)
-    def test_instant_identical_across_backends(self, world, seed):
-        """InstantDispatch makes rng-driven choices from the published pool;
-        identical frontiers mean identical pools, so the whole trace must
-        coincide between backends."""
-        candidates, entity_of = world
-        truth = GroundTruthOracle(entity_of)
-        mono = InstantDispatch(seed=seed, backend="monolithic").run(candidates, truth)
-        sharded = InstantDispatch(seed=seed, backend="sharded").run(candidates, truth)
-        assert mono.result.labels() == sharded.result.labels()
-        assert mono.result.rounds == sharded.result.rounds
-        assert mono.trace == sharded.trace
-        assert mono.publish_events == sharded.publish_events
-
+class TestShardedSweep:
     @given(worlds(max_objects=10, max_pairs=20))
     @settings(max_examples=40, deadline=None)
     def test_sweep_via_pending_pair_index(self, world):
