@@ -28,8 +28,14 @@ from repro.core.pairs import CandidatePair, Label, LabeledPair, Pair
 from repro.core.parallel import parallel_crowdsourced_pairs
 from repro.core.sweep import PendingPairIndex
 from repro.core.union_find import UnionFind
-from repro.crowd.clients import SimulatedPlatformClient
+from repro.crowd.clients import (
+    InMemoryCrowdBackend,
+    ManualClock,
+    PollingPlatformClient,
+    SimulatedPlatformClient,
+)
 from repro.crowd.latency import ZeroLatency
+from repro.crowd.platforms import RecordReplayBackend
 from repro.crowd.platform import SimulatedPlatform
 from repro.crowd.worker import make_worker_pool
 from repro.datasets.distributions import ClusterSizeSpec
@@ -652,3 +658,82 @@ def test_parallel_backend_scales_sweep_and_frontier():
             f"in-process sharded ({shard_s:.3f}s) on {n_cpus} CPUs with "
             f"{PARALLEL_WORKERS} workers at {len(candidates)} pairs"
         )
+
+
+# ----------------------------------------------------------------------
+# polling-loop overhead: in-memory fake vs cassette replay
+# ----------------------------------------------------------------------
+def _drive_polling_campaign(backend, clock) -> tuple:
+    """One HIT-instant campaign over ``PollingPlatformClient``; returns
+    (engine, report).  Deterministic: manual clock, seeded latency."""
+    client = PollingPlatformClient(
+        backend,
+        batch_size=20,
+        n_assignments=1,
+        poll_interval=0.5,
+        clock=clock.now,
+        sleep=clock.sleep,
+    )
+    engine = LabelingEngine([item.pair for item in PAIRS[:POLL_N_PAIRS]])
+    runtime = CrowdRuntime(engine, client, mode=RuntimeMode.HIT_INSTANT)
+    report = runtime.run_sync()
+    return engine, report
+
+
+POLL_N_PAIRS = 2000
+
+
+def test_platform_poll_overhead_inmemory_vs_replay():
+    """The live-platform seam's constant factors: the same polling campaign
+    driven by the in-memory REST fake versus a recorded cassette's replay
+    (the zero-credential CI path).  Both must produce identical labels;
+    ``platform_poll_*`` lands in BENCH_core.json for the trajectory gate."""
+    # -- in-memory fake (records the cassette as it runs) ---------------
+    clock = ManualClock()
+    inner = InMemoryCrowdBackend(
+        oracle=TRUTH,
+        clock=clock.now,
+        latency=lambda rng: rng.uniform(0.1, 4.0),
+        seed=9,
+    )
+    recorder = RecordReplayBackend("record", inner=inner)
+    start = time.perf_counter()
+    mem_engine, mem_report = _drive_polling_campaign(recorder, clock)
+    inmemory_s = time.perf_counter() - start
+
+    # -- cassette replay ------------------------------------------------
+    clock = ManualClock()
+    replayer = RecordReplayBackend("replay", cassette=recorder.cassette)
+    start = time.perf_counter()
+    replay_engine, replay_report = _drive_polling_campaign(replayer, clock)
+    replay_s = time.perf_counter() - start
+    replayer.assert_exhausted()
+
+    assert replay_engine.result.labels() == mem_engine.result.labels()
+    assert replay_report.n_completions == mem_report.n_completions
+
+    _record(
+        "platform_poll_inmemory",
+        total_s=inmemory_s,
+        per_completion_s=inmemory_s / mem_report.n_completions,
+        completions_per_sec=mem_report.n_completions / inmemory_s,
+        n_completions=mem_report.n_completions,
+        n_pairs=POLL_N_PAIRS,
+    )
+    _record(
+        "platform_poll_replay",
+        total_s=replay_s,
+        per_completion_s=replay_s / replay_report.n_completions,
+        completions_per_sec=replay_report.n_completions / replay_s,
+        n_completions=replay_report.n_completions,
+        n_pairs=POLL_N_PAIRS,
+    )
+    _record(
+        "platform_poll_replay_ratio",
+        ratio=replay_s / inmemory_s if inmemory_s else float("inf"),
+        n_interactions=len(recorder.cassette),
+    )
+    # Replay swaps the fake's oracle work for JSON matching; it must stay
+    # within the same order of magnitude so cassette-driven CI runs and
+    # docs examples remain cheap.
+    assert replay_s < inmemory_s * 10

@@ -9,14 +9,17 @@ and latency limits are enforced by the runtime, not the platform.
 
 The backend is the in-memory fake shipped for tests, driven by a manual
 clock, so the example is deterministic and runs offline in milliseconds; to
-point the same campaign at a real service, implement the three-method
-``RestCrowdBackend`` surface (create/fetch/expire) over its HTTP API and
-drop the manual clock.
+point the same campaign at a real service, use the MTurk backend shipped in
+``repro.crowd.platforms`` (see ``examples/mturk_campaign.py`` and
+``docs/crowd.md``) or implement the three-method ``RestCrowdBackend``
+surface (create/fetch/expire) over the platform's HTTP API.
 
 Run:  python examples/async_campaign.py
+(exits non-zero if the campaign fails to label everything correctly)
 """
 
 import asyncio
+import sys
 
 from repro import expected_order
 from repro.core.oracle import GroundTruthOracle
@@ -85,7 +88,7 @@ async def run_campaign(candidates, truth):
     return engine, report
 
 
-def main() -> None:
+def main() -> int:
     candidates, truth = build_candidates()
     print(f"{len(candidates):,} candidate pairs to label\n")
 
@@ -118,6 +121,18 @@ def main() -> None:
         f"({rounds_result.n_deduced:,} deduced)"
     )
 
+    failures = []
+    if result.n_pairs != len(candidates):
+        failures.append(f"labeled {result.n_pairs} of {len(candidates)} pairs")
+    if correct != result.n_pairs:
+        failures.append(f"only {correct}/{result.n_pairs} labels correct")
+    if rounds_result.n_pairs != len(candidates):
+        failures.append("AsyncDispatch(ROUNDS) did not label every pair")
+    if failures:
+        print("\nCAMPAIGN FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -49,6 +49,11 @@ def heuristic_gap() -> None:
     print(result.render())
 
 
-if __name__ == "__main__":
+def main() -> int:
     example4()
     heuristic_gap()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

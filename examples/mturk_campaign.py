@@ -1,0 +1,226 @@
+"""A transitive-join campaign against the MTurk backend — replayed offline.
+
+This is the repo's live-platform shape: ``MTurkBackend`` speaks the real
+MTurk Requester wire protocol (SigV4-signed JSON RPC, QuestionForm XML,
+paginated assignment listing, approve/reject review), the
+``PollingPlatformClient`` polls it, and the ``CrowdRuntime`` labels the
+join with transitive deduction, expiry re-issue, budget enforcement, and
+an ``ApproveAll`` review policy.
+
+By default no network and no credentials are involved: the campaign
+**replays a committed cassette** (``examples/fixtures/mturk_campaign.json``)
+through a ``RecordReplayBackend`` — every request the campaign makes is
+checked against the recording and answered from it, so the run is
+deterministic, offline, and fails loudly (non-zero exit) if the campaign
+logic ever drifts from the recorded traffic.
+
+Modes (see docs/crowd.md for the full operator runbook):
+
+    python examples/mturk_campaign.py             # replay the cassette
+    python examples/mturk_campaign.py --record    # re-record it (offline,
+                                                  # against the in-process
+                                                  # fake MTurk service)
+    python examples/mturk_campaign.py --live      # real MTurk sandbox
+                                                  # (needs AWS_* env vars)
+
+The ``--live`` path is byte-for-byte the same campaign code; only the
+transport and clock change.
+"""
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+from repro import expected_order
+from repro.core.pairs import Pair
+from repro.crowd import (
+    ApproveAll,
+    BudgetPolicy,
+    Cassette,
+    Credentials,
+    FakeMTurkService,
+    ManualClock,
+    MTurkBackend,
+    PollingPlatformClient,
+    RecordReplayBackend,
+    ThrottlePolicy,
+    TimeoutPolicy,
+)
+from repro.datasets import generate_paper_dataset, paper_spec
+from repro.engine import CrowdRuntime, LabelingEngine, RuntimeMode
+from repro.matcher import CandidateGenerator, TfIdfCosine, word_tokens
+
+CASSETTE = Path(__file__).resolve().parent / "fixtures" / "mturk_campaign.json"
+
+SCALE = 0.03
+THRESHOLD = 0.35
+SEED = 11
+START_EPOCH = 1_700_000_000.0  # the recorded campaign's t=0, epoch seconds
+
+# Dummy keys for offline recording: the fake service *verifies* SigV4
+# signatures against them, so the signing path is exercised end to end.
+OFFLINE_CREDENTIALS = Credentials("AKIDEXAMPLE", "wJalrXUtnFEMI-K7MDENG-bPxRfiCY")
+
+BATCH_SIZE = 5
+N_ASSIGNMENTS = 3
+POLL_INTERVAL_S = 30.0
+HIT_TIMEOUT_S = 900.0
+
+
+def build_workload():
+    """A small Cora-like workload in the paper's heuristic order."""
+    dataset = generate_paper_dataset(spec=paper_spec(SCALE), seed=SEED)
+    tokens = {rid: word_tokens(text) for rid, text in dataset.texts().items()}
+    tfidf = TfIdfCosine(tokens.values())
+    generator = CandidateGenerator(
+        similarity=lambda a, b: tfidf.similarity(tokens[a], tokens[b]),
+        tokens=tokens,
+        max_block_size=200,
+    )
+    candidates = expected_order(
+        list(generator.generate(dataset.ids(), threshold=THRESHOLD))
+    )
+    return candidates, dataset.truth_oracle()
+
+
+def make_offline_backend(truth, clock, *, record: bool):
+    """The wire stack for offline runs: fake service -> MTurkBackend ->
+    cassette recorder (record) or cassette replayer alone (replay)."""
+    if not record:
+        return RecordReplayBackend("replay", cassette=Cassette.load(CASSETTE))
+    # Record ids are strings, so the texts workers see *are* the ids.
+    service = FakeMTurkService(
+        lambda left, right: truth.label(Pair(left, right)),
+        credentials=OFFLINE_CREDENTIALS,
+        clock=clock.now,
+        latency=lambda rng: rng.uniform(60.0, 600.0),
+        drop_hit_indexes={2},  # one abandoned HIT: expiry + re-issue
+        seed=SEED,
+    )
+    backend = MTurkBackend(
+        OFFLINE_CREDENTIALS,
+        transport=service.transport,
+        clock=clock.now,
+        # Pacing must not perturb the recorded timeline: unlimited bucket,
+        # no-op sleep.  (Live runs use the defaults instead.)
+        throttle=ThrottlePolicy(rate=1e6, burst=1000, sleep=lambda s: None),
+        page_size=4,  # small pages force ListAssignments pagination
+    )
+    return RecordReplayBackend(
+        "record",
+        inner=backend,
+        meta={
+            "example": "mturk_campaign",
+            "scale": SCALE,
+            "threshold": THRESHOLD,
+            "seed": SEED,
+            "start_epoch": START_EPOCH,
+        },
+    )
+
+
+def make_live_backend():  # pragma: no cover - needs real credentials
+    """The same stack pointed at the real MTurk sandbox (runbook path)."""
+    return MTurkBackend(Credentials.from_env())
+
+
+async def run_campaign(candidates, backend, clock):
+    client = PollingPlatformClient(
+        backend,
+        batch_size=BATCH_SIZE,
+        n_assignments=N_ASSIGNMENTS,
+        poll_interval=POLL_INTERVAL_S,
+        clock=clock.now,
+        sleep=clock.sleep,
+    )
+    engine = LabelingEngine([c.pair for c in candidates])
+    runtime = CrowdRuntime(
+        engine,
+        client,
+        mode=RuntimeMode.HIT_INSTANT,  # re-decide after every completion
+        budget=BudgetPolicy(max_assignments=5000),
+        timeout=TimeoutPolicy(hit_timeout=HIT_TIMEOUT_S, max_reissues=3),
+        review=ApproveAll(),
+    )
+    report = await runtime.run()
+    return engine, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--record",
+        action="store_true",
+        help="re-record the committed cassette against the in-process fake",
+    )
+    group.add_argument(
+        "--live",
+        action="store_true",
+        help="run against the real MTurk sandbox (AWS_* env vars required)",
+    )
+    args = parser.parse_args(argv)
+
+    candidates, truth = build_workload()
+    print(f"{len(candidates):,} candidate pairs to label")
+
+    if args.live:  # pragma: no cover - needs real credentials
+        import time
+
+        class _WallClock:
+            now = staticmethod(time.time)
+            sleep = staticmethod(asyncio.sleep)
+
+        backend, clock = make_live_backend(), _WallClock()
+        print("mode: LIVE (MTurk sandbox)\n")
+    else:
+        clock = ManualClock(start=START_EPOCH)
+        backend = make_offline_backend(truth, clock, record=args.record)
+        print(f"mode: {'RECORD' if args.record else 'REPLAY'} ({CASSETTE.name})\n")
+
+    engine, report = asyncio.run(run_campaign(candidates, backend, clock))
+
+    result = engine.result
+    correct = sum(
+        1 for pair in engine.pairs if result.label_of(pair) is truth.label(pair)
+    )
+    print("transitive-join campaign over MTurkBackend")
+    print(f"  pairs labeled        {result.n_pairs:6,}")
+    print(f"  crowdsourced         {result.n_crowdsourced:6,}")
+    print(f"  deduced for free     {result.n_deduced:6,}")
+    print(f"  HITs published       {len(report.hit_batches):6,}")
+    print(f"  completions applied  {report.n_completions:6,}")
+    print(f"  expired / re-issued  {report.n_expired_hits:6,} / {report.n_reissued_hits:,}")
+    print(f"  assignments spent    {report.assignments_committed:6,}")
+    print(f"  assignments approved {report.n_assignments_approved:6,}")
+    print(f"  campaign seconds     {report.completion_hours - START_EPOCH:8.0f}")
+    print(f"  labels correct       {correct:6,} / {result.n_pairs:,}")
+
+    failures = []
+    if result.n_pairs != len(candidates):
+        failures.append(
+            f"labeled {result.n_pairs} of {len(candidates)} candidate pairs"
+        )
+    if correct != result.n_pairs:
+        failures.append(f"only {correct}/{result.n_pairs} labels correct")
+    if report.n_assignments_approved == 0:
+        failures.append("no assignments were approved for payment")
+
+    if args.record:
+        backend.save(CASSETTE)
+        print(f"\nrecorded {len(backend.cassette)} interactions -> {CASSETTE}")
+    elif not args.live:
+        try:
+            backend.assert_exhausted()
+        except Exception as exc:  # divergence: cassette under-consumed
+            failures.append(str(exc))
+
+    if failures:
+        print("\nCAMPAIGN FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,9 @@
 Provides HIT batching, worker models, majority-vote aggregation, latency
 models, a discrete-event platform simulator, the async
 :class:`PlatformClient` seam (simulated / polling / webhook-push clients),
-and campaign runners for the paper's Section 6.4 experiments.
+campaign runners for the paper's Section 6.4 experiments, assignment
+review policies, and — under :mod:`repro.crowd.platforms` — the live
+MTurk backend with its record/replay cassette layer (see ``docs/crowd.md``).
 """
 
 # NOTE: import order matters here.  ``campaign`` sits on the engine side of
@@ -41,6 +43,7 @@ from .latency import (
     ZeroLatency,
 )
 from .platform import HITCompletion, PlatformStats, SimulatedPlatform
+from .review import ApproveAll, ReviewDecision, ReviewPolicy
 from .worker import (
     AmbiguityAwareWorker,
     BernoulliWorker,
@@ -67,20 +70,34 @@ from .campaign import (
     run_non_transitive,
     run_transitive,
 )
+from .platforms import (
+    Cassette,
+    Credentials,
+    FakeMTurkService,
+    MTurkBackend,
+    MTurkRequestError,
+    RecordReplayBackend,
+    ReplayDivergenceError,
+    ThrottlePolicy,
+)
 
 __all__ = [
     "AmbiguityAwareWorker",
+    "ApproveAll",
     "Assignment",
     "BernoulliWorker",
     "BudgetExceededError",
     "BudgetPolicy",
     "CallbackPlatformClient",
     "CampaignReport",
+    "Cassette",
     "CostLedger",
     "CostModel",
+    "Credentials",
     "DEFAULT_ASSIGNMENTS",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_PRICE_PER_ASSIGNMENT",
+    "FakeMTurkService",
     "FixedLatency",
     "HIT",
     "HITCompletion",
@@ -88,6 +105,8 @@ __all__ = [
     "InMemoryCrowdBackend",
     "LatencyModel",
     "LognormalLatency",
+    "MTurkBackend",
+    "MTurkRequestError",
     "ManualClock",
     "PerfectWorker",
     "PlatformClient",
@@ -95,9 +114,14 @@ __all__ = [
     "PlatformStats",
     "PollingPlatformClient",
     "QualificationTest",
+    "RecordReplayBackend",
+    "ReplayDivergenceError",
     "RestCrowdBackend",
+    "ReviewDecision",
+    "ReviewPolicy",
     "SimulatedPlatform",
     "SimulatedPlatformClient",
+    "ThrottlePolicy",
     "TimeoutPolicy",
     "Worker",
     "WorkerModel",

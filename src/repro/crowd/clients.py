@@ -55,6 +55,7 @@ from typing import (
     Protocol,
     Sequence,
     Set,
+    Tuple,
     Union,
     runtime_checkable,
 )
@@ -338,6 +339,11 @@ class RestCrowdBackend(Protocol):
         """Retire an outstanding HIT; True if it was still pending."""
         ...  # pragma: no cover - protocol
 
+    # Backends may additionally expose ``review_assignments(hit_id,
+    # decisions) -> (n_approved, n_rejected)`` and ``extend_expiry(hit_id,
+    # additional_s) -> bool``; the polling client forwards to them when
+    # present (see ``repro.crowd.platforms.mturk.MTurkBackend``).
+
 
 class ManualClock:
     """Deterministic clock for driving the polling client in tests.
@@ -479,6 +485,20 @@ class PollingPlatformClient(_PlatformClientBase):
             if not self._outstanding:
                 return None
             await self._sleep(self._poll_interval)
+
+    def review_hit(self, hit_id: int, decisions) -> Tuple[int, int]:
+        """Forward review verdicts to the backend, if it supports review.
+
+        The runtime's :class:`~repro.crowd.review.ReviewPolicy` calls this
+        after applying a completion; backends without a review surface
+        (the in-memory fake by default) cost nothing.  Returns
+        ``(n_approved, n_rejected)``.
+        """
+        review = getattr(self._backend, "review_assignments", None)
+        if review is None:
+            return (0, 0)
+        approved, rejected = review(hit_id, list(decisions))
+        return (int(approved), int(rejected))
 
     async def cancel(self, hit_id: int) -> bool:
         hit = self._outstanding.pop(hit_id, None)

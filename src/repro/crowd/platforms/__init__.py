@@ -1,0 +1,79 @@
+"""Live crowd platform backends for the polling client.
+
+Everything in :mod:`repro.crowd` up to here runs against simulators; this
+subpackage is the production seam.  It currently ships the MTurk stack the
+paper's campaigns ran on (Wang et al., SIGMOD 2013 evaluated against live
+AMT workers), built from stdlib only:
+
+* :mod:`.signing` — AWS SigV4 request signing, injectable credentials/clock;
+* :mod:`.questionform` — HIT ↔ QuestionForm/HTMLQuestion XML rendering and
+  answer decoding;
+* :mod:`.throttle` — :class:`ThrottlePolicy`, token-bucket pacing +
+  exponential-backoff retry shared by any REST backend;
+* :mod:`.mturk` — :class:`MTurkBackend`, the
+  :class:`~repro.crowd.clients.RestCrowdBackend` implementation
+  (creation, paginated assignment listing, review, expiry);
+* :mod:`.fake_service` — :class:`FakeMTurkService`, a signature-verifying
+  in-process wire fake for tests and cassette recording;
+* :mod:`.cassette` — :class:`RecordReplayBackend`, JSON record/replay of
+  the backend seam for credential-free CI runs and post-hoc debugging.
+
+See ``docs/crowd.md`` for the operator runbook (live + cassette workflow).
+"""
+
+from .cassette import (
+    Cassette,
+    RecordReplayBackend,
+    ReplayDivergenceError,
+    decode_payload,
+    encode_payload,
+)
+from .fake_service import FakeMTurkService
+from .mturk import (
+    PRODUCTION_ENDPOINT,
+    SANDBOX_ENDPOINT,
+    MTurkBackend,
+    MTurkRequestError,
+    UrllibTransport,
+)
+from .questionform import (
+    AnswerParseError,
+    parse_answer_xml,
+    render_answer_xml,
+    render_html_question,
+    render_question_form,
+)
+from .signing import (
+    Credentials,
+    MissingCredentialsError,
+    SignedRequest,
+    sign_request,
+    verify_signature,
+)
+from .throttle import RetryBudgetExceededError, ThrottlePolicy
+
+__all__ = [
+    "AnswerParseError",
+    "Cassette",
+    "Credentials",
+    "FakeMTurkService",
+    "MTurkBackend",
+    "MTurkRequestError",
+    "MissingCredentialsError",
+    "PRODUCTION_ENDPOINT",
+    "RecordReplayBackend",
+    "ReplayDivergenceError",
+    "RetryBudgetExceededError",
+    "SANDBOX_ENDPOINT",
+    "SignedRequest",
+    "ThrottlePolicy",
+    "UrllibTransport",
+    "decode_payload",
+    "encode_payload",
+    "parse_answer_xml",
+    "render_answer_xml",
+    "render_html_question",
+    "render_question_form",
+    "sign_request",
+    "verify_signature",
+]

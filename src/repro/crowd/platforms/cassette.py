@@ -1,0 +1,288 @@
+"""Record/replay cassettes for REST crowd backends.
+
+A live crowd campaign is unrepeatable: workers answer once, money is
+spent once.  :class:`RecordReplayBackend` makes the *traffic* repeatable —
+wrapped around any :class:`~repro.crowd.clients.RestCrowdBackend`
+(including review/expiry extensions), it captures every call crossing the
+seam as a JSON **cassette**:
+
+* **record mode** forwards each call to the inner backend and appends the
+  (request, response) interaction;
+* **replay mode** needs no inner backend at all: each call is matched
+  against the next recorded interaction and answered from the cassette —
+  deterministically, offline, with zero credentials.  Any divergence from
+  the recorded sequence raises :class:`ReplayDivergenceError` with a
+  readable diff of expected vs. actual.
+
+This is how the full campaign acceptance test runs in CI
+(``examples/mturk_campaign.py`` replays a committed cassette) and how a
+live campaign gets debugged after the fact: re-run the exact traffic on a
+laptop, under a debugger, as many times as needed.
+
+Pairs and labels are serialised with explicit tags (``{"__pair__": ...}``)
+so cassettes are plain reviewable JSON; only JSON-representable pair
+members (strings, numbers) round-trip — which every shipped dataset uses.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ...core.pairs import Label, Pair
+from ..review import ReviewDecision
+
+FORMAT = "repro-cassette/1"
+
+
+# ----------------------------------------------------------------------
+# payload (de)serialisation
+# ----------------------------------------------------------------------
+def encode_payload(value: Any) -> Any:
+    """Lower a backend-seam payload to tagged, JSON-representable data."""
+    if isinstance(value, Pair):
+        return {"__pair__": [encode_payload(value.left), encode_payload(value.right)]}
+    if isinstance(value, Label):
+        return {"__label__": value.value}
+    if isinstance(value, ReviewDecision):
+        return {
+            "__review__": [value.assignment_id, value.approve, value.feedback]
+        }
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            return {key: encode_payload(item) for key, item in value.items()}
+        return {
+            "__map__": [
+                [encode_payload(key), encode_payload(item)]
+                for key, item in value.items()
+            ]
+        }
+    if isinstance(value, (list, tuple)):
+        return [encode_payload(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot record {type(value).__name__!r} in a cassette: {value!r}"
+    )
+
+
+def decode_payload(value: Any) -> Any:
+    """Invert :func:`encode_payload`."""
+    if isinstance(value, dict):
+        if "__pair__" in value:
+            left, right = value["__pair__"]
+            return Pair(decode_payload(left), decode_payload(right))
+        if "__label__" in value:
+            return Label(value["__label__"])
+        if "__review__" in value:
+            assignment_id, approve, feedback = value["__review__"]
+            return ReviewDecision(assignment_id, approve, feedback)
+        if "__map__" in value:
+            return {
+                decode_payload(key): decode_payload(item)
+                for key, item in value["__map__"]
+            }
+        return {key: decode_payload(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_payload(item) for item in value]
+    return value
+
+
+class ReplayDivergenceError(RuntimeError):
+    """The replayed call sequence diverged from the recorded cassette."""
+
+
+class Cassette:
+    """An ordered list of recorded backend interactions + free-form meta."""
+
+    def __init__(
+        self,
+        interactions: Optional[List[dict]] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.interactions: List[dict] = interactions if interactions is not None else []
+        self.meta: dict = meta if meta is not None else {}
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    def append(self, method: str, request: Any, response: Any) -> None:
+        self.interactions.append(
+            {
+                "seq": len(self.interactions),
+                "method": method,
+                "request": encode_payload(request),
+                "response": encode_payload(response),
+            }
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the cassette as pretty-printed, diff-reviewable JSON."""
+        Path(path).write_text(
+            json.dumps(
+                {
+                    "format": FORMAT,
+                    "meta": self.meta,
+                    "interactions": self.interactions,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Cassette":
+        """Read a cassette written by :meth:`save`.
+
+        Raises:
+            ValueError: not a cassette file, or an unknown format version.
+        """
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict) or data.get("format") != FORMAT:
+            raise ValueError(
+                f"{path} is not a {FORMAT} cassette "
+                f"(format={data.get('format') if isinstance(data, dict) else None!r})"
+            )
+        return cls(interactions=data["interactions"], meta=data.get("meta", {}))
+
+
+def _pretty(value: Any) -> str:
+    return json.dumps(value, indent=2, sort_keys=True)
+
+
+class RecordReplayBackend:
+    """A :class:`~repro.crowd.clients.RestCrowdBackend` that records or
+    replays the traffic crossing the seam.
+
+    Args:
+        mode: ``"record"`` (wraps ``inner``, captures traffic) or
+            ``"replay"`` (answers from ``cassette``; no inner backend).
+        inner: the real backend to forward to — required in record mode.
+        cassette: the cassette to replay — required in replay mode; in
+            record mode a fresh one is created (retrieve it via
+            :attr:`cassette` / persist with :meth:`save`).
+        meta: free-form provenance recorded into a fresh cassette
+            (seeds, workload description, recorder identity...).
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        *,
+        inner: Optional[Any] = None,
+        cassette: Optional[Cassette] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        if mode not in ("record", "replay"):
+            raise ValueError(f"mode must be 'record' or 'replay', got {mode!r}")
+        if mode == "record" and inner is None:
+            raise ValueError("record mode needs an inner backend to forward to")
+        if mode == "replay" and cassette is None:
+            raise ValueError("replay mode needs a cassette to answer from")
+        self._mode = mode
+        self._inner = inner
+        self.cassette = cassette if cassette is not None else Cassette(meta=meta)
+        self._position = 0
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    # ------------------------------------------------------------------
+    # the recorded seam
+    # ------------------------------------------------------------------
+    def _exchange(self, method: str, request: Any, default: Any = None) -> Any:
+        if self._mode == "record":
+            handler = getattr(self._inner, method, None)
+            if handler is None:
+                # Optional extension the inner backend lacks (e.g. review
+                # on the in-memory fake): record the no-op outcome so the
+                # replay is faithful to what the campaign observed.
+                response = default
+            else:
+                response = handler(*request)
+            self.cassette.append(method, list(request), response)
+            return response
+        return self._replay(method, list(request))
+
+    def _replay(self, method: str, request: Any) -> Any:
+        encoded = encode_payload(request)
+        if self._position >= len(self.cassette.interactions):
+            raise ReplayDivergenceError(
+                f"cassette exhausted after {self._position} interactions, "
+                f"but the campaign called {method}({_pretty(encoded)})\n"
+                "Re-record the cassette if the campaign logic changed "
+                "(see docs/crowd.md)."
+            )
+        expected = self.cassette.interactions[self._position]
+        if expected["method"] != method or expected["request"] != encoded:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    _pretty(
+                        {"method": expected["method"], "request": expected["request"]}
+                    ).splitlines(),
+                    _pretty({"method": method, "request": encoded}).splitlines(),
+                    fromfile=f"cassette interaction {self._position} (recorded)",
+                    tofile="campaign call (actual)",
+                    lineterm="",
+                )
+            )
+            raise ReplayDivergenceError(
+                f"replay diverged at interaction {self._position}:\n{diff}\n"
+                "Re-record the cassette if the campaign logic changed "
+                "(see docs/crowd.md)."
+            )
+        self._position += 1
+        return decode_payload(expected["response"])
+
+    # ------------------------------------------------------------------
+    # RestCrowdBackend surface (+ review / expiry extensions)
+    # ------------------------------------------------------------------
+    def create_hits(self, requests: Sequence[dict]) -> None:
+        self._exchange("create_hits", [[dict(r) for r in requests]])
+
+    def fetch_completed(self) -> List[dict]:
+        return self._exchange("fetch_completed", [])
+
+    def expire_hit(self, hit_id: int) -> bool:
+        return self._exchange("expire_hit", [hit_id])
+
+    def review_assignments(
+        self, hit_id: int, decisions: Sequence[ReviewDecision]
+    ) -> tuple:
+        result = self._exchange(
+            "review_assignments", [hit_id, list(decisions)], default=(0, 0)
+        )
+        return tuple(result)
+
+    def extend_expiry(self, hit_id: int, additional_s: float) -> bool:
+        return self._exchange(
+            "extend_expiry", [hit_id, additional_s], default=False
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the recorded cassette (record mode only)."""
+        if self._mode != "record":
+            raise RuntimeError("only record mode has a cassette to save")
+        self.cassette.save(path)
+
+    def assert_exhausted(self) -> None:
+        """Replay-mode check that the whole cassette was consumed — a
+        campaign that stopped early is as diverged as one that overran.
+
+        Raises:
+            ReplayDivergenceError: interactions remain unplayed.
+        """
+        remaining = len(self.cassette.interactions) - self._position
+        if self._mode == "replay" and remaining:
+            nxt = self.cassette.interactions[self._position]
+            raise ReplayDivergenceError(
+                f"campaign finished with {remaining} recorded interaction(s) "
+                f"unplayed; next was {nxt['method']} (seq {nxt['seq']})"
+            )

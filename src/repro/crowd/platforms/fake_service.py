@@ -1,0 +1,313 @@
+"""An in-process, wire-level fake of the MTurk Requester API.
+
+:class:`FakeMTurkService` is to :class:`~repro.crowd.platforms.mturk.MTurkBackend`
+what :class:`~repro.crowd.clients.InMemoryCrowdBackend` is to the polling
+client — but one layer *lower*: it speaks the actual wire protocol.  Its
+:meth:`transport` is a drop-in for the backend's HTTP transport, so a
+campaign run against it exercises every production code path — SigV4
+signing (signatures are **verified** server-side), QuestionForm rendering
+and parsing, pagination, review, expiry — without a network or an AWS
+account.  That makes it:
+
+* the substrate for **recording cassettes**: wrap the backend in a
+  :class:`~repro.crowd.platforms.cassette.RecordReplayBackend` over this
+  transport and the captured traffic is byte-for-byte what a live
+  campaign's would look like (see ``examples/mturk_campaign.py --record``);
+* the end-to-end test double for the backend
+  (``tests/crowd/platforms/test_mturk_backend.py``).
+
+Simulated workers answer through an injected ``answer`` function that —
+like real workers — sees only the *rendered texts* of each question, never
+the underlying pair objects.  Latency draws (per assignment, seeded)
+produce out-of-order completions; ``drop_hit_indexes`` models abandoned
+HITs; ``inject`` queues canned error responses to exercise the throttle
+policy's retry path.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import xml.etree.ElementTree as ET
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...core.pairs import Label
+from .questionform import (
+    SELECTION_MATCHING,
+    SELECTION_NON_MATCHING,
+    render_answer_xml,
+)
+from .signing import Credentials, verify_signature
+
+#: Given the two rendered texts of a question, the label a worker submits.
+TextAnswerer = Callable[[str, str], Label]
+
+
+def _strip_prefix(text: str) -> str:
+    for prefix in ("A: ", "B: "):
+        if text.startswith(prefix):
+            return text[len(prefix) :]
+    return text
+
+
+class FakeMTurkService:
+    """The MTurk JSON-RPC surface, simulated in-process.
+
+    Args:
+        answer: decides each question's label from its two rendered texts.
+        credentials: when given, every request's SigV4 signature is
+            verified against these keys (403 on mismatch) — recording a
+            cassette proves the signing path, not just the happy path.
+        region: region the signatures are expected to be scoped to.
+        clock: epoch-seconds time source (share the campaign's
+            :class:`~repro.crowd.clients.ManualClock` for determinism).
+        latency: per-assignment submit delay draw, in clock seconds
+            (default: instant submission).
+        flip_probability: chance a worker's answer is inverted (seeded) —
+            noisy-crowd testing without changing the answerer.
+        drop_hit_indexes: HITs (by creation order) whose assignments never
+            arrive — the abandoned-work path the runtime must re-issue.
+        seed: RNG seed for latency draws and answer flips.
+    """
+
+    def __init__(
+        self,
+        answer: TextAnswerer,
+        *,
+        credentials: Optional[Credentials] = None,
+        region: str = "us-east-1",
+        clock: Optional[Callable[[], float]] = None,
+        latency: Optional[Callable[[random.Random], float]] = None,
+        flip_probability: float = 0.0,
+        drop_hit_indexes: Sequence[int] = (),
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError("flip_probability must be in [0, 1]")
+        self._answer = answer
+        self._credentials = credentials
+        self._region = region
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._latency = latency
+        self._flip_probability = flip_probability
+        self._drop = set(drop_hit_indexes)
+        self._rng = random.Random(seed)
+        self._hits: Dict[str, dict] = {}
+        self._assignments: Dict[str, dict] = {}
+        self._n_hits = 0
+        self._n_assignments = 0
+        #: Canned responses served (FIFO) before real handling — push
+        #: ``{"status": 503, "body": "..."}`` dicts to test retry paths.
+        self.inject: List[dict] = []
+        #: Response overrides served (FIFO) *after* real handling — models
+        #: a request that took effect server-side but whose response was
+        #: lost, which is exactly what CreateHIT idempotency tokens exist
+        #: to make safe to retry.
+        self.lose_response: List[dict] = []
+        self._idempotency: Dict[str, dict] = {}
+        #: Operation log, for assertions: (target, params) tuples.
+        self.calls: List[Tuple[str, dict]] = []
+
+    # ------------------------------------------------------------------
+    # transport entry point
+    # ------------------------------------------------------------------
+    def transport(self, request: dict) -> dict:
+        """Handle one wire request (the backend's ``Transport`` callable)."""
+        if self.inject:
+            return self.inject.pop(0)
+        if self._credentials is not None and not verify_signature(
+            self._credentials,
+            method=request["method"],
+            url=request["url"],
+            headers=request["headers"],
+            body=request["body"].encode("utf-8"),
+            region=self._region,
+        ):
+            return _error(403, "InvalidSignatureException", "signature mismatch")
+        headers = {k.lower(): v for k, v in request["headers"].items()}
+        target = headers.get("x-amz-target", "")
+        operation = target.rpartition(".")[2]
+        params = json.loads(request["body"] or "{}")
+        self.calls.append((operation, params))
+        handler = getattr(self, f"_op_{_snake(operation)}", None)
+        if handler is None:
+            return _error(400, "UnknownOperationException", operation)
+        response = handler(params)
+        if self.lose_response:
+            return self.lose_response.pop(0)
+        return response
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _op_create_hit(self, params: dict) -> dict:
+        token = params.get("UniqueRequestToken")
+        if token is not None and token in self._idempotency:
+            # The real platform's retry semantics: a repeated token returns
+            # the HIT created by the first request instead of a duplicate.
+            return self._idempotency[token]
+        questions = _parse_question_form(params["Question"])
+        self._n_hits += 1
+        platform_id = f"3HIT{self._n_hits:08d}"
+        hit_index = self._n_hits - 1
+        now = self._clock()
+        entry = {
+            "platform_id": platform_id,
+            "questions": questions,
+            "max_assignments": int(params["MaxAssignments"]),
+            "expire_at": now + float(params["LifetimeInSeconds"]),
+            "assignment_ids": [],
+        }
+        self._hits[platform_id] = entry
+        if hit_index not in self._drop:
+            for _ in range(entry["max_assignments"]):
+                self._make_assignment(entry, now)
+        response = _ok({"HIT": {"HITId": platform_id, "CreationTime": now}})
+        if token is not None:
+            self._idempotency[token] = response
+        return response
+
+    def _make_assignment(self, hit_entry: dict, now: float) -> None:
+        self._n_assignments += 1
+        assignment_id = f"3ASN{self._n_assignments:08d}"
+        delay = self._latency(self._rng) if self._latency is not None else 0.0
+        selections = {}
+        for qid, left, right in hit_entry["questions"]:
+            label = self._answer(left, right)
+            if (
+                self._flip_probability > 0.0
+                and self._rng.random() < self._flip_probability
+            ):
+                label = label.negate()
+            selections[qid] = (
+                SELECTION_MATCHING
+                if label is Label.MATCHING
+                else SELECTION_NON_MATCHING
+            )
+        self._assignments[assignment_id] = {
+            "assignment_id": assignment_id,
+            "hit_id": hit_entry["platform_id"],
+            "worker_id": f"W{self._n_assignments % 7:04d}",
+            "submit_at": now + delay,
+            "answer_xml": render_answer_xml(selections),
+            "status": "Submitted",
+        }
+        hit_entry["assignment_ids"].append(assignment_id)
+
+    def _op_list_assignments_for_hit(self, params: dict) -> dict:
+        entry = self._hits.get(params["HITId"])
+        if entry is None:
+            return _error(400, "RequestError", f"no HIT {params['HITId']}")
+        now = self._clock()
+        visible = [
+            self._assignments[aid]
+            for aid in entry["assignment_ids"]
+            if self._assignments[aid]["submit_at"] <= min(now, entry["expire_at"])
+        ]
+        offset = int(params.get("NextToken", "0") or "0")
+        limit = int(params.get("MaxResults", 10))
+        page = visible[offset : offset + limit]
+        payload: dict = {
+            "NumResults": len(page),
+            "Assignments": [
+                {
+                    "AssignmentId": a["assignment_id"],
+                    "WorkerId": a["worker_id"],
+                    "HITId": a["hit_id"],
+                    "AssignmentStatus": a["status"],
+                    "SubmitTime": a["submit_at"],
+                    "Answer": a["answer_xml"],
+                }
+                for a in page
+            ],
+        }
+        if offset + limit < len(visible):
+            payload["NextToken"] = str(offset + limit)
+        return _ok(payload)
+
+    def _op_update_expiration_for_hit(self, params: dict) -> dict:
+        entry = self._hits.get(params["HITId"])
+        if entry is None:
+            return _error(400, "RequestError", f"no HIT {params['HITId']}")
+        entry["expire_at"] = float(params["ExpireAt"])
+        return _ok({})
+
+    def _review(self, params: dict, status: str) -> dict:
+        assignment = self._assignments.get(params["AssignmentId"])
+        if assignment is None:
+            return _error(
+                400, "RequestError", f"no assignment {params['AssignmentId']}"
+            )
+        if assignment["status"] != "Submitted":
+            return _error(
+                400,
+                "RequestError",
+                f"assignment {assignment['assignment_id']} is already "
+                f"{assignment['status']}",
+            )
+        assignment["status"] = status
+        return _ok({})
+
+    def _op_approve_assignment(self, params: dict) -> dict:
+        return self._review(params, "Approved")
+
+    def _op_reject_assignment(self, params: dict) -> dict:
+        return self._review(params, "Rejected")
+
+    # ------------------------------------------------------------------
+    # assertions for tests
+    # ------------------------------------------------------------------
+    def assignment_statuses(self) -> Dict[str, str]:
+        """assignment_id -> Submitted/Approved/Rejected, for assertions."""
+        return {aid: a["status"] for aid, a in self._assignments.items()}
+
+    def n_operations(self, operation: str) -> int:
+        """How many times ``operation`` was invoked on the wire."""
+        return sum(1 for op, _ in self.calls if op == operation)
+
+
+def _snake(operation: str) -> str:
+    """CamelCase -> snake_case, treating acronym runs (``HIT``) as one word."""
+    out = []
+    for index, ch in enumerate(operation):
+        if (
+            ch.isupper()
+            and out
+            and (
+                operation[index - 1].islower()
+                or (index + 1 < len(operation) and operation[index + 1].islower())
+            )
+        ):
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)
+
+
+def _ok(payload: dict) -> dict:
+    return {"status": 200, "body": json.dumps(payload, sort_keys=True)}
+
+
+def _error(status: int, code: str, message: str) -> dict:
+    return {
+        "status": status,
+        "body": json.dumps({"__type": code, "Message": message}),
+    }
+
+
+def _parse_question_form(xml_text: str) -> List[Tuple[str, str, str]]:
+    """(question id, left text, right text) per question, in form order."""
+    root = ET.fromstring(xml_text)
+    questions: List[Tuple[str, str, str]] = []
+    for question in root:
+        if not question.tag.endswith("Question"):
+            continue
+        qid = ""
+        texts: List[str] = []
+        for child in question.iter():
+            if child.tag.endswith("QuestionIdentifier"):
+                qid = (child.text or "").strip()
+            elif child.tag.endswith("}Text") and child.text and qid:
+                texts.append(_strip_prefix(child.text))
+        if qid and len(texts) >= 2:
+            questions.append((qid, texts[0], texts[1]))
+    return questions

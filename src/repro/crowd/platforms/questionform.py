@@ -1,0 +1,223 @@
+"""Render :class:`~repro.crowd.hit.HIT`\\ s as MTurk question payloads.
+
+MTurk's ``CreateHIT`` takes the task UI as an XML document in the
+``Question`` parameter — either a structured `QuestionForm`_ (the form the
+paper's Section 6.4 campaign used: one binary selection question per pair)
+or an ``HTMLQuestion`` wrapping arbitrary HTML.  Workers' answers come back
+as a ``QuestionFormAnswers`` document inside each assignment.
+
+This module is the bridge between the repo's pair/HIT model and those wire
+formats: :func:`render_question_form` / :func:`render_html_question` turn a
+HIT into the XML string ``CreateHIT`` wants, and :func:`parse_answer_xml`
+turns an assignment's answer document back into per-pair
+:class:`~repro.core.pairs.Label`\\ s.  Question identifiers are positional
+(``pair-0``, ``pair-1``, ...), so decoding needs only the HIT the answers
+belong to — no server-side state.
+
+How a pair is *shown* to workers is a campaign decision, not a library
+one: callers inject ``describe`` mapping each pair to the two texts to
+compare (record renderings, product descriptions, citations ...).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Callable, Dict, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from ...core.pairs import Label, Pair
+from ..hit import HIT
+
+#: Schema namespaces MTurk requires on the respective documents.
+QUESTIONFORM_XMLNS = (
+    "http://mechanicalturk.amazonaws.com/AWSMechanicalTurkDataSchemas/"
+    "2017-11-06/QuestionForm.xsd"
+)
+HTMLQUESTION_XMLNS = (
+    "http://mechanicalturk.amazonaws.com/AWSMechanicalTurkDataSchemas/"
+    "2011-11-11/HTMLQuestion.xsd"
+)
+ANSWERS_XMLNS = (
+    "http://mechanicalturk.amazonaws.com/AWSMechanicalTurkDataSchemas/"
+    "2005-10-01/QuestionFormAnswers.xsd"
+)
+
+#: Selection identifiers workers submit; mapped to labels on the way back.
+SELECTION_MATCHING = "matching"
+SELECTION_NON_MATCHING = "non-matching"
+
+#: Renders a pair as the two texts the worker compares.
+PairDescriber = Callable[[Pair], Tuple[str, str]]
+
+
+def question_identifier(index: int) -> str:
+    """The positional question id for the ``index``-th pair of a HIT."""
+    return f"pair-{index}"
+
+
+def _default_describe(pair: Pair) -> Tuple[str, str]:
+    return (str(pair.left), str(pair.right))
+
+
+def render_question_form(
+    hit: HIT,
+    *,
+    instructions: str = "Do these two descriptions refer to the same real-world entity?",
+    describe: Optional[PairDescriber] = None,
+) -> str:
+    """The ``QuestionForm`` XML for ``hit``: one required binary selection
+    question per pair, in HIT order.
+
+    The paper's campaign shape (Section 6.4): workers see both texts and
+    pick *matching* or *non-matching*; replication and aggregation happen
+    outside the form.
+    """
+    describe = describe or _default_describe
+    parts = [f'<QuestionForm xmlns="{QUESTIONFORM_XMLNS}">']
+    parts.append(
+        "<Overview><Title>Entity matching</Title>"
+        f"<Text>{escape(instructions)}</Text></Overview>"
+    )
+    for index, pair in enumerate(hit.pairs):
+        left, right = describe(pair)
+        parts.append(
+            "<Question>"
+            f"<QuestionIdentifier>{question_identifier(index)}</QuestionIdentifier>"
+            "<IsRequired>true</IsRequired>"
+            "<QuestionContent>"
+            f"<Text>A: {escape(left)}</Text>"
+            f"<Text>B: {escape(right)}</Text>"
+            "</QuestionContent>"
+            "<AnswerSpecification><SelectionAnswer>"
+            "<StyleSuggestion>radiobutton</StyleSuggestion>"
+            "<Selections>"
+            "<Selection>"
+            f"<SelectionIdentifier>{SELECTION_MATCHING}</SelectionIdentifier>"
+            "<Text>Same entity</Text>"
+            "</Selection>"
+            "<Selection>"
+            f"<SelectionIdentifier>{SELECTION_NON_MATCHING}</SelectionIdentifier>"
+            "<Text>Different entities</Text>"
+            "</Selection>"
+            "</Selections>"
+            "</SelectionAnswer></AnswerSpecification>"
+            "</Question>"
+        )
+    parts.append("</QuestionForm>")
+    return "".join(parts)
+
+
+def render_html_question(
+    hit: HIT,
+    *,
+    instructions: str = "Do these two descriptions refer to the same real-world entity?",
+    describe: Optional[PairDescriber] = None,
+    frame_height: int = 600,
+) -> str:
+    """The ``HTMLQuestion`` variant: the same form as self-contained HTML.
+
+    Some requesters prefer HTML HITs for styling control; the submitted
+    field names match :func:`question_identifier`, so
+    :func:`parse_answer_xml` decodes either variant's answers.
+    """
+    describe = describe or _default_describe
+    rows = []
+    for index, pair in enumerate(hit.pairs):
+        left, right = describe(pair)
+        qid = question_identifier(index)
+        rows.append(
+            f"<fieldset><legend>Pair {index + 1}</legend>"
+            f"<p>A: {escape(left)}</p><p>B: {escape(right)}</p>"
+            f'<label><input type="radio" name="{qid}" '
+            f'value="{SELECTION_MATCHING}" required> Same entity</label> '
+            f'<label><input type="radio" name="{qid}" '
+            f'value="{SELECTION_NON_MATCHING}"> Different entities</label>'
+            "</fieldset>"
+        )
+    html = (
+        "<!DOCTYPE html><html><body>"
+        f"<p>{escape(instructions)}</p>"
+        '<form name="mturk_form" method="post" id="mturk_form" '
+        'action="https://www.mturk.com/mturk/externalSubmit">'
+        '<input type="hidden" value="" name="assignmentId" id="assignmentId">'
+        + "".join(rows)
+        + '<p><input type="submit" id="submitButton" value="Submit"></p>'
+        "</form></body></html>"
+    )
+    return (
+        f'<HTMLQuestion xmlns="{HTMLQUESTION_XMLNS}">'
+        f"<HTMLContent><![CDATA[{html}]]></HTMLContent>"
+        f"<FrameHeight>{frame_height}</FrameHeight>"
+        "</HTMLQuestion>"
+    )
+
+
+def render_answer_xml(selections: Dict[str, str]) -> str:
+    """A ``QuestionFormAnswers`` document for ``selections`` (question id ->
+    selection id) — what a worker's submitted assignment carries; used by
+    the fake service and available for webhook fixtures."""
+    parts = [f'<QuestionFormAnswers xmlns="{ANSWERS_XMLNS}">']
+    for qid, selection in selections.items():
+        parts.append(
+            "<Answer>"
+            f"<QuestionIdentifier>{escape(qid)}</QuestionIdentifier>"
+            f"<SelectionIdentifier>{escape(selection)}</SelectionIdentifier>"
+            "</Answer>"
+        )
+    parts.append("</QuestionFormAnswers>")
+    return "".join(parts)
+
+
+class AnswerParseError(ValueError):
+    """An assignment's answer document could not be decoded for its HIT."""
+
+
+def parse_answer_xml(xml_text: str, hit: HIT) -> Dict[Pair, Label]:
+    """Decode one assignment's ``QuestionFormAnswers`` into per-pair labels.
+
+    Raises:
+        AnswerParseError: malformed XML, an unknown question identifier or
+            selection, or answers that do not cover every pair of ``hit``.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise AnswerParseError(f"malformed answer XML: {exc}") from exc
+    labels: Dict[Pair, Label] = {}
+    for answer in root:
+        if not answer.tag.endswith("Answer"):
+            continue
+        qid: Optional[str] = None
+        selection: Optional[str] = None
+        for child in answer:
+            if child.tag.endswith("QuestionIdentifier"):
+                qid = (child.text or "").strip()
+            elif child.tag.endswith("SelectionIdentifier") or child.tag.endswith(
+                "FreeText"
+            ):
+                selection = (child.text or "").strip()
+        if qid is None or selection is None:
+            raise AnswerParseError(f"answer element missing fields: {qid!r}")
+        if not qid.startswith("pair-"):
+            raise AnswerParseError(f"unknown question identifier {qid!r}")
+        try:
+            index = int(qid[len("pair-") :])
+            pair = hit.pairs[index]
+        except (ValueError, IndexError) as exc:
+            raise AnswerParseError(
+                f"question {qid!r} does not address a pair of HIT {hit.hit_id}"
+            ) from exc
+        if selection == SELECTION_MATCHING:
+            labels[pair] = Label.MATCHING
+        elif selection == SELECTION_NON_MATCHING:
+            labels[pair] = Label.NON_MATCHING
+        else:
+            raise AnswerParseError(
+                f"unknown selection {selection!r} for question {qid!r}"
+            )
+    missing = set(hit.pairs) - set(labels)
+    if missing:
+        raise AnswerParseError(
+            f"answers for HIT {hit.hit_id} are missing {len(missing)} pair(s)"
+        )
+    return labels

@@ -1,0 +1,267 @@
+"""AWS Signature Version 4 request signing, with injectable credentials/clock.
+
+The MTurk Requester API is a standard AWS JSON service: every request is
+authenticated by an ``Authorization`` header derived from the request body,
+a canonical rendering of the request, and a signing key rolled daily from
+the secret key (`SigV4`_).  This module implements that derivation from the
+stdlib only (``hmac`` + ``hashlib``), so the live backend needs no SDK.
+
+Everything non-deterministic is injected: :class:`Credentials` are a value
+object (built explicitly or from the conventional ``AWS_*`` environment
+variables) and the timestamp is an argument, never ``time.time()`` — which
+is what makes request signing property-testable against frozen known-good
+signatures (``tests/crowd/platforms/test_signing.py``) and byte-stable in
+recorded cassettes.
+
+.. _SigV4: https://docs.aws.amazon.com/IAM/latest/UserGuide/create-signed-request.html
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+from urllib.parse import quote, urlsplit
+
+_ALGORITHM = "AWS4-HMAC-SHA256"
+
+
+class MissingCredentialsError(RuntimeError):
+    """No AWS credentials were provided or found in the environment."""
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """An AWS access key pair (plus optional STS session token).
+
+    A plain value object: nothing here talks to disk or the network, so
+    tests and cassette recordings can use dummy keys freely.
+    """
+
+    access_key: str
+    secret_key: str
+    session_token: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.access_key or not self.secret_key:
+            raise ValueError("credentials need a non-empty access and secret key")
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "Credentials":
+        """Read the conventional ``AWS_ACCESS_KEY_ID`` / ``AWS_SECRET_ACCESS_KEY``
+        (+ optional ``AWS_SESSION_TOKEN``) variables.
+
+        Raises:
+            MissingCredentialsError: when either key variable is unset —
+                the caller should fall back to a recorded cassette.
+        """
+        env = os.environ if environ is None else environ
+        access = env.get("AWS_ACCESS_KEY_ID", "")
+        secret = env.get("AWS_SECRET_ACCESS_KEY", "")
+        if not access or not secret:
+            raise MissingCredentialsError(
+                "AWS_ACCESS_KEY_ID / AWS_SECRET_ACCESS_KEY are not set; "
+                "run against a recorded cassette instead (see docs/crowd.md)"
+            )
+        return cls(access, secret, env.get("AWS_SESSION_TOKEN") or None)
+
+    def __repr__(self) -> str:  # never leak the secret in logs/diffs
+        return f"Credentials(access_key={self.access_key!r}, secret_key='***')"
+
+
+def amz_date(now: datetime) -> str:
+    """``now`` as the compact ISO-8601 form SigV4 uses (``YYYYMMDDTHHMMSSZ``)."""
+    return now.astimezone(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _hmac(key: bytes, message: str) -> bytes:
+    return hmac.new(key, message.encode("utf-8"), hashlib.sha256).digest()
+
+
+def _canonical_uri(path: str) -> str:
+    if not path:
+        return "/"
+    # Each path segment is URI-encoded (but not the separating slashes).
+    return "/".join(quote(segment, safe="") for segment in path.split("/")) or "/"
+
+
+def _canonical_query(query: str) -> str:
+    if not query:
+        return ""
+    params: list[Tuple[str, str]] = []
+    for item in query.split("&"):
+        key, _, value = item.partition("=")
+        params.append((quote(key, safe="-_.~"), quote(value, safe="-_.~")))
+    return "&".join(f"{k}={v}" for k, v in sorted(params))
+
+
+def _canonical_headers(headers: Mapping[str, str]) -> Tuple[str, str]:
+    """(canonical header block, signed-header list) per the SigV4 rules:
+    lowercase names, trimmed values, sorted by name."""
+    normalized = sorted(
+        (name.lower().strip(), " ".join(str(value).split()))
+        for name, value in headers.items()
+    )
+    block = "".join(f"{name}:{value}\n" for name, value in normalized)
+    signed = ";".join(name for name, _ in normalized)
+    return block, signed
+
+
+def signing_key(secret_key: str, date: str, region: str, service: str) -> bytes:
+    """The day-scoped signing key: HMAC chain over date/region/service."""
+    k_date = _hmac(("AWS4" + secret_key).encode("utf-8"), date)
+    k_region = hmac.new(k_date, region.encode("utf-8"), hashlib.sha256).digest()
+    k_service = hmac.new(k_region, service.encode("utf-8"), hashlib.sha256).digest()
+    return hmac.new(k_service, b"aws4_request", hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class SignedRequest:
+    """The signing products, exposed for tests and independent verification."""
+
+    headers: Dict[str, str]
+    canonical_request: str
+    string_to_sign: str
+    signature: str
+
+
+def sign_request(
+    credentials: Credentials,
+    *,
+    method: str,
+    url: str,
+    headers: Mapping[str, str],
+    body: bytes,
+    region: str,
+    service: str = "mturk-requester",
+    now: Optional[datetime] = None,
+) -> SignedRequest:
+    """Sign one HTTP request; returns the headers to actually send.
+
+    The returned headers are the input headers plus ``Host`` (from the
+    URL), ``X-Amz-Date``, ``X-Amz-Security-Token`` (when a session token
+    is present), and the ``Authorization`` header carrying the signature.
+
+    Args:
+        credentials: the key pair to sign with.
+        method: HTTP method (``"POST"`` for every MTurk operation).
+        url: full endpoint URL; host/path/query are canonicalised from it.
+        headers: headers to include in the signature (at minimum the
+            service's ``Content-Type`` and ``X-Amz-Target``).
+        body: the exact request payload bytes.
+        region: AWS region of the endpoint (e.g. ``"us-east-1"``).
+        service: signing service name.
+        now: the signing instant; **required** for deterministic output —
+            defaults to the current UTC time only as a live convenience.
+    """
+    if now is None:  # pragma: no cover - live convenience only
+        now = datetime.now(timezone.utc)
+    timestamp = amz_date(now)
+    date = timestamp[:8]
+    parts = urlsplit(url)
+
+    all_headers: Dict[str, str] = {str(k): str(v) for k, v in headers.items()}
+    all_headers["Host"] = parts.netloc
+    all_headers["X-Amz-Date"] = timestamp
+    if credentials.session_token:
+        all_headers["X-Amz-Security-Token"] = credentials.session_token
+
+    header_block, signed_headers = _canonical_headers(all_headers)
+    canonical_request = "\n".join(
+        (
+            method.upper(),
+            _canonical_uri(parts.path),
+            _canonical_query(parts.query),
+            header_block,
+            signed_headers,
+            _sha256_hex(body),
+        )
+    )
+    scope = f"{date}/{region}/{service}/aws4_request"
+    string_to_sign = "\n".join(
+        (_ALGORITHM, timestamp, scope, _sha256_hex(canonical_request.encode("utf-8")))
+    )
+    key = signing_key(credentials.secret_key, date, region, service)
+    signature = hmac.new(
+        key, string_to_sign.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+    all_headers["Authorization"] = (
+        f"{_ALGORITHM} Credential={credentials.access_key}/{scope}, "
+        f"SignedHeaders={signed_headers}, Signature={signature}"
+    )
+    return SignedRequest(
+        headers=all_headers,
+        canonical_request=canonical_request,
+        string_to_sign=string_to_sign,
+        signature=signature,
+    )
+
+
+def parse_authorization(header: str) -> Dict[str, str]:
+    """Split an ``Authorization`` header into its Credential / SignedHeaders /
+    Signature fields (for verification by the fake service and tests)."""
+    if not header.startswith(_ALGORITHM + " "):
+        raise ValueError(f"not a SigV4 Authorization header: {header!r}")
+    fields: Dict[str, str] = {}
+    for chunk in header[len(_ALGORITHM) + 1 :].split(","):
+        key, _, value = chunk.strip().partition("=")
+        fields[key] = value
+    missing = {"Credential", "SignedHeaders", "Signature"} - set(fields)
+    if missing:
+        raise ValueError(f"Authorization header missing {sorted(missing)}")
+    return fields
+
+
+def verify_signature(
+    credentials: Credentials,
+    *,
+    method: str,
+    url: str,
+    headers: Mapping[str, str],
+    body: bytes,
+    region: str,
+    service: str = "mturk-requester",
+) -> bool:
+    """Server-side check: does ``Authorization`` match a re-derivation?
+
+    Used by :class:`~repro.crowd.platforms.fake_service.FakeMTurkService`
+    so that recording a cassette exercises the real signing path end to
+    end.  Only the headers the client declared in ``SignedHeaders`` enter
+    the re-derivation, exactly as a real AWS endpoint verifies.
+    """
+    sent = {str(k): str(v) for k, v in headers.items()}
+    lowered = {k.lower(): v for k, v in sent.items()}
+    auth = lowered.get("authorization")
+    timestamp = lowered.get("x-amz-date")
+    if auth is None or timestamp is None:
+        return False
+    fields = parse_authorization(auth)
+    signed_names: Sequence[str] = fields["SignedHeaders"].split(";")
+    # Host, date, and session token are re-added by sign_request itself.
+    readded = ("host", "x-amz-date", "x-amz-security-token")
+    to_sign = {
+        name: lowered[name]
+        for name in signed_names
+        if name not in readded and name in lowered
+    }
+    # Reconstruct the signing instant from the header (it is part of the
+    # signature, so tampering is self-defeating).
+    now = datetime.strptime(timestamp, "%Y%m%dT%H%M%SZ").replace(tzinfo=timezone.utc)
+    rederived = sign_request(
+        credentials,
+        method=method,
+        url=url,
+        headers=to_sign,
+        body=body,
+        region=region,
+        service=service,
+        now=now,
+    )
+    return hmac.compare_digest(rederived.signature, fields["Signature"])

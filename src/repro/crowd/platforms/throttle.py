@@ -1,0 +1,144 @@
+"""Rate limiting + retry for REST crowd backends: one shared policy.
+
+Every live platform throttles its requester API (MTurk returns
+``ThrottlingException`` well below 10 rps sustained) and every live
+platform has transient 5xx weather.  Rather than letting each backend
+grow its own ad-hoc sleep-and-retry, :class:`ThrottlePolicy` packages the
+two standard mechanisms behind one call seam:
+
+* a **token bucket** — ``rate`` requests/second refill, ``burst`` bucket
+  capacity — smooths request spacing *before* the platform has to push
+  back;
+* **exponential backoff with full jitter** retries the calls the platform
+  rejected anyway (throttling errors and 5xx), up to ``max_attempts``.
+
+The policy is transport-agnostic: :meth:`call` runs any zero-argument
+callable whose response a ``should_retry`` predicate can classify, so the
+same instance can front MTurk today and any other REST backend tomorrow.
+Time is injected (``clock`` + ``sleep``), so tests and cassette replays
+run instantly; jitter comes from a seeded RNG, so retry timing is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryBudgetExceededError(RuntimeError):
+    """A request kept failing retryably past ``max_attempts``."""
+
+
+class ThrottlePolicy:
+    """Token-bucket pacing + exponential-backoff retry for REST calls.
+
+    Args:
+        rate: sustained requests per second (token refill rate).
+        burst: bucket capacity — how many requests may go out back-to-back
+            after an idle stretch.
+        max_attempts: total tries per call (first attempt + retries).
+        base_backoff_s: backoff before the first retry; doubles per retry.
+        max_backoff_s: backoff ceiling.
+        clock: time source (seconds; injectable for tests/replay).
+        sleep: how to wait (injectable; tests pass a no-op or a
+            virtual-clock advance).
+        seed: RNG seed for the full-jitter draw.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float = 4.0,
+        burst: int = 8,
+        max_attempts: int = 5,
+        base_backoff_s: float = 0.5,
+        max_backoff_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        seed: int = 0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if base_backoff_s < 0 or max_backoff_s < base_backoff_s:
+            raise ValueError("need 0 <= base_backoff_s <= max_backoff_s")
+        self._rate = rate
+        self._burst = burst
+        self._max_attempts = max_attempts
+        self._base_backoff_s = base_backoff_s
+        self._max_backoff_s = max_backoff_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._rng = random.Random(seed)
+        self._tokens = float(burst)
+        self._refilled_at = self._clock()
+        #: Diagnostics for reports and tests.
+        self.n_calls = 0
+        self.n_retries = 0
+        self.waited_s = 0.0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(now - self._refilled_at, 0.0)
+        self._tokens = min(self._tokens + elapsed * self._rate, float(self._burst))
+        self._refilled_at = now
+
+    def acquire(self) -> None:
+        """Take one token, sleeping until the bucket refills if empty."""
+        self._refill()
+        if self._tokens < 1.0:
+            wait = (1.0 - self._tokens) / self._rate
+            self.waited_s += wait
+            self._sleep(wait)
+            self._refill()
+            # Injected clocks may not advance on sleep; never go negative.
+            self._tokens = max(self._tokens, 1.0)
+        self._tokens -= 1.0
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Full-jitter exponential backoff before the ``retry_index``-th retry."""
+        ceiling = min(
+            self._base_backoff_s * (2.0**retry_index), self._max_backoff_s
+        )
+        return self._rng.uniform(0.0, ceiling)
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        should_retry: Callable[[T], bool],
+        describe: str = "request",
+    ) -> T:
+        """Run ``fn`` under pacing + retry; returns its first acceptable result.
+
+        ``should_retry`` classifies a *returned* response (throttled / 5xx
+        responses come back as values from REST transports, not
+        exceptions).  Exceptions from ``fn`` propagate immediately: a
+        broken transport is not platform weather.
+
+        Raises:
+            RetryBudgetExceededError: every attempt came back retryable.
+        """
+        last: Optional[T] = None
+        for attempt in range(self._max_attempts):
+            self.acquire()
+            self.n_calls += 1
+            last = fn()
+            if not should_retry(last):
+                return last
+            if attempt + 1 < self._max_attempts:
+                self.n_retries += 1
+                delay = self.backoff_s(attempt)
+                self.waited_s += delay
+                self._sleep(delay)
+        raise RetryBudgetExceededError(
+            f"{describe} still failing after {self._max_attempts} attempts "
+            f"(last response: {last!r})"
+        )

@@ -1,0 +1,59 @@
+"""Assignment review policies: approve/reject as a runtime decision.
+
+On a live platform, collecting answers is only half the loop — every
+submitted assignment must also be *reviewed* (approved, releasing payment,
+or rejected).  MTurk auto-approves after a requester-configured delay, but
+a campaign that never reviews leaves workers unpaid for days and tanks the
+requester's reputation; review therefore belongs in the campaign runtime,
+next to budget and timeout enforcement, not buried in a backend.
+
+:class:`~repro.engine.async_dispatch.CrowdRuntime` accepts a
+:class:`ReviewPolicy` and, for every completion it applies, forwards the
+policy's :class:`ReviewDecision`\\ s to the platform client (clients
+without a review surface — the simulator — silently skip it).  The stock
+:class:`ApproveAll` is what the paper's campaign did: pay everyone whose
+answers came back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from .platform import HITCompletion
+
+
+@dataclass(frozen=True)
+class ReviewDecision:
+    """One approve/reject verdict.
+
+    Attributes:
+        assignment_id: the platform assignment to review; ``None`` applies
+            the verdict to every submitted assignment of the HIT (the
+            common case — the client-side completion is an aggregate and
+            does not always know platform assignment ids).
+        approve: approve (pay) or reject.
+        feedback: requester feedback attached to the verdict.
+    """
+
+    assignment_id: Optional[str] = None
+    approve: bool = True
+    feedback: str = ""
+
+
+@runtime_checkable
+class ReviewPolicy(Protocol):
+    """Decides the review verdicts for one applied HIT completion."""
+
+    def review(self, completion: HITCompletion) -> Sequence[ReviewDecision]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ApproveAll:
+    """Approve every submitted assignment (the paper's campaign behaviour)."""
+
+    feedback: str = "Thank you!"
+
+    def review(self, completion: HITCompletion) -> Sequence[ReviewDecision]:
+        return (ReviewDecision(assignment_id=None, approve=True, feedback=self.feedback),)

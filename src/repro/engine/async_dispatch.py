@@ -52,6 +52,7 @@ from ..crowd.clients import (
 from ..crowd.hit import HIT, n_hits_needed
 from ..crowd.latency import TimeoutPolicy
 from ..crowd.platform import HITCompletion
+from ..crowd.review import ReviewPolicy
 from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
 from .hit_adapter import HITDispatchAdapter
 from .parallel import DEFAULT_PARALLEL_THRESHOLD
@@ -100,8 +101,11 @@ class RuntimeReport:
         n_expired_hits: expiry events received.
         n_reissued_hits: fresh HITs published to replace expired ones.
         assignments_committed: assignments submitted (the budget metric).
+        n_assignments_approved: assignments approved by the review policy.
+        n_assignments_rejected: assignments rejected by the review policy.
         leftovers: completions that arrived after the campaign was already
-            decided (outstanding work settled by ``drain``).
+            decided (outstanding work settled by ``drain``); still shown
+            to the review policy — the work was done and must be paid.
     """
 
     publish_events: List[Tuple[float, int]] = field(default_factory=list)
@@ -112,6 +116,8 @@ class RuntimeReport:
     n_expired_hits: int = 0
     n_reissued_hits: int = 0
     assignments_committed: int = 0
+    n_assignments_approved: int = 0
+    n_assignments_rejected: int = 0
     leftovers: List[HITCompletion] = field(default_factory=list)
 
 
@@ -127,6 +133,12 @@ class CrowdRuntime:
         timeout: optional per-HIT expiry deadline + re-issue cap; without
             it the runtime requests no deadline and re-issues expired HITs
             without limit (clients that inject expiry cap themselves).
+        review: optional :class:`~repro.crowd.review.ReviewPolicy` —
+            every applied completion's verdicts are forwarded to the
+            client's ``review_hit`` (live backends approve/reject the
+            underlying assignments; clients without a review surface skip
+            it silently).  Live campaigns should always set one: unreviewed
+            work leaves workers waiting on the platform's auto-approval.
         max_rounds: ROUNDS-mode safety cap (the algorithm provably
             terminates; the cap exists to fail fast on bugs).
         preplanned: SERIAL-mode HIT contents, one inner sequence per HIT.
@@ -143,6 +155,7 @@ class CrowdRuntime:
         mode: Union[RuntimeMode, str] = RuntimeMode.HIT_INSTANT,
         budget: Optional[BudgetPolicy] = None,
         timeout: Optional[TimeoutPolicy] = None,
+        review: Optional[ReviewPolicy] = None,
         max_rounds: Optional[int] = None,
         preplanned: Optional[Sequence[Sequence[Pair]]] = None,
     ) -> None:
@@ -151,6 +164,7 @@ class CrowdRuntime:
         self._mode = RuntimeMode(mode)
         self._budget = budget
         self._timeout = timeout
+        self._review = review
         self._max_rounds = max_rounds
         if (preplanned is not None) != (self._mode is RuntimeMode.SERIAL):
             raise ValueError("preplanned batches are for SERIAL mode exactly")
@@ -240,6 +254,11 @@ class CrowdRuntime:
                 await self._start()
                 await self._event_loop()
             self.report.leftovers = await self._client.drain()
+            # Leftover completions arrived after the campaign was decided,
+            # but their workers still did the work: the review policy must
+            # see them too, or they'd wait on platform auto-approval.
+            for leftover in self.report.leftovers:
+                self._review_completion(leftover)
         finally:
             await self._client.close()
             # The runtime owns the campaign lifecycle: release the engine's
@@ -329,7 +348,21 @@ class CrowdRuntime:
                 self.report.conflicts.append(pair)
             applied.append(pair)
         self.report.completion_hours = event.completed_at
+        self._review_completion(event)
         return applied
+
+    def _review_completion(self, event: HITCompletion) -> None:
+        """Run the review policy over one completion (live platforms pay
+        or reject the workers; clients without a review surface skip)."""
+        if self._review is None:
+            return
+        review_hit = getattr(self._client, "review_hit", None)
+        if review_hit is None:
+            return
+        decisions = self._review.review(event)
+        approved, rejected = review_hit(event.hit.hit_id, decisions)
+        self.report.n_assignments_approved += approved
+        self.report.n_assignments_rejected += rejected
 
     async def _on_completion(self, event: HITCompletion) -> None:
         mode = self._mode
@@ -443,6 +476,7 @@ class AsyncDispatch:
         shard_threshold: the ``auto`` backend's cut-over point.
         budget: optional runtime spending cap.
         timeout: optional per-HIT expiry deadline + re-issue cap.
+        review: optional assignment review policy (see :class:`CrowdRuntime`).
         max_rounds: ROUNDS-mode safety cap.
 
     After a run, :attr:`last_report` holds the runtime's
@@ -461,6 +495,7 @@ class AsyncDispatch:
         n_workers: Optional[int] = None,
         budget: Optional[BudgetPolicy] = None,
         timeout: Optional[TimeoutPolicy] = None,
+        review: Optional[ReviewPolicy] = None,
         max_rounds: Optional[int] = None,
     ) -> None:
         mode = RuntimeMode(mode)
@@ -478,6 +513,7 @@ class AsyncDispatch:
         self._n_workers = n_workers
         self._budget = budget
         self._timeout = timeout
+        self._review = review
         self._max_rounds = max_rounds
         self.last_report: Optional[RuntimeReport] = None
 
@@ -509,6 +545,7 @@ class AsyncDispatch:
             mode=self._mode,
             budget=self._budget,
             timeout=self._timeout,
+            review=self._review,
             max_rounds=self._max_rounds,
         )
         self.last_report = await runtime.run()

@@ -1,0 +1,241 @@
+"""The record/replay cassette layer.
+
+Three contracts: (1) a recorded campaign replays to *identical* labeling
+results with no backend behind it, (2) any divergence from the recording
+fails loudly with a readable diff, (3) payload serialisation round-trips
+the backend seam's value types exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import Label, Pair
+from repro.crowd import InMemoryCrowdBackend, ManualClock, PollingPlatformClient
+from repro.crowd.platforms.cassette import (
+    Cassette,
+    RecordReplayBackend,
+    ReplayDivergenceError,
+    decode_payload,
+    encode_payload,
+)
+from repro.crowd.review import ReviewDecision
+from repro.engine import CrowdRuntime, LabelingEngine, RuntimeMode
+from repro.crowd.latency import TimeoutPolicy
+from tests.aio import run_async
+
+ENTITY_OF = {i: i % 3 for i in range(10)}
+TRUTH = GroundTruthOracle(ENTITY_OF)
+PAIRS = [Pair(a, b) for a in range(10) for b in range(a + 1, 10) if (a + b) % 2]
+
+
+def run_campaign(backend, clock):
+    client = PollingPlatformClient(
+        backend,
+        batch_size=4,
+        n_assignments=1,
+        poll_interval=5.0,
+        clock=clock.now,
+        sleep=clock.sleep,
+    )
+    engine = LabelingEngine(list(PAIRS))
+    runtime = CrowdRuntime(
+        engine,
+        client,
+        mode=RuntimeMode.HIT_INSTANT,
+        timeout=TimeoutPolicy(hit_timeout=120.0, max_reissues=3),
+    )
+    report = run_async(runtime.run())
+    return engine, report
+
+
+def record_reference(tmp_path):
+    clock = ManualClock()
+    inner = InMemoryCrowdBackend(
+        oracle=TRUTH,
+        clock=clock.now,
+        latency=lambda rng: rng.uniform(1.0, 30.0),
+        drop_hit_ids={1},
+        seed=3,
+    )
+    recorder = RecordReplayBackend("record", inner=inner, meta={"seed": 3})
+    engine, report = run_campaign(recorder, clock)
+    path = tmp_path / "campaign.json"
+    recorder.save(path)
+    return engine, report, path
+
+
+# ----------------------------------------------------------------------
+# round-trip equality
+# ----------------------------------------------------------------------
+def test_record_replay_round_trip_equality(tmp_path):
+    engine, report, path = record_reference(tmp_path)
+
+    clock = ManualClock()
+    replayer = RecordReplayBackend("replay", cassette=Cassette.load(path))
+    replay_engine, replay_report = run_campaign(replayer, clock)
+    replayer.assert_exhausted()
+
+    assert [replay_engine.result.label_of(p) for p in PAIRS] == [
+        engine.result.label_of(p) for p in PAIRS
+    ]
+    assert replay_engine.result.n_crowdsourced == engine.result.n_crowdsourced
+    assert replay_report.n_completions == report.n_completions
+    assert replay_report.n_expired_hits == report.n_expired_hits
+    assert replay_report.hit_batches == report.hit_batches
+    assert replay_report.completion_hours == report.completion_hours
+
+
+def test_cassette_file_is_reviewable_json(tmp_path):
+    _, _, path = record_reference(tmp_path)
+    data = json.loads(path.read_text())
+    assert data["format"] == "repro-cassette/1"
+    assert data["meta"] == {"seed": 3}
+    methods = {i["method"] for i in data["interactions"]}
+    assert {"create_hits", "fetch_completed", "expire_hit"} <= methods
+    assert [i["seq"] for i in data["interactions"]] == list(
+        range(len(data["interactions"]))
+    )
+
+
+# ----------------------------------------------------------------------
+# divergence
+# ----------------------------------------------------------------------
+def test_replay_divergence_raises_with_readable_diff(tmp_path):
+    _, _, path = record_reference(tmp_path)
+    replayer = RecordReplayBackend("replay", cassette=Cassette.load(path))
+    # The recording starts with create_hits for specific pairs; ask for a
+    # different pair composition.
+    with pytest.raises(ReplayDivergenceError) as err:
+        replayer.create_hits(
+            [{"hit_id": 0, "pairs": (Pair(97, 99),), "n_assignments": 1}]
+        )
+    message = str(err.value)
+    assert "diverged at interaction 0" in message
+    assert "--- cassette interaction 0 (recorded)" in message
+    assert "+++ campaign call (actual)" in message
+    assert "97" in message  # the actual request is in the diff
+    assert "Re-record the cassette" in message
+
+
+def test_replay_method_mismatch_diverges(tmp_path):
+    _, _, path = record_reference(tmp_path)
+    replayer = RecordReplayBackend("replay", cassette=Cassette.load(path))
+    with pytest.raises(ReplayDivergenceError, match="diverged at interaction 0"):
+        replayer.fetch_completed()
+
+
+def test_replay_exhaustion_diverges(tmp_path):
+    _, _, path = record_reference(tmp_path)
+    cassette = Cassette.load(path)
+    short = Cassette(interactions=cassette.interactions[:1], meta=cassette.meta)
+    replayer = RecordReplayBackend("replay", cassette=short)
+    first = cassette.interactions[0]
+    assert first["method"] == "create_hits"
+    replayer.create_hits(decode_payload(first["request"])[0])
+    with pytest.raises(ReplayDivergenceError, match="cassette exhausted"):
+        replayer.fetch_completed()
+
+
+def test_assert_exhausted_flags_unplayed_interactions(tmp_path):
+    _, _, path = record_reference(tmp_path)
+    replayer = RecordReplayBackend("replay", cassette=Cassette.load(path))
+    with pytest.raises(ReplayDivergenceError, match="unplayed"):
+        replayer.assert_exhausted()
+
+
+# ----------------------------------------------------------------------
+# construction + file format errors
+# ----------------------------------------------------------------------
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="record.*or.*replay"):
+        RecordReplayBackend("observe")
+    with pytest.raises(ValueError, match="inner backend"):
+        RecordReplayBackend("record")
+    with pytest.raises(ValueError, match="cassette"):
+        RecordReplayBackend("replay")
+    with pytest.raises(RuntimeError, match="record mode"):
+        RecordReplayBackend(
+            "replay", cassette=Cassette()
+        ).save("/tmp/nope.json")
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "not_a_cassette.json"
+    path.write_text('{"hello": "world"}')
+    with pytest.raises(ValueError, match="not a repro-cassette/1"):
+        Cassette.load(path)
+
+
+# ----------------------------------------------------------------------
+# payload serialisation
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=12),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+def pair_values(draw_scalars=scalars):
+    return st.builds(
+        lambda a, b: Pair(a, b),
+        st.integers(0, 1000),
+        st.integers(1001, 2000),
+    )
+
+
+payloads = st.recursive(
+    st.one_of(
+        scalars,
+        st.none(),
+        pair_values(),
+        st.sampled_from([Label.MATCHING, Label.NON_MATCHING]),
+        st.builds(ReviewDecision, st.none() | st.text(max_size=6), st.booleans(), st.text(max_size=6)),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+        st.dictionaries(pair_values(), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(payload=payloads)
+def test_payload_round_trip(payload):
+    encoded = encode_payload(payload)
+    json.dumps(encoded)  # must be JSON-representable
+    assert decode_payload(json.loads(json.dumps(encoded))) == payload
+
+
+def test_tuples_decode_as_lists():
+    # JSON has no tuple; the seam's consumers only iterate, so lists are
+    # the documented round-trip for tuple payloads.
+    assert decode_payload(encode_payload((1, 2))) == [1, 2]
+
+
+def test_unserialisable_payload_is_a_type_error():
+    with pytest.raises(TypeError, match="cannot record"):
+        encode_payload(object())
+
+
+def test_record_mode_degrades_optional_extensions_gracefully(tmp_path):
+    """Recording over a backend without review/extend support records the
+    no-op outcome instead of crashing, so replay stays faithful."""
+    clock = ManualClock()
+    inner = InMemoryCrowdBackend(oracle=TRUTH, clock=clock.now, seed=1)
+    recorder = RecordReplayBackend("record", inner=inner)
+    assert recorder.review_assignments(0, [ReviewDecision(approve=True)]) == (0, 0)
+    assert recorder.extend_expiry(0, 100.0) is False
+    replayer = RecordReplayBackend("replay", cassette=recorder.cassette)
+    assert replayer.review_assignments(0, [ReviewDecision(approve=True)]) == (0, 0)
+    assert replayer.extend_expiry(0, 100.0) is False
+    replayer.assert_exhausted()

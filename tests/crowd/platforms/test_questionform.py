@@ -1,0 +1,139 @@
+"""QuestionForm rendering/parsing: well-formed XML, lossless round trips."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairs import Label, Pair
+from repro.crowd.hit import HIT
+from repro.crowd.platforms.questionform import (
+    ANSWERS_XMLNS,
+    HTMLQUESTION_XMLNS,
+    QUESTIONFORM_XMLNS,
+    SELECTION_MATCHING,
+    SELECTION_NON_MATCHING,
+    AnswerParseError,
+    parse_answer_xml,
+    question_identifier,
+    render_answer_xml,
+    render_html_question,
+    render_question_form,
+)
+
+
+def _hit(n_pairs: int = 3) -> HIT:
+    return HIT(
+        hit_id=7,
+        pairs=tuple(Pair(f"a{i}", f"b{i}") for i in range(n_pairs)),
+        n_assignments=3,
+    )
+
+
+def test_question_form_is_valid_xml_with_one_question_per_pair():
+    hit = _hit(4)
+    root = ET.fromstring(render_question_form(hit))
+    assert root.tag == f"{{{QUESTIONFORM_XMLNS}}}QuestionForm"
+    questions = [c for c in root if c.tag.endswith("Question")]
+    assert len(questions) == 4
+    ids = [
+        child.text
+        for q in questions
+        for child in q
+        if child.tag.endswith("QuestionIdentifier")
+    ]
+    assert ids == [question_identifier(i) for i in range(4)]
+
+
+def test_question_form_escapes_markup_in_texts():
+    hit = HIT(hit_id=0, pairs=(Pair("<&>", '"quoted"'),), n_assignments=1)
+    xml_text = render_question_form(hit, instructions="a < b & c")
+    root = ET.fromstring(xml_text)  # would raise on unescaped markup
+    texts = [el.text for el in root.iter() if el.tag.endswith("Text")]
+    assert any("<&>" in t for t in texts if t)
+
+
+def test_html_question_embeds_a_form_per_pair():
+    hit = _hit(2)
+    xml_text = render_html_question(hit, frame_height=450)
+    root = ET.fromstring(xml_text)
+    assert root.tag == f"{{{HTMLQUESTION_XMLNS}}}HTMLQuestion"
+    html = root.find(f"{{{HTMLQUESTION_XMLNS}}}HTMLContent").text
+    assert html.count('type="radio"') == 4  # two selections per pair
+    assert question_identifier(1) in html
+    assert root.find(f"{{{HTMLQUESTION_XMLNS}}}FrameHeight").text == "450"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    labels=st.lists(
+        st.sampled_from([Label.MATCHING, Label.NON_MATCHING]),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_answer_round_trip(labels):
+    hit = HIT(
+        hit_id=1,
+        pairs=tuple(Pair(f"x{i}", f"y{i}") for i in range(len(labels))),
+        n_assignments=1,
+    )
+    selections = {
+        question_identifier(i): (
+            SELECTION_MATCHING if label is Label.MATCHING else SELECTION_NON_MATCHING
+        )
+        for i, label in enumerate(labels)
+    }
+    xml_text = render_answer_xml(selections)
+    ET.fromstring(xml_text)  # well-formed
+    assert ANSWERS_XMLNS in xml_text
+    decoded = parse_answer_xml(xml_text, hit)
+    assert decoded == {hit.pairs[i]: label for i, label in enumerate(labels)}
+
+
+def test_parse_rejects_malformed_xml():
+    with pytest.raises(AnswerParseError, match="malformed"):
+        parse_answer_xml("<not-closed", _hit(1))
+
+
+def test_parse_rejects_unknown_question():
+    xml_text = render_answer_xml({"bogus-3": SELECTION_MATCHING})
+    with pytest.raises(AnswerParseError, match="unknown question"):
+        parse_answer_xml(xml_text, _hit(1))
+
+
+def test_parse_rejects_out_of_range_question():
+    xml_text = render_answer_xml(
+        {
+            question_identifier(0): SELECTION_MATCHING,
+            question_identifier(5): SELECTION_MATCHING,
+        }
+    )
+    with pytest.raises(AnswerParseError, match="does not address"):
+        parse_answer_xml(xml_text, _hit(1))
+
+
+def test_parse_rejects_unknown_selection():
+    xml_text = render_answer_xml({question_identifier(0): "maybe"})
+    with pytest.raises(AnswerParseError, match="unknown selection"):
+        parse_answer_xml(xml_text, _hit(1))
+
+
+def test_parse_requires_full_coverage():
+    hit = _hit(2)
+    xml_text = render_answer_xml({question_identifier(0): SELECTION_MATCHING})
+    with pytest.raises(AnswerParseError, match="missing"):
+        parse_answer_xml(xml_text, hit)
+
+
+def test_custom_describe_controls_worker_facing_text():
+    records = {"a0": "Paper about joins", "b0": "A paper on joins"}
+    hit = HIT(hit_id=0, pairs=(Pair("a0", "b0"),), n_assignments=1)
+    xml_text = render_question_form(
+        hit, describe=lambda pair: (records[pair.left], records[pair.right])
+    )
+    assert "Paper about joins" in xml_text
+    assert "a0" not in xml_text.replace("pair-0", "")

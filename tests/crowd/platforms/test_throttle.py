@@ -1,0 +1,121 @@
+"""ThrottlePolicy: token-bucket pacing and backoff-retry semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.platforms.throttle import RetryBudgetExceededError, ThrottlePolicy
+
+
+class VirtualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, dt: float) -> None:
+        self.sleeps.append(dt)
+        self.now += dt
+
+
+def make_policy(clock, **kwargs):
+    defaults = dict(rate=2.0, burst=3, max_attempts=4, base_backoff_s=1.0, seed=1)
+    defaults.update(kwargs)
+    return ThrottlePolicy(clock=clock, sleep=clock.sleep, **defaults)
+
+
+def test_burst_passes_without_waiting():
+    clock = VirtualClock()
+    policy = make_policy(clock)
+    for _ in range(3):
+        policy.acquire()
+    assert clock.sleeps == []
+
+
+def test_acquire_waits_exactly_for_the_next_token():
+    clock = VirtualClock()
+    policy = make_policy(clock)  # rate=2/s -> a token every 0.5s
+    for _ in range(3):
+        policy.acquire()
+    policy.acquire()
+    assert clock.sleeps == [pytest.approx(0.5)]
+
+
+def test_tokens_refill_while_idle_up_to_burst():
+    clock = VirtualClock()
+    policy = make_policy(clock)
+    for _ in range(3):
+        policy.acquire()
+    clock.now += 100.0  # long idle refills to burst, not beyond
+    for _ in range(3):
+        policy.acquire()
+    assert len(clock.sleeps) == 0
+    policy.acquire()
+    assert len(clock.sleeps) == 1
+
+
+def test_retry_until_success_counts_and_backs_off():
+    clock = VirtualClock()
+    policy = make_policy(clock)
+    responses = iter([{"status": 503}, {"status": 500}, {"status": 200}])
+    result = policy.call(
+        lambda: next(responses), should_retry=lambda r: r["status"] >= 500
+    )
+    assert result == {"status": 200}
+    assert policy.n_retries == 2
+    # backoff before retry 0 is bounded by base, before retry 1 by 2*base
+    backoffs = [s for s in clock.sleeps if s > 0]
+    assert len(backoffs) == 2
+    assert 0.0 <= backoffs[0] <= 1.0
+    assert 0.0 <= backoffs[1] <= 2.0
+
+
+def test_backoff_is_capped_and_deterministic_per_seed():
+    clock = VirtualClock()
+    policy = make_policy(clock, max_backoff_s=2.5)
+    delays = [policy.backoff_s(i) for i in range(6)]
+    assert all(0.0 <= d <= 2.5 for d in delays)
+    clock2 = VirtualClock()
+    policy2 = make_policy(clock2, max_backoff_s=2.5)
+    assert delays == [policy2.backoff_s(i) for i in range(6)]
+
+
+def test_retry_budget_exceeded_raises_with_last_response():
+    clock = VirtualClock()
+    policy = make_policy(clock, max_attempts=3)
+    with pytest.raises(RetryBudgetExceededError, match="3 attempts"):
+        policy.call(
+            lambda: {"status": 503},
+            should_retry=lambda r: True,
+            describe="ListAssignmentsForHIT",
+        )
+    assert policy.n_calls == 3
+
+
+def test_transport_exceptions_propagate_unretried():
+    clock = VirtualClock()
+    policy = make_policy(clock)
+
+    def broken():
+        raise ConnectionError("wire down")
+
+    with pytest.raises(ConnectionError):
+        policy.call(broken, should_retry=lambda r: True)
+    assert policy.n_retries == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(rate=0.0),
+        dict(burst=0),
+        dict(max_attempts=0),
+        dict(base_backoff_s=-1.0),
+        dict(base_backoff_s=5.0, max_backoff_s=1.0),
+    ],
+)
+def test_invalid_configuration_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ThrottlePolicy(**kwargs)

@@ -1,0 +1,74 @@
+"""Every offline example must run end-to-end and exit zero.
+
+The examples are the repo's executable documentation — each one is run
+here as a real subprocess (fresh interpreter, same invocation a reader
+would type), so a drifted import, a broken campaign, or a failure that
+the example's own exit-code checks catch turns CI red instead of rotting
+silently.  ``mturk_campaign.py`` runs in replay mode, which additionally
+pins the committed cassette to the campaign code path.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+#: (script, substring its stdout must contain).  Every entry runs offline.
+OFFLINE_EXAMPLES = [
+    ("quickstart.py", "deduced for free"),
+    ("bibliography_dedup.py", "duplicate groups"),
+    ("product_catalog_join.py", "F-measure"),
+    ("crowd_campaign.py", "audit"),
+    ("expected_cost_analysis.py", "Heuristic vs brute force"),
+    ("async_campaign.py", "async campaign over PollingPlatformClient"),
+    ("mturk_campaign.py", "transitive-join campaign over MTurkBackend"),
+]
+
+
+def run_example(script: str, *argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def test_examples_directory_is_fully_covered():
+    """A new example must be added to OFFLINE_EXAMPLES (or explicitly
+    excluded here) — the smoke list cannot silently fall behind."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == {name for name, _ in OFFLINE_EXAMPLES}
+
+
+@pytest.mark.parametrize("script,expected", OFFLINE_EXAMPLES)
+def test_example_runs_clean(script, expected):
+    proc = run_example(script)
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+    assert expected in proc.stdout
+
+
+def test_mturk_campaign_replay_is_the_default_mode():
+    proc = run_example("mturk_campaign.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "mode: REPLAY" in proc.stdout
+    assert "labels correct" in proc.stdout
+    # The replay consumed the committed cassette fully: the campaign made
+    # exactly the recorded number of backend calls.
+    assert "CAMPAIGN FAILED" not in proc.stderr
