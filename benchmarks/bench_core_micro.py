@@ -4,7 +4,9 @@ These quantify the constants behind the headline experiments: union-find
 throughput, incremental ClusterGraph insertion, deduction queries, one
 Algorithm-3 selection scan, the engine's incremental pending-pair frontier
 against the pre-refactor full-rescan deduction sweep, and — at one million
-candidate pairs — the sharded engine backend against the monolithic one.
+candidate pairs — the sharded engine backend against the monolithic one,
+the vectorized array-kernel backend against sharded (numpy installs only),
+and the process-parallel backend against in-process sharding.
 
 Machine-readable timings are emitted to ``BENCH_core.json`` in the repo
 root after the session; ``compare_bench.py`` diffs that artifact against
@@ -44,6 +46,7 @@ from repro.engine import (
     HITDispatchAdapter,
     LabelingEngine,
     RuntimeMode,
+    vectorized_available,
 )
 
 N_OBJECTS = 3000
@@ -380,6 +383,11 @@ SHARD_N_EVENTS = 8
 
 _SHARDED_WORKLOAD_CACHE: Optional[tuple] = None
 
+#: Per-session cache of full ``_drive_backend`` results at the 1M-pair
+#: scale, so the vectorized benchmark can reuse the sharded drive from the
+#: sharded-vs-monolithic test instead of paying for a second one.
+_SCALE_DRIVES: Dict[str, dict] = {}
+
 
 def _sharded_workload_cached():
     """Build the 1M-pair blocked workload once per session (both the
@@ -473,6 +481,8 @@ def _drive_backend(backend: str, candidates, truth, answers=None):
     if backend == "sharded":
         stats["n_shards"] = engine.graph.n_shards
         stats["n_frontier_components"] = engine._sharded_frontier.n_components
+    elif backend == "vectorized":
+        stats["n_components"] = engine._vectorized.n_components
     return {
         "stats": stats,
         "first_frontier": first_frontier,
@@ -495,6 +505,7 @@ def test_sharded_backend_beats_monolithic_at_1m_pairs():
     sharded = _drive_backend(
         "sharded", candidates, truth, answers=monolithic["answers"]
     )
+    _SCALE_DRIVES["sharded"] = sharded
 
     # Backend parity at scale: same round-1 frontier, same frontier after
     # every answer event, same final labels (answers + cascaded deductions).
@@ -524,6 +535,68 @@ def test_sharded_backend_beats_monolithic_at_1m_pairs():
     assert mono_s > shard_s * 3, (
         f"sharded event loop ({shard_s:.3f}s) must beat monolithic "
         f"({mono_s:.3f}s) on {SHARD_N_EVENTS} answers over {len(candidates)} pairs"
+    )
+
+
+def test_vectorized_backend_beats_sharded_at_1m_pairs():
+    """The array-kernel tentpole, measured end to end at >=1M candidate
+    pairs: the vectorized backend replaces the sharded backend's per-answer
+    Python sweep (one ``deduce`` call per dirty pending pair) with one bulk
+    array pass per dirty component, and its Algorithm-3 frontier with the
+    Boruvka spanning-forest kernel — with byte-identical labeling behaviour.
+
+    The artifact entries carry ``requires: "numpy"`` so the trajectory gate
+    (compare_bench.py) treats them as optional: on a numpy-less runner the
+    whole test skips and the entries are simply absent.
+    """
+    if not vectorized_available():
+        pytest.skip("numpy unavailable: the vectorized backend is the perf extra")
+    import numpy
+
+    from repro.engine.parallel import available_cpus
+
+    candidates, truth = _sharded_workload_cached()
+    assert len(candidates) >= 1_000_000
+
+    sharded = _SCALE_DRIVES.get("sharded")
+    if sharded is None:  # standalone invocation (-k vectorized)
+        sharded = _SCALE_DRIVES["sharded"] = _drive_backend(
+            "sharded", candidates, truth
+        )
+    vectorized = _drive_backend(
+        "vectorized", candidates, truth, answers=sharded["answers"]
+    )
+
+    # Backend parity at scale: same round-1 frontier, same frontier after
+    # every answer event, same final labels (answers + cascaded deductions).
+    assert vectorized["first_frontier"] == sharded["first_frontier"]
+    assert vectorized["event_frontiers"] == sharded["event_frontiers"]
+    assert vectorized["labeled"] == sharded["labeled"]
+
+    _record(
+        "vectorized_scale_vectorized",
+        **vectorized["stats"],
+        n_frontier_round1=len(vectorized["first_frontier"]),
+        n_cpus=available_cpus(),
+        requires="numpy",
+        numpy_version=numpy.__version__,
+    )
+    shard_s = sharded["stats"]["event_loop_s"]
+    vec_s = vectorized["stats"]["event_loop_s"]
+    _record(
+        "vectorized_scale_speedup",
+        event_loop_speedup=shard_s / vec_s if vec_s else float("inf"),
+        n_pairs=len(candidates),
+        requires="numpy",
+        numpy_version=numpy.__version__,
+    )
+    # The per-event loop is ~99% sweep+frontier on both backends (the
+    # record_answer bookkeeping is O(alpha)); observed ~80x, gated at 5x to
+    # stay far from timing noise.
+    assert shard_s > vec_s * 5, (
+        f"vectorized event loop ({vec_s:.3f}s) must be >=5x faster than "
+        f"sharded ({shard_s:.3f}s) on {SHARD_N_EVENTS} answers over "
+        f"{len(candidates)} pairs"
     )
 
 

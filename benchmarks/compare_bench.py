@@ -13,9 +13,21 @@ result entry (lower is better); counters and derived speedups are reported
 informationally but never gate.  A tracked timing that *disappears* from
 the fresh artifact fails the gate too — losing a benchmark silently would
 erode the trajectory; retire one by regenerating the committed baseline in
-the same PR.  Single-sample timings (anything but a multi-round ``mean_s``)
-are gated at ``--single-sample-slack`` times the threshold, since one-shot
-totals carry far more run-to-run variance than pytest-benchmark means.
+the same PR.  Two exemptions keep the gate honest across heterogeneous
+runners:
+
+* entries carrying a ``requires`` field name an optional dependency (e.g.
+  the vectorized backend's ``"numpy"``); when such an entry is absent from
+  one artifact it reports as *optional* instead of failing — the dependency
+  simply was not installed on that runner;
+* entries whose ``n_cpus`` fields disagree between the two artifacts (e.g.
+  a baseline recorded on a 1-CPU container diffed on a 16-core runner)
+  report as *hw-mismatch* and never gate: comparing parallel-scaling
+  timings across different core counts asserts nothing about the code.
+
+Single-sample timings (anything but a multi-round ``mean_s``) are gated at
+``--single-sample-slack`` times the threshold, since one-shot totals carry
+far more run-to-run variance than pytest-benchmark means.
 
 Because the committed baseline usually comes from different hardware than
 the CI runner, ``--calibrate`` rescales the baseline by a machine-speed
@@ -56,6 +68,12 @@ class MetricDelta:
     baseline_s: Optional[float]
     fresh_s: Optional[float]
     calibrated: bool = False
+    #: The entry declares an optional dependency (``requires`` field):
+    #: absence from either artifact is tolerated, not a lost benchmark.
+    optional: bool = False
+    #: The two artifacts recorded different ``n_cpus`` for this entry, so
+    #: its timings compare different hardware and never gate.
+    hw_mismatch: bool = False
 
     @property
     def ratio(self) -> Optional[float]:
@@ -71,7 +89,8 @@ class MetricDelta:
         return self.field != "mean_s"
 
     def status(self, threshold: float, single_sample_slack: float = 1.0) -> str:
-        """'new' | 'gone' | 'calibration' | 'ok' | 'faster' | 'regressed'.
+        """'new' | 'gone' | 'optional' | 'hw-mismatch' | 'calibration' |
+        'ok' | 'faster' | 'regressed'.
 
         ``single_sample_slack`` widens the threshold for one-shot timings,
         which carry far more run-to-run variance than multi-round means.
@@ -79,9 +98,11 @@ class MetricDelta:
         if self.baseline_s is None:
             return "new"
         if self.fresh_s is None:
-            return "gone"
+            return "optional" if self.optional else "gone"
         if self.calibrated:
             return "calibration"
+        if self.hw_mismatch:
+            return "hw-mismatch"
         ratio = self.ratio
         if ratio is None:
             return "ok"
@@ -103,6 +124,24 @@ def _timing_fields(entry: dict) -> Dict[str, float]:
     }
 
 
+def _is_optional(*entries: dict) -> bool:
+    """True when any side of the comparison declares an optional
+    dependency via the ``requires`` field."""
+    return any(isinstance(entry.get("requires"), str) for entry in entries)
+
+
+def _is_hw_mismatch(baseline_entry: dict, fresh_entry: dict) -> bool:
+    """True when both entries recorded ``n_cpus`` and they disagree — the
+    timings then measure different hardware, not different code."""
+    base_cpus = baseline_entry.get("n_cpus")
+    fresh_cpus = fresh_entry.get("n_cpus")
+    return (
+        isinstance(base_cpus, int)
+        and isinstance(fresh_cpus, int)
+        and base_cpus != fresh_cpus
+    )
+
+
 def load_results(path: Path) -> Dict[str, dict]:
     """The ``results`` table of a BENCH artifact."""
     payload = json.loads(path.read_text())
@@ -115,9 +154,16 @@ def load_results(path: Path) -> Dict[str, dict]:
 def _shared_ratios(
     baseline: Dict[str, dict], fresh: Dict[str, dict]
 ) -> List[float]:
-    """fresh/baseline ratios of every timing present in both artifacts."""
+    """fresh/baseline ratios of every timing present in both artifacts.
+
+    Entries with mismatched ``n_cpus`` are left out: their ratios reflect
+    the core-count difference, not machine speed, and would skew the
+    median calibration proxy.
+    """
     ratios: List[float] = []
     for metric in baseline.keys() & fresh.keys():
+        if _is_hw_mismatch(baseline[metric], fresh[metric]):
+            continue
         base_fields = _timing_fields(baseline[metric])
         fresh_fields = _timing_fields(fresh[metric])
         for field in base_fields.keys() & fresh_fields.keys():
@@ -163,8 +209,10 @@ def compute_deltas(
         scale = fresh_entry[shared[0]] / base_entry[shared[0]]
     deltas: List[MetricDelta] = []
     for metric in sorted(baseline.keys() | fresh.keys()):
-        base_fields = _timing_fields(baseline.get(metric, {}))
-        fresh_fields = _timing_fields(fresh.get(metric, {}))
+        base_entry = baseline.get(metric, {})
+        fresh_entry = fresh.get(metric, {})
+        base_fields = _timing_fields(base_entry)
+        fresh_fields = _timing_fields(fresh_entry)
         for field in sorted(base_fields.keys() | fresh_fields.keys()):
             deltas.append(
                 MetricDelta(
@@ -175,6 +223,8 @@ def compute_deltas(
                     ),
                     fresh_s=fresh_fields.get(field),
                     calibrated=metric == calibrate,
+                    optional=_is_optional(base_entry, fresh_entry),
+                    hw_mismatch=_is_hw_mismatch(base_entry, fresh_entry),
                 )
             )
     return deltas, scale
@@ -214,6 +264,8 @@ _STATUS_ICON = {
     "regressed": "❌ regressed",
     "new": "🆕 new",
     "gone": "❌ gone",
+    "optional": "➖ optional",
+    "hw-mismatch": "⚠️ hw-mismatch",
     "calibration": "⚖️ calibration",
 }
 

@@ -22,6 +22,10 @@ Public surface:
               :class:`FrontierCursor` (decided-prefix incremental selection)
 * sharding:   :class:`ShardedClusterGraph`, :class:`ShardedFrontier`
               (per-component backend for 10M+ pair workloads)
+* vectorized: :class:`VectorizedClusterGraph`, :class:`VectorizedEngineCore`,
+              :func:`vectorized_available` — array-native sweep/deduce/
+              frontier kernels over numpy (``backend="vectorized"``; the
+              optional ``perf`` extra)
 * parallel:   :class:`ProcessShardExecutor`,
               :class:`ParallelShardedClusterGraph`, :class:`ShardWorkerError`
               (+ ``DEFAULT_PARALLEL_THRESHOLD``) — the sharded decomposition
@@ -57,6 +61,11 @@ from .parallel import (
     ShardWorkerError,
 )
 from .sharding import ShardedClusterGraph, ShardedFrontier
+from .vectorized import (
+    VectorizedClusterGraph,
+    VectorizedEngineCore,
+    vectorized_available,
+)
 
 __all__ = [
     "AnswerPolicy",
@@ -81,5 +90,8 @@ __all__ = [
     "ShardWorkerError",
     "ShardedClusterGraph",
     "ShardedFrontier",
+    "VectorizedClusterGraph",
+    "VectorizedEngineCore",
     "must_crowdsource_frontier",
+    "vectorized_available",
 ]

@@ -472,7 +472,8 @@ class AsyncDispatch:
             (:meth:`SimulatedPlatformClient.for_oracle`).  Clients that do
             not consult the oracle (live platforms) may ignore it.
         policy: conflict policy for the engine's deduction graph.
-        backend: engine backend (``"auto"``, ``"monolithic"``, ``"sharded"``).
+        backend: engine backend (``"auto"``, ``"monolithic"``, ``"sharded"``,
+            ``"vectorized"``, or ``"parallel"``).
         shard_threshold: the ``auto`` backend's cut-over point.
         budget: optional runtime spending cap.
         timeout: optional per-HIT expiry deadline + re-issue cap.

@@ -269,7 +269,8 @@ class InstantDispatch:
             naive full scan is kept for cross-validation and produces
             identical results.
         backend: engine deduction/frontier backend (``"auto"``,
-            ``"monolithic"``, or ``"sharded"``; see :class:`LabelingEngine`).
+            ``"monolithic"``, ``"sharded"``, ``"vectorized"``, or
+            ``"parallel"``; see :class:`LabelingEngine`).
         shard_threshold: the ``auto`` backend's sharding cut-over point.
     """
 

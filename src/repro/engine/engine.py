@@ -46,13 +46,18 @@ from .parallel import (
     ProcessShardExecutor,
 )
 from .sharding import ShardedClusterGraph, ShardedFrontier
+from .vectorized import (
+    VectorizedClusterGraph,
+    VectorizedEngineCore,
+    vectorized_available,
+)
 
-#: Above this many pairs the ``auto`` backend shards the deduction graph and
-#: the frontier by connected component (see :mod:`repro.engine.sharding`).
-#: Below it the monolithic graph wins on constant factors.
+#: Above this many pairs the ``auto`` backend stops using the monolithic
+#: graph: it picks the vectorized backend when numpy is importable (see
+#: :mod:`repro.engine.vectorized`), else the pure-Python sharded one.
 DEFAULT_SHARD_THRESHOLD = 100_000
 
-_BACKENDS = ("auto", "monolithic", "sharded", "parallel")
+_BACKENDS = ("auto", "monolithic", "sharded", "vectorized", "parallel")
 
 
 class LabelingEngine:
@@ -75,14 +80,19 @@ class LabelingEngine:
         backend: ``"monolithic"`` (one :class:`ClusterGraph` + one
             :class:`FrontierCursor`), ``"sharded"`` (per-component
             :class:`ShardedClusterGraph` + :class:`ShardedFrontier`),
-            ``"parallel"`` (the sharded decomposition fanned out across a
-            :class:`~repro.engine.parallel.ProcessShardExecutor` worker
-            pool; falls back to in-process sharding below
+            ``"vectorized"`` (array-native kernels over a flat integer
+            encoding, see :mod:`repro.engine.vectorized`; requires numpy —
+            the ``perf`` extra — and silently falls back to ``"sharded"``
+            without it), ``"parallel"`` (the sharded decomposition fanned
+            out across a :class:`~repro.engine.parallel.ProcessShardExecutor`
+            worker pool; falls back to in-process sharding below
             ``parallel_threshold`` pairs, where pipe latency would dominate),
-            or ``"auto"`` — sharded iff the order has at least
-            ``shard_threshold`` pairs.  All backends are property-tested
-            identical in observable behaviour; sharding and process
-            parallelism are purely scaling features.
+            or ``"auto"`` — monolithic below ``shard_threshold`` pairs,
+            vectorized at or above it when numpy is importable, sharded
+            otherwise (process parallelism is never auto-selected).  All
+            backends are property-tested identical in observable behaviour;
+            sharding, vectorization, and process parallelism are purely
+            scaling features.
         shard_threshold: the ``auto`` cut-over point.
         parallel_threshold: below this many pairs ``backend="parallel"``
             silently uses the in-process sharded backend instead (pass 0 to
@@ -122,31 +132,40 @@ class LabelingEngine:
                 self.likelihoods[pair] = likelihood
         self._position = {pair: i for i, pair in enumerate(self.pairs)}
         self._executor: Optional[ProcessShardExecutor] = None
+        self._vectorized: Optional[VectorizedEngineCore] = None
         if graph is not None:
             # A caller-provided graph (pre-populated or foreign) pins the
             # monolithic path: its contents cannot be redistributed.
             # Explicitly requesting sharding alongside one is a contradiction
             # the caller must resolve, not a silent downgrade.
-            if backend in ("sharded", "parallel"):
+            if backend in ("sharded", "vectorized", "parallel"):
                 raise ValueError(
                     f"backend={backend!r} cannot be combined with an explicit "
                     "graph: a pre-populated graph cannot be redistributed "
-                    "into shards (drop the graph argument or use "
-                    "backend='auto'/'monolithic')"
+                    "into shards or re-encoded as arrays (drop the graph "
+                    "argument or use backend='auto'/'monolithic')"
                 )
             self.backend = "monolithic"
             self.graph = graph
         else:
             if backend == "auto":
-                backend = (
-                    "sharded" if len(self.pairs) >= shard_threshold else "monolithic"
-                )
+                if len(self.pairs) < shard_threshold:
+                    backend = "monolithic"
+                else:
+                    backend = "vectorized" if vectorized_available() else "sharded"
+            elif backend == "vectorized" and not vectorized_available():
+                # numpy is an optional dependency (the ``perf`` extra): the
+                # documented graceful fallback to the pure-Python backend.
+                backend = "sharded"
             elif backend == "parallel" and len(self.pairs) < parallel_threshold:
                 # Process orchestration only pays for itself at scale: the
                 # documented auto-fallback to in-process sharding.
                 backend = "sharded"
             self.backend = backend
-            if backend == "parallel":
+            if backend == "vectorized":
+                self._vectorized = VectorizedEngineCore(self.pairs, policy=policy)
+                self.graph = VectorizedClusterGraph(self._vectorized)
+            elif backend == "parallel":
                 self._executor = ProcessShardExecutor(
                     self.pairs,
                     positions=self._position,
@@ -243,6 +262,8 @@ class LabelingEngine:
             # already know every labeled/published change (events were routed
             # to them as they happened).
             return self._executor.frontier()
+        if self._vectorized is not None:
+            return self._vectorized.frontier(self.labeled, self.published)
         if self.backend == "sharded":
             if self._sharded_frontier is None:
                 # Safe to build late: a fresh ShardedFrontier starts with
@@ -256,10 +277,13 @@ class LabelingEngine:
 
     def _mark_frontier_dirty(self, pair: Pair) -> None:
         """A pair's labeled/published status changed — invalidate its
-        component's cached frontier (sharded backend only; a no-op until
-        the frontier machinery exists, which starts all-dirty anyway)."""
+        component's cached frontier (sharded/vectorized backends only; a
+        no-op until the sharded frontier machinery exists, which starts
+        all-dirty anyway)."""
         if self._sharded_frontier is not None:
             self._sharded_frontier.mark_dirty(pair)
+        if self._vectorized is not None:
+            self._vectorized.mark_frontier_dirty(pair)
 
     def publish(self, batch: Iterable[Pair], *, withhold: bool = True) -> None:
         """Mark ``batch`` as handed to the crowd.
@@ -275,6 +299,8 @@ class LabelingEngine:
         for pair in batch:
             self.published.add(pair)
             self._mark_frontier_dirty(pair)
+        if self._vectorized is not None:
+            self._vectorized.note_published(batch)
         if self._executor is not None:
             # One routed message covers both the publish and the optional
             # withhold on the owning workers.
@@ -292,6 +318,8 @@ class LabelingEngine:
             self._withheld.add(pair)
             if self._index is not None:
                 self._index.remove(pair)
+        if self._vectorized is not None:
+            self._vectorized.note_withheld(batch)
         if self._executor is not None:
             self._executor.withhold(batch)
 
@@ -303,6 +331,8 @@ class LabelingEngine:
         self.labeled[pair] = label
         self.result.record(pair, label, Provenance.DEDUCED, round_index)
         self.published.discard(pair)
+        if self._vectorized is not None:
+            self._vectorized.note_labeled(pair, label)
         self._mark_frontier_dirty(pair)
         if self._index is not None:
             self._index.remove(pair)
@@ -330,6 +360,8 @@ class LabelingEngine:
         self.published.discard(pair)
         self._withheld.discard(pair)
         self.labeled[pair] = label
+        if self._vectorized is not None:
+            self._vectorized.note_labeled(pair, label)
         self._mark_frontier_dirty(pair)
         applied = self.graph.add(pair, label)
         self.result.record(pair, label, Provenance.CROWDSOURCED, round_index)
@@ -337,6 +369,29 @@ class LabelingEngine:
             self._index.remove(pair)
             self._index.note_objects_seen(pair.left, pair.right)
         return applied
+
+    def record_answers(
+        self,
+        answers: Iterable[Tuple[Pair, Label]],
+        round_index: int,
+    ) -> List[Tuple[Pair, Label]]:
+        """Record a contiguous run of crowd answers, then sweep once.
+
+        Semantically identical to calling :meth:`record_answer` per answer
+        followed by one :meth:`sweep` — that is exactly what it does — but
+        it is the intended entry point for batched completions: the
+        per-answer work is O(α) on every backend, and the single trailing
+        sweep re-checks each component dirtied by the run *once*, instead
+        of once per answer.  On the vectorized backend that re-check is one
+        bulk array pass per dirty component (see
+        :meth:`~repro.engine.vectorized.VectorizedEngineCore.sweep`).
+
+        Returns:
+            the deductions the run implied, as :meth:`sweep`.
+        """
+        for pair, label in answers:
+            self.record_answer(pair, label, round_index)
+        return self.sweep(round_index)
 
     def sweep(self, round_index: int) -> List[Tuple[Pair, Label]]:
         """Resolve every pending pair the answers so far imply.
@@ -358,6 +413,14 @@ class LabelingEngine:
                     self.record_deduced(pair, label, round_index)
             finally:
                 self._applying_executor_sweep = False
+            return resolved
+        if self._vectorized is not None:
+            # One bulk pass per component dirtied since the last sweep;
+            # record_deduced folds each resolution into the result and the
+            # core's label state (note_labeled).
+            resolved = self._vectorized.sweep()
+            for pair, label in resolved:
+                self.record_deduced(pair, label, round_index)
             return resolved
         if self._index is not None:
             resolved = sorted(

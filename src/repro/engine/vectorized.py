@@ -1,0 +1,849 @@
+"""Vectorized backend: array-native kernels for the engine's hot paths.
+
+The sharded backend (PR 3) made the per-answer sweep+frontier work
+component-local, but every kernel is still a Python loop over dict-based
+structures.  This module re-implements the three hot paths as *batched
+array operations* over a flat integer encoding of the labeling order:
+
+* **bulk deduce/sweep** — pairs live as two parallel ``int64`` id arrays;
+  cluster membership is a flat ``parent`` array queried with a vectorized
+  iterated-``parent[roots]`` find, so re-checking every pending pair of a
+  touched component is a handful of array expressions instead of one
+  Python ``deduce`` call per pair;
+* **batched answer application** — a contiguous run of answers dirties a
+  set of components; one :meth:`VectorizedEngineCore.sweep` then resolves
+  everything the run implies with a single bulk pass per dirty component
+  (the dirty-component idea from
+  :class:`~repro.engine.sharding.ShardedFrontier`, applied to deduction);
+* **vectorized Algorithm-3 frontier** — for components with no
+  non-matching labels, the must-crowdsource selection is computed exactly
+  by a Boruvka minimum-spanning-forest kernel (see below) instead of the
+  per-pair optimistic scan.
+
+Frontier/MSF equivalence
+    In the Algorithm-3 scan every pair — labeled matching or assumed
+    matching — merges its endpoints when it is reached, and an unlabeled
+    pair is *selected* exactly when its endpoints are still in different
+    clusters at its position.  When a component contains no non-matching
+    labels, that greedy order-insertion forest is precisely the minimum
+    spanning forest of the component's pair graph under weight = order
+    position; positions are distinct, so the MSF is unique and therefore
+    independent of how it is computed.  Boruvka rounds (pick each
+    cluster's minimum-weight incident edge — the cut property marks it as
+    a forest edge — then hook and flatten) compute the same mask in
+    O(log n) array passes.  Selection and publication never affect how
+    the optimistic graph evolves, so exclusions are applied as a mask
+    *after* the forest is marked.  Components that do contain a
+    non-matching label fall back to their own
+    :class:`~repro.engine.frontier.FrontierCursor`, the property-tested
+    scalar implementation — negative deducibility does not reduce to a
+    spanning forest.
+
+Array namespace policy
+    Kernels take the array namespace as a parameter
+    (``array_api_compat``-style indirection): :func:`array_namespace`
+    resolves it at runtime, preferring ``array_api_compat`` when
+    installed and falling back to plain ``numpy``.  numpy is an *optional*
+    dependency (the ``perf`` extra): when it is missing,
+    ``LabelingEngine(backend="vectorized")`` silently degrades to the
+    pure-Python sharded backend, and ``backend="auto"`` skips the
+    vectorized tier.  Two kernels intentionally use numpy-specific
+    behaviour beyond the array API standard — object-dtype arrays for
+    O(1) pair materialization and duplicate-index scatter assignment
+    (last write wins) in the Boruvka pick step; a strict array-API
+    backend would need those two seams ported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.cluster_graph import Conflict, ConflictPolicy, admit_label
+from ..core.pairs import CandidatePair, Label, Pair
+from .frontier import FrontierCursor
+
+#: Components with at most this many pairs recompute their frontier with a
+#: scalar greedy-forest scan: the Boruvka kernel pays O(n_objects) array
+#: passes per round, which only amortizes over large batches.
+SMALL_COMPONENT_THRESHOLD = 4096
+
+#: ``label_code`` values (the PR-4 wire encoding, extended with a pending
+#: state): 0 = unlabeled, 1 = matching, 2 = non-matching.
+CODE_UNLABELED = 0
+_CODE_OF = {Label.MATCHING: 1, Label.NON_MATCHING: 2}
+
+
+def array_namespace():
+    """The array namespace backing the vectorized kernels, or ``None``.
+
+    Resolution order: ``array_api_compat.array_namespace`` over a numpy
+    array when that package is installed, else numpy itself, else ``None``
+    when numpy is unavailable.  The import happens on every call so test
+    harnesses can simulate a numpy-less interpreter by stubbing
+    ``sys.modules["numpy"]``; modules lacking the required surface (e.g. a
+    test double) count as unavailable.
+    """
+    try:
+        import numpy
+    except ImportError:
+        return None
+    for name in ("asarray", "arange", "empty", "zeros", "concatenate", "minimum"):
+        if not hasattr(numpy, name):
+            return None
+    try:
+        import array_api_compat
+    except ImportError:
+        return numpy
+    try:
+        return array_api_compat.array_namespace(numpy.empty(0))
+    except Exception:
+        return numpy
+
+
+def vectorized_available() -> bool:
+    """True iff the vectorized backend can run in this interpreter."""
+    return array_namespace() is not None
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def _find_many(xp, parent, ids):
+    """Roots of ``ids`` under ``parent`` (no path compression): iterate
+    ``parent[roots]`` to a fixpoint.  Depth is kept O(1)-ish by the
+    union-by-size scalar path and the per-round flatten in the Boruvka
+    kernel, so two or three passes suffice in practice."""
+    roots = parent[ids]
+    while True:
+        nxt = parent[roots]
+        if bool((nxt == roots).all()):
+            return roots
+        roots = nxt
+
+
+def _flatten_inplace(xp, parent):
+    """Pointer-jump ``parent`` until every entry points at its root."""
+    while True:
+        nxt = parent[parent]
+        if bool((nxt == parent).all()):
+            return
+        parent[:] = nxt
+
+
+def _forest_mask(xp, left, right, n_objects, parent=None):
+    """Mark the unique minimum spanning forest of an edge list.
+
+    ``left``/``right`` are endpoint id arrays in **ascending weight
+    order** (weight = array index; all weights distinct by construction).
+    Returns ``(mask, parent)``: a boolean array flagging forest edges, and
+    the flattened ``parent`` array whose entries are final component
+    roots.
+
+    Boruvka rounds: drop intra-component edges, let every component pick
+    its minimum-weight incident edge via reversed scatter (duplicate-index
+    assignment writes in order, so scattering in descending weight order
+    makes the minimum win), mark the picks — the cut property guarantees
+    each is a forest edge — then hook the higher root under the lower and
+    flatten.  Conflicting hooks lose at most the union, never the mark:
+    a lost edge stays alive and is re-applied in a later round, and since
+    forest edges never become intra-component before being applied, the
+    mask converges to exactly the greedy order-insertion forest.
+    """
+    m = int(left.shape[0])
+    if parent is None:
+        parent = xp.arange(n_objects, dtype=xp.int64)
+    mask = xp.zeros(m, dtype=bool)
+    alive = xp.arange(m, dtype=xp.int64)
+    sentinel = m
+    best_left = xp.empty(n_objects, dtype=xp.int64)
+    best_right = xp.empty(n_objects, dtype=xp.int64)
+    while alive.shape[0]:
+        roots_l = _find_many(xp, parent, left[alive])
+        roots_r = _find_many(xp, parent, right[alive])
+        crossing = roots_l != roots_r
+        alive = alive[crossing]
+        if not alive.shape[0]:
+            break
+        roots_l = roots_l[crossing]
+        roots_r = roots_r[crossing]
+        k = xp.arange(alive.shape[0], dtype=xp.int64)
+        best_left[:] = sentinel
+        best_right[:] = sentinel
+        best_left[roots_l[::-1]] = k[::-1]
+        best_right[roots_r[::-1]] = k[::-1]
+        pick = xp.minimum(best_left, best_right)
+        picked = pick[pick != sentinel]
+        mask[alive[picked]] = True
+        lo = xp.minimum(roots_l[picked], roots_r[picked])
+        hi = xp.maximum(roots_l[picked], roots_r[picked])
+        parent[hi] = lo
+        _flatten_inplace(xp, parent)
+    return mask, parent
+
+
+def _greedy_forest_mask(left_ids: List[int], right_ids: List[int]) -> List[bool]:
+    """Scalar greedy order-insertion forest over one small component's
+    edges: the reference semantics the Boruvka kernel reproduces, cheaper
+    below :data:`SMALL_COMPONENT_THRESHOLD` because it touches only the
+    component's own ids."""
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = parent.setdefault(x, x)
+        while root != parent[root]:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    mask: List[bool] = []
+    for a, b in zip(left_ids, right_ids):
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            mask.append(False)
+        else:
+            parent[root_b] = root_a
+            mask.append(True)
+    return mask
+
+
+# ----------------------------------------------------------------------
+# the engine core
+# ----------------------------------------------------------------------
+class VectorizedEngineCore:
+    """Array-native deduction graph + frontier for one labeling order.
+
+    Owns the flat encoding (dense object ids, parallel ``left``/``right``
+    position arrays, ``label_code``/``excluded``/``withheld`` state masks),
+    the union-find deduction graph over that encoding, and the per-component
+    caches behind :meth:`sweep` and :meth:`frontier`.  The
+    :class:`VectorizedClusterGraph` adapter exposes the ClusterGraph
+    contract over this state; ``LabelingEngine`` routes its event handlers
+    here for ``backend="vectorized"``.
+
+    The candidate components are *static* (computed from the full order at
+    construction): answers are always order pairs, so deduction paths and
+    Algorithm-3 interactions never cross component boundaries, and both
+    kernels re-check only components dirtied since their last run.
+
+    Args:
+        order: the labeling order (pairs or candidate pairs; duplicates
+            collapse to their first occurrence, as in the engine).
+        policy: conflict policy for insertions.
+        xp: array namespace override (tests); defaults to
+            :func:`array_namespace`.
+
+    Raises:
+        ImportError: when no array namespace is available.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[Union[Pair, CandidatePair]],
+        *,
+        policy: ConflictPolicy = ConflictPolicy.STRICT,
+        xp=None,
+    ) -> None:
+        if xp is None:
+            xp = array_namespace()
+        if xp is None:
+            raise ImportError(
+                "the vectorized backend requires numpy (install the 'perf' extra)"
+            )
+        self._xp = xp
+        pairs: List[Pair] = []
+        positions: Dict[Pair, int] = {}
+        for item in order:
+            pair = item.pair if isinstance(item, CandidatePair) else item
+            if pair not in positions:
+                positions[pair] = len(pairs)
+                pairs.append(pair)
+        self.pairs = pairs
+        self._pos_of = positions
+        m = len(pairs)
+
+        # Dense object ids and the parallel endpoint arrays.
+        id_of: Dict[Hashable, int] = {}
+        objects: List[Hashable] = []
+        left = xp.empty(m, dtype=xp.int64)
+        right = xp.empty(m, dtype=xp.int64)
+        for i, pair in enumerate(pairs):
+            obj_id = id_of.get(pair.left)
+            if obj_id is None:
+                obj_id = id_of[pair.left] = len(objects)
+                objects.append(pair.left)
+            left[i] = obj_id
+            obj_id = id_of.get(pair.right)
+            if obj_id is None:
+                obj_id = id_of[pair.right] = len(objects)
+                objects.append(pair.right)
+            right[i] = obj_id
+        self._id_of = id_of
+        self._objects = objects
+        self._left = left
+        self._right = right
+        n = len(objects)
+        self.n_universe = n
+
+        # O(1) bulk pair materialization: an object array over the order.
+        pair_arr = xp.empty(m, dtype=object)
+        pair_arr[:] = pairs
+        self._pair_arr = pair_arr
+
+        # Static candidate components via one full-order Boruvka pass.
+        _, comp_of_obj = _forest_mask(xp, left, right, n)
+        self._comp_of_obj = comp_of_obj
+        comp_of_pair = comp_of_obj[left] if m else xp.empty(0, dtype=xp.int64)
+        self._comp_of_pair = comp_of_pair
+        # Group order positions by component: a stable argsort on the
+        # component key keeps each slice in ascending position order.
+        self._comp_positions: Dict[int, object] = {}
+        if m:
+            by_comp = xp.argsort(comp_of_pair, kind="stable")
+            sorted_comps = comp_of_pair[by_comp]
+            boundary = xp.empty(sorted_comps.shape[0], dtype=bool)
+            boundary[0] = True
+            boundary[1:] = sorted_comps[1:] != sorted_comps[:-1]
+            starts = xp.nonzero(boundary)[0]
+            for t in range(starts.shape[0]):
+                start = int(starts[t])
+                stop = int(starts[t + 1]) if t + 1 < starts.shape[0] else m
+                self._comp_positions[int(sorted_comps[start])] = by_comp[start:stop]
+
+        # Deduction graph state (the VectorizedClusterGraph contract's
+        # backing store): union-find arrays over the dense ids, lazy "seen"
+        # registration mirroring the monolithic graph, and an nm adjacency
+        # between current roots with monolithic-style rewiring on union.
+        self._parent = xp.arange(n, dtype=xp.int64)
+        self._size = xp.ones(n, dtype=xp.int64)
+        self._seen = xp.zeros(n, dtype=bool)
+        self._nm: Dict[int, Set[int]] = {}
+        self._n_objects = 0
+        self._n_clusters = 0
+        self._n_matching_edges = 0
+        self._n_non_matching_edges = 0
+        self.policy = policy
+        self.conflicts: List[Conflict] = []
+
+        # Labeling/publication state masks over order positions.
+        self._label_code = xp.zeros(m, dtype=xp.int8)
+        self._excluded = xp.zeros(m, dtype=bool)
+        self._withheld = xp.zeros(m, dtype=bool)
+
+        # Dirty-component bookkeeping.  The sweep set starts empty (nothing
+        # is deducible before any answer); the frontier set starts all-dirty
+        # so the first call reads the full state.
+        self._sweep_dirty: Set[int] = set()
+        self._frontier_dirty: Set[int] = set(self._comp_positions)
+        self._nm_label_comps: Set[int] = set()
+        self._cursors: Dict[int, FrontierCursor] = {}
+        self._selected: Dict[int, object] = {}
+        self._merged: Optional[List[Pair]] = None
+        self._empty_positions = xp.empty(0, dtype=xp.int64)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_components(self) -> int:
+        """Number of static candidate-graph components."""
+        return len(self._comp_positions)
+
+    @property
+    def xp(self):
+        """The array namespace the kernels run against."""
+        return self._xp
+
+    # ------------------------------------------------------------------
+    # scalar graph operations (the ClusterGraph contract's hot seam)
+    # ------------------------------------------------------------------
+    def _find(self, i: int) -> int:
+        """Scalar find with full path compression."""
+        parent = self._parent
+        root = int(parent[i])
+        while True:
+            up = int(parent[root])
+            if up == root:
+                break
+            root = up
+        while int(parent[i]) != root:
+            parent[i], i = root, int(parent[i])
+        return root
+
+    def _see(self, i: int) -> None:
+        if not bool(self._seen[i]):
+            self._seen[i] = True
+            self._n_objects += 1
+            self._n_clusters += 1
+
+    def _require_ids(self, pair: Pair) -> Tuple[int, int]:
+        id_of = self._id_of
+        i = id_of.get(pair.left)
+        j = id_of.get(pair.right)
+        if i is None or j is None:
+            raise ValueError(
+                f"{pair!r} involves objects outside the labeling order: the "
+                "vectorized graph is bound to the engine's candidate universe "
+                "(use the monolithic backend for open-world graphs)"
+            )
+        if int(self._comp_of_obj[i]) != int(self._comp_of_obj[j]):
+            raise ValueError(
+                f"{pair!r} spans two candidate components: the vectorized "
+                "backend tracks deductions per static component and no order "
+                "pair crosses them"
+            )
+        return i, j
+
+    def deduce(self, pair: Pair) -> Optional[Label]:
+        """Algorithm-1 deduction over the array state (scalar path)."""
+        id_of = self._id_of
+        i = id_of.get(pair.left)
+        j = id_of.get(pair.right)
+        if i is None or j is None:
+            return None
+        if not (bool(self._seen[i]) and bool(self._seen[j])):
+            return None
+        root_i = self._find(i)
+        root_j = self._find(j)
+        if root_i == root_j:
+            return Label.MATCHING
+        if root_j in self._nm.get(root_i, ()):
+            return Label.NON_MATCHING
+        return None
+
+    def graph_add(self, pair: Pair, label: Label) -> bool:
+        """Insert a labeled pair; same contract as ``ClusterGraph.add``.
+
+        New deduction information (an effective union or a new cluster-level
+        non-matching edge) dirties the pair's component for the next
+        :meth:`sweep`; redundant edges dirty nothing, mirroring the listener
+        events :class:`~repro.core.sweep.PendingPairIndex` reacts to.
+        """
+        i, j = self._require_ids(pair)
+        if not admit_label(self, pair, label):
+            return False
+        self._see(i)
+        self._see(j)
+        comp = int(self._comp_of_obj[i])
+        root_i = self._find(i)
+        root_j = self._find(j)
+        if label is Label.MATCHING:
+            self._n_matching_edges += 1
+            if root_i != root_j:
+                self._union(root_i, root_j)
+                self._sweep_dirty.add(comp)
+        else:
+            # admit_label rejected intra-cluster non-matching edges.
+            if root_j not in self._nm.get(root_i, ()):
+                self._nm.setdefault(root_i, set()).add(root_j)
+                self._nm.setdefault(root_j, set()).add(root_i)
+                self._n_non_matching_edges += 1
+                self._sweep_dirty.add(comp)
+        return True
+
+    def _union(self, root_a: int, root_b: int) -> int:
+        """Union by size with monolithic-style nm-adjacency rewiring."""
+        size = self._size
+        if int(size[root_a]) < int(size[root_b]):
+            root_a, root_b = root_b, root_a
+        survivor, loser = root_a, root_b
+        self._parent[loser] = survivor
+        size[survivor] = int(size[survivor]) + int(size[loser])
+        self._n_clusters -= 1
+        loser_nm = self._nm.pop(loser, None)
+        if loser_nm:
+            survivor_nm = self._nm.setdefault(survivor, set())
+            for neighbour in loser_nm:
+                self._nm[neighbour].discard(loser)
+                if neighbour == survivor:
+                    # Defensive: admit_label rejects the self-loop case.
+                    self._n_non_matching_edges -= 1
+                    continue
+                if neighbour in survivor_nm:
+                    # Parallel edges collapse into one cluster-level edge.
+                    self._n_non_matching_edges -= 1
+                else:
+                    self._nm[neighbour].add(survivor)
+                    survivor_nm.add(neighbour)
+            if not survivor_nm:
+                del self._nm[survivor]
+        return survivor
+
+    # ------------------------------------------------------------------
+    # engine event hooks
+    # ------------------------------------------------------------------
+    def note_labeled(self, pair: Pair, label: Label) -> None:
+        """A pair received its final label (crowd answer or deduction):
+        update the state masks.  Idempotent; labels are final."""
+        pos = self._pos_of.get(pair)
+        if pos is None:
+            return
+        self._label_code[pos] = _CODE_OF[label]
+        self._excluded[pos] = False
+        self._withheld[pos] = False
+        if label is Label.NON_MATCHING:
+            # The component leaves the MSF fast path for good: negative
+            # deducibility needs the full optimistic scan.
+            self._nm_label_comps.add(int(self._comp_of_pair[pos]))
+
+    def note_published(self, batch: Sequence[Pair]) -> None:
+        """Pairs handed to the crowd: excluded from future selections."""
+        pos_of = self._pos_of
+        for pair in batch:
+            pos = pos_of.get(pair)
+            if pos is not None:
+                self._excluded[pos] = True
+
+    def note_withheld(self, batch: Sequence[Pair]) -> None:
+        """Pairs taken out of the deduction sweep's reach."""
+        pos_of = self._pos_of
+        for pair in batch:
+            pos = pos_of.get(pair)
+            if pos is not None:
+                self._withheld[pos] = True
+
+    def mark_frontier_dirty(self, pair: Pair) -> None:
+        """A pair's labeled/published status changed: its component's
+        cached selection must be recomputed."""
+        pos = self._pos_of.get(pair)
+        if pos is None:
+            return
+        self._frontier_dirty.add(int(self._comp_of_pair[pos]))
+        self._merged = None
+
+    # ------------------------------------------------------------------
+    # bulk kernels
+    # ------------------------------------------------------------------
+    def sweep(self) -> List[Tuple[Pair, Label]]:
+        """Resolve every pending pair the answers so far imply.
+
+        One bulk pass per dirty component: vectorized find over both
+        endpoint arrays of the component's pending pairs decides matching
+        deductions (equal roots); the surviving cross-cluster pairs probe
+        the nm adjacency.  Exactly the pairs
+        :class:`~repro.core.sweep.PendingPairIndex` would resolve — both
+        compute "all pending deducible pairs", and answers being order
+        pairs keeps every new deduction inside the dirtied component.
+
+        Returns:
+            (pair, implied label) per newly resolved pair, in order
+            position.  Callers record the results (which updates
+            ``label_code`` via :meth:`note_labeled`).
+        """
+        if not self._sweep_dirty:
+            return []
+        xp = self._xp
+        dirty = self._sweep_dirty
+        self._sweep_dirty = set()
+        resolved: List[Tuple[int, Pair, Label]] = []
+        pairs = self.pairs
+        for comp in dirty:
+            positions = self._comp_positions[comp]
+            pending = positions[
+                (self._label_code[positions] == CODE_UNLABELED)
+                & ~self._withheld[positions]
+            ]
+            if not pending.shape[0]:
+                continue
+            roots_l = _find_many(xp, self._parent, self._left[pending])
+            roots_r = _find_many(xp, self._parent, self._right[pending])
+            seen = self._seen[self._left[pending]] & self._seen[self._right[pending]]
+            same = (roots_l == roots_r) & seen
+            for pos in pending[same].tolist():
+                resolved.append((pos, pairs[pos], Label.MATCHING))
+            if self._nm:
+                nm = self._nm
+                cross = seen & ~same
+                if bool(cross.any()):
+                    for pos, root_a, root_b in zip(
+                        pending[cross].tolist(),
+                        roots_l[cross].tolist(),
+                        roots_r[cross].tolist(),
+                    ):
+                        if root_b in nm.get(root_a, ()):
+                            resolved.append((pos, pairs[pos], Label.NON_MATCHING))
+        resolved.sort(key=lambda entry: entry[0])
+        return [(pair, label) for _, pair, label in resolved]
+
+    def frontier(
+        self,
+        labeled: Dict[Pair, Label],
+        exclude: Optional[Set[Pair]] = None,
+    ) -> List[Pair]:
+        """The current must-crowdsource pairs, in order (Algorithm 3).
+
+        Identical to ``must_crowdsource_frontier(order, labeled, exclude)``
+        (property-tested).  Dirty components with no non-matching label
+        recompute through the Boruvka MSF kernel — batched into a single
+        kernel invocation across components, since disjoint components
+        cannot interact; components carrying a non-matching label fall
+        back to a per-component :class:`FrontierCursor` over ``labeled``/
+        ``exclude``.  Clean components serve their cached selections.
+        """
+        if self._merged is not None and not self._frontier_dirty:
+            return list(self._merged)
+        xp = self._xp
+        dirty = self._frontier_dirty
+        self._frontier_dirty = set()
+        batch: List[object] = []
+        for comp in dirty:
+            positions = self._comp_positions[comp]
+            if comp in self._nm_label_comps:
+                cursor = self._cursors.get(comp)
+                if cursor is None:
+                    cursor = self._cursors[comp] = FrontierCursor(
+                        self._pair_arr[positions].tolist(), positions.tolist()
+                    )
+                selected = cursor.select(labeled, exclude)
+                self._selected[comp] = xp.asarray(
+                    [position for position, _ in selected], dtype=xp.int64
+                )
+            elif positions.shape[0] <= SMALL_COMPONENT_THRESHOLD:
+                mask = _greedy_forest_mask(
+                    self._left[positions].tolist(), self._right[positions].tolist()
+                )
+                candidates = positions[xp.asarray(mask, dtype=bool)]
+                self._selected[comp] = candidates[
+                    (self._label_code[candidates] == CODE_UNLABELED)
+                    & ~self._excluded[candidates]
+                ]
+            else:
+                batch.append(positions)
+                self._selected[comp] = self._empty_positions
+        if batch:
+            # One kernel call covers every large dirty component: the MSF of
+            # a disjoint union is the union of the MSFs.  Sorting restores
+            # the global ascending-weight order the kernel requires.
+            all_positions = xp.sort(xp.concatenate(batch))
+            mask, _ = _forest_mask(
+                xp,
+                self._left[all_positions],
+                self._right[all_positions],
+                self.n_universe,
+            )
+            candidates = all_positions[mask]
+            candidates = candidates[
+                (self._label_code[candidates] == CODE_UNLABELED)
+                & ~self._excluded[candidates]
+            ]
+            # Split the combined selection back into per-component caches.
+            comps = self._comp_of_pair[candidates]
+            by_comp = xp.argsort(comps, kind="stable")
+            candidates = candidates[by_comp]
+            comps = comps[by_comp]
+            if comps.shape[0]:
+                boundary = xp.empty(comps.shape[0], dtype=bool)
+                boundary[0] = True
+                boundary[1:] = comps[1:] != comps[:-1]
+                starts = xp.nonzero(boundary)[0]
+                n_runs = starts.shape[0]
+                for t in range(n_runs):
+                    start = int(starts[t])
+                    stop = (
+                        int(starts[t + 1]) if t + 1 < n_runs else comps.shape[0]
+                    )
+                    self._selected[int(comps[start])] = candidates[start:stop]
+        runs = [selected for selected in self._selected.values() if selected.shape[0]]
+        if not runs:
+            merged: List[Pair] = []
+        else:
+            merged_positions = runs[0] if len(runs) == 1 else xp.sort(
+                xp.concatenate(runs)
+            )
+            merged = self._pair_arr[merged_positions].tolist()
+        self._merged = merged
+        return list(merged)
+
+    def apply_answers(
+        self, answers: Sequence[Tuple[Pair, Label]]
+    ) -> List[Tuple[Pair, Label]]:
+        """Fold a contiguous run of answers into the graph, then resolve
+        everything the run implies with one bulk re-sweep.
+
+        The scalar per-answer inserts are O(α); the expensive part — the
+        re-sweep — runs once over the union of dirtied components instead
+        of once per answer.  Callers that need engine bookkeeping should
+        use ``LabelingEngine.record_answers`` instead, which wraps this
+        sequence with result/label-map updates.
+
+        Returns:
+            the resolved (pair, label) deductions, as :meth:`sweep`.
+        """
+        for pair, label in answers:
+            self.note_labeled(pair, label)
+            self.graph_add(pair, label)
+            self.mark_frontier_dirty(pair)
+        return self.sweep()
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises AssertionError on violation."""
+        xp = self._xp
+        for root, neighbours in self._nm.items():
+            assert self._find(root) == root, f"{root} is not a current root"
+            assert root not in neighbours, f"self-loop at {root}"
+            for other in neighbours:
+                assert root in self._nm.get(other, ()), "asymmetric adjacency"
+        n_edges = sum(len(neighbours) for neighbours in self._nm.values())
+        assert n_edges == 2 * self._n_non_matching_edges, "edge count drift"
+        assert int(self._seen.sum()) == self._n_objects, "seen-count drift"
+        if self._n_objects:
+            seen_ids = xp.nonzero(self._seen)[0]
+            roots = _find_many(xp, self._parent, seen_ids)
+            assert len(set(roots.tolist())) == self._n_clusters, "cluster-count drift"
+        labeled_positions = xp.nonzero(self._label_code != CODE_UNLABELED)[0]
+        assert not bool(self._excluded[labeled_positions].any()), (
+            "a labeled pair is still marked published"
+        )
+
+
+# ----------------------------------------------------------------------
+# the ClusterGraph contract adapter
+# ----------------------------------------------------------------------
+class VectorizedClusterGraph:
+    """The ClusterGraph contract over a :class:`VectorizedEngineCore`.
+
+    This is what ``LabelingEngine`` installs as ``engine.graph`` for
+    ``backend="vectorized"``: scalar insertions and deductions operate on
+    the core's flat arrays, inspection aggregates over them.  The
+    ``listener`` seam is intentionally absent (always ``None``) —
+    incremental sweep state lives in the core's dirty-component sets, not
+    in a :class:`~repro.core.sweep.PendingPairIndex`.
+
+    Not supported (the encoding is closed over the labeling order):
+    ``copy()``, ``absorb()``, and pairs involving objects outside the
+    order — :meth:`add` raises ``ValueError`` for those, while
+    :meth:`deduce` simply answers ``None``.
+    """
+
+    #: No listener: the core's component-dirty sets replace the
+    #: PendingPairIndex machinery wholesale.
+    listener = None
+
+    def __init__(self, core: VectorizedEngineCore) -> None:
+        self._core = core
+
+    @property
+    def core(self) -> VectorizedEngineCore:
+        return self._core
+
+    @property
+    def policy(self) -> ConflictPolicy:
+        return self._core.policy
+
+    @property
+    def conflicts(self) -> List[Conflict]:
+        return self._core.conflicts
+
+    # -- insertion ------------------------------------------------------
+    def add(self, pair: Pair, label: Label) -> bool:
+        return self._core.graph_add(pair, label)
+
+    def add_matching(self, a: Hashable, b: Hashable) -> bool:
+        return self.add(Pair(a, b), Label.MATCHING)
+
+    def add_non_matching(self, a: Hashable, b: Hashable) -> bool:
+        return self.add(Pair(a, b), Label.NON_MATCHING)
+
+    # -- deduction ------------------------------------------------------
+    def deduce(self, pair: Pair) -> Optional[Label]:
+        return self._core.deduce(pair)
+
+    def deducible(self, pair: Pair) -> bool:
+        return self.deduce(pair) is not None
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        return self._core._n_objects
+
+    @property
+    def n_clusters(self) -> int:
+        return self._core._n_clusters
+
+    @property
+    def n_matching_edges(self) -> int:
+        return self._core._n_matching_edges
+
+    @property
+    def n_non_matching_edges(self) -> int:
+        return self._core._n_non_matching_edges
+
+    @property
+    def n_components(self) -> int:
+        return self._core.n_components
+
+    def __contains__(self, obj: Hashable) -> bool:
+        core = self._core
+        obj_id = core._id_of.get(obj)
+        return obj_id is not None and bool(core._seen[obj_id])
+
+    def objects(self) -> Iterator[Hashable]:
+        core = self._core
+        for obj_id in core._xp.nonzero(core._seen)[0].tolist():
+            yield core._objects[obj_id]
+
+    def cluster_of(self, obj: Hashable) -> Hashable:
+        """The canonical representative of ``obj``'s cluster.  Like the
+        monolithic graph this lazily registers the object — but only
+        objects from the labeling order are representable."""
+        core = self._core
+        obj_id = core._id_of.get(obj)
+        if obj_id is None:
+            raise ValueError(
+                f"{obj!r} is outside the labeling order's object universe"
+            )
+        core._see(obj_id)
+        return core._objects[core._find(obj_id)]
+
+    def cluster_members(self, obj: Hashable) -> Set[Hashable]:
+        core = self._core
+        xp = core._xp
+        obj_id = core._id_of.get(obj)
+        if obj_id is None or not bool(core._seen[obj_id]):
+            return {obj} if obj_id is not None else set()
+        root = core._find(obj_id)
+        seen_ids = xp.nonzero(core._seen)[0]
+        roots = _find_many(xp, core._parent, seen_ids)
+        return {
+            core._objects[i] for i in seen_ids[roots == root].tolist()
+        }
+
+    def same_cluster(self, a: Hashable, b: Hashable) -> bool:
+        if a == b:
+            return a in self
+        return self.deduce(Pair(a, b)) is Label.MATCHING
+
+    def clusters(self) -> List[Set[Hashable]]:
+        core = self._core
+        xp = core._xp
+        if not core._n_objects:
+            return []
+        seen_ids = xp.nonzero(core._seen)[0]
+        roots = _find_many(xp, core._parent, seen_ids)
+        grouped: Dict[int, Set[Hashable]] = {}
+        for obj_id, root in zip(seen_ids.tolist(), roots.tolist()):
+            grouped.setdefault(root, set()).add(core._objects[obj_id])
+        return list(grouped.values())
+
+    def non_matching_cluster_edges(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        core = self._core
+        emitted: Set[frozenset] = set()
+        for root, neighbours in core._nm.items():
+            for other in neighbours:
+                key = frozenset((root, other))
+                if key not in emitted:
+                    emitted.add(key)
+                    yield (core._objects[root], core._objects[other])
+
+    def check_invariants(self) -> None:
+        self._core.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VectorizedClusterGraph({self.n_objects} objects, "
+            f"{self.n_clusters} clusters, {self._core.n_components} components)"
+        )

@@ -160,6 +160,76 @@ class TestComputeDeltas:
         with pytest.raises(ValueError):
             compare_bench.compute_deltas({}, {}, calibrate="median")
 
+    def test_optional_dependency_entries_tolerate_absence(self):
+        """An entry carrying ``requires`` (an optional dep like numpy) may
+        vanish from the fresh artifact without failing the gate: the
+        dependency simply was not installed on that runner."""
+        baseline = dict(BASELINE)
+        baseline["vectorized_scale"] = {
+            "event_loop_s": 0.01,
+            "requires": "numpy",
+        }
+        fresh = {key: dict(value) for key, value in BASELINE.items()}
+        deltas, _ = compare_bench.compute_deltas(baseline, fresh)
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+        by_metric = {(d.metric, d.field): d for d in deltas}
+        assert by_metric[("vectorized_scale", "event_loop_s")].status(0.25) == (
+            "optional"
+        )
+
+    def test_optional_entries_still_gate_when_present_on_both_sides(self):
+        """``requires`` only forgives absence — a present-but-regressed
+        optional timing fails like any other."""
+        baseline = dict(BASELINE)
+        baseline["vectorized_scale"] = {"event_loop_s": 0.01, "requires": "numpy"}
+        fresh = {key: dict(value) for key, value in BASELINE.items()}
+        fresh["vectorized_scale"] = {"event_loop_s": 0.10, "requires": "numpy"}
+        deltas, _ = compare_bench.compute_deltas(baseline, fresh)
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert [(d.metric, d.field) for d in failed] == [
+            ("vectorized_scale", "event_loop_s")
+        ]
+
+    def test_cpu_count_mismatch_skips_the_gate(self):
+        """A baseline recorded on a 1-CPU container must not gate parallel
+        timings on a many-core runner (or vice versa) — the ratio measures
+        hardware, not code."""
+        baseline = dict(BASELINE)
+        baseline["parallel_scale"] = {"sweep_frontier_s": 1.0, "n_cpus": 1}
+        fresh = {key: dict(value) for key, value in BASELINE.items()}
+        fresh["parallel_scale"] = {"sweep_frontier_s": 3.0, "n_cpus": 16}
+        deltas, _ = compare_bench.compute_deltas(baseline, fresh)
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+        by_metric = {(d.metric, d.field): d for d in deltas}
+        assert by_metric[("parallel_scale", "sweep_frontier_s")].status(0.25) == (
+            "hw-mismatch"
+        )
+
+    def test_matching_cpu_counts_still_gate(self):
+        baseline = dict(BASELINE)
+        baseline["parallel_scale"] = {"sweep_frontier_s": 1.0, "n_cpus": 4}
+        fresh = {key: dict(value) for key, value in BASELINE.items()}
+        fresh["parallel_scale"] = {"sweep_frontier_s": 3.0, "n_cpus": 4}
+        deltas, _ = compare_bench.compute_deltas(baseline, fresh)
+        failed = compare_bench.gate_failures(deltas, 0.25)
+        assert [(d.metric, d.field) for d in failed] == [
+            ("parallel_scale", "sweep_frontier_s")
+        ]
+
+    def test_hw_mismatched_entries_do_not_skew_median_calibration(self):
+        """The median machine-speed proxy must come from comparable
+        entries only: a 3x parallel 'slowdown' caused by fewer cores must
+        not drag the calibration scale."""
+        baseline = dict(BASELINE)
+        baseline["parallel_scale"] = {"sweep_frontier_s": 1.0, "n_cpus": 16}
+        fresh = {key: dict(value) for key, value in BASELINE.items()}
+        fresh["parallel_scale"] = {"sweep_frontier_s": 5.0, "n_cpus": 1}
+        deltas, scale = compare_bench.compute_deltas(
+            baseline, fresh, calibrate="median"
+        )
+        assert scale == pytest.approx(1.0)
+        assert compare_bench.gate_failures(deltas, 0.25) == []
+
     def test_single_sample_timings_get_slack(self):
         """One-shot totals carry more variance than multi-round means: with
         the default 2x slack, +40% on a total_s passes while +40% on a

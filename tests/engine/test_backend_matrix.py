@@ -23,7 +23,11 @@ reference pattern"):
 
 The ``parallel`` column runs real worker processes (``parallel_threshold=0``
 forces them even on these small worlds), so every cell here is also an
-end-to-end differential test of the process-parallel executor.
+end-to-end differential test of the process-parallel executor.  The
+``vectorized`` column exercises the array-native kernels when numpy is
+installed; without it the engine's documented fallback makes the column a
+second run of the sharded backend, so the matrix passes either way (the
+``no-extras`` CI leg relies on that).
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ from repro.engine import (
 from ..strategies import worlds
 from .reference import RecordingOracle, reference_parallel, reference_sequential
 
-BACKENDS = ("monolithic", "sharded", "parallel")
+BACKENDS = ("monolithic", "sharded", "vectorized", "parallel")
 
 #: Worker processes per parallel-backend engine in this file: enough to
 #: split multi-component worlds, small enough to keep per-example spawn

@@ -36,6 +36,7 @@ from repro.engine import (
     ShardedClusterGraph,
     ShardedFrontier,
     must_crowdsource_frontier,
+    vectorized_available,
 )
 
 from ..strategies import worlds
@@ -305,7 +306,10 @@ class TestBackendSelection:
     def test_auto_threshold_flips_backend(self):
         order = [Pair(i, i + 1) for i in range(0, 40, 2)]
         assert LabelingEngine(order).backend == "monolithic"
-        assert LabelingEngine(order, shard_threshold=10).backend == "sharded"
+        # Above the threshold, auto prefers the vectorized backend when
+        # numpy is importable and degrades to pure-Python sharding else.
+        at_scale = "vectorized" if vectorized_available() else "sharded"
+        assert LabelingEngine(order, shard_threshold=10).backend == at_scale
         assert LabelingEngine(order, backend="sharded").backend == "sharded"
         assert (
             LabelingEngine(order, backend="monolithic", shard_threshold=0).backend
