@@ -8,7 +8,7 @@ results; the index must not be slower.
 
 from __future__ import annotations
 
-from repro.core.instant import AnswerPolicy, InstantLabeler
+from repro.engine.dispatch import AnswerPolicy, InstantDispatch
 from repro.core.ordering import expected_order
 
 
@@ -18,7 +18,7 @@ def _workload(prepared, threshold=0.3):
 
 def test_instant_labeler_with_index(benchmark, paper_prepared):
     order, truth = _workload(paper_prepared)
-    labeler = InstantLabeler(
+    labeler = InstantDispatch(
         instant_decision=True, answer_policy=AnswerPolicy.RANDOM, seed=0, use_index=True
     )
     run = benchmark.pedantic(lambda: labeler.run(order, truth), rounds=1, iterations=1)
@@ -27,7 +27,7 @@ def test_instant_labeler_with_index(benchmark, paper_prepared):
 
 def test_instant_labeler_naive_sweep(benchmark, paper_prepared):
     order, truth = _workload(paper_prepared)
-    naive = InstantLabeler(
+    naive = InstantDispatch(
         instant_decision=True,
         answer_policy=AnswerPolicy.RANDOM,
         seed=0,
@@ -35,7 +35,7 @@ def test_instant_labeler_naive_sweep(benchmark, paper_prepared):
     )
     run = benchmark.pedantic(lambda: naive.run(order, truth), rounds=1, iterations=1)
     # identical outcome to the indexed run
-    indexed = InstantLabeler(
+    indexed = InstantDispatch(
         instant_decision=True, answer_policy=AnswerPolicy.RANDOM, seed=0, use_index=True
     ).run(order, truth)
     assert run.result.labels() == indexed.result.labels()

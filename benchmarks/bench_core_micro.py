@@ -810,3 +810,99 @@ def test_platform_poll_overhead_inmemory_vs_replay():
     # within the same order of magnitude so cassette-driven CI runs and
     # docs examples remain cheap.
     assert replay_s < inmemory_s * 10
+
+
+# ----------------------------------------------------------------------
+# campaign service: journaled live run vs restart replay
+# ----------------------------------------------------------------------
+SERVICE_N_PAIRS = 2000
+
+
+def test_service_restart_replay_throughput():
+    """The campaign service's restart cost: one journaled in-memory campaign
+    run live (every platform event fsync-batched to the journal), then the
+    same campaign recovered from that journal alone.  Replay feeds journal
+    records through the identical answer-application path without platform
+    traffic, so it must land on the byte-identical engine fingerprint — and
+    ``service_restart_*`` records how fast it does."""
+    import asyncio
+    import tempfile
+
+    from repro.service import CampaignService
+    from repro.spec import CampaignSpec, PlatformConfig
+
+    items = PAIRS[:SERVICE_N_PAIRS]
+    spec = CampaignSpec(
+        order=[item.pair for item in items],
+        mode="instant",
+        platform=PlatformConfig(
+            kind="in-memory",
+            batch_size=20,
+            n_assignments=1,
+            options={
+                "answers": [
+                    [item.pair.left, item.pair.right, item.label.value]
+                    for item in items
+                ]
+            },
+        ),
+    )
+
+    def fingerprint(engine) -> str:
+        return json.dumps(engine.state_fingerprint(), sort_keys=True)
+
+    async def live_run(root):
+        service = CampaignService(root)
+        campaign = await service.create(spec, campaign_id="bench")
+        await service.wait("bench")
+        assert campaign.state.value == "done", campaign.error
+        fp = fingerprint(campaign.engine)
+        n_records = campaign._journal.next_seq - 1
+        await service.close()
+        return fp, n_records
+
+    async def restart(root):
+        service = CampaignService(root)
+        recovered = await service.recover()
+        assert recovered == ["bench"]
+        campaign = await service.wait("bench")
+        assert campaign.state.value == "done", campaign.error
+        fp = fingerprint(campaign.engine)
+        await service.close()
+        return fp
+
+    with tempfile.TemporaryDirectory() as root:
+        start = time.perf_counter()
+        live_fp, n_records = asyncio.run(live_run(root))
+        live_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        replay_fp = asyncio.run(restart(root))
+        replay_s = time.perf_counter() - start
+
+    assert replay_fp == live_fp, "replay must reproduce the live engine state"
+
+    _record(
+        "service_restart_live",
+        total_s=live_s,
+        n_journal_records=n_records,
+        records_per_sec=n_records / live_s,
+        n_pairs=SERVICE_N_PAIRS,
+    )
+    _record(
+        "service_restart_replay",
+        total_s=replay_s,
+        n_journal_records=n_records,
+        records_per_sec=n_records / replay_s,
+        n_pairs=SERVICE_N_PAIRS,
+    )
+    _record(
+        "service_restart_replay_ratio",
+        ratio=replay_s / live_s if live_s else float("inf"),
+        n_journal_records=n_records,
+    )
+    # Replay does strictly less work than the live run (no platform
+    # simulation, no polling, no journal writes for replayed records); it
+    # must stay within the same order of magnitude so restart never costs
+    # more than the campaign it resurrects.
+    assert replay_s < live_s * 10

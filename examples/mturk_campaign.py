@@ -32,7 +32,7 @@ import asyncio
 import sys
 from pathlib import Path
 
-from repro import expected_order
+from repro import CampaignSpec, PlatformConfig, expected_order
 from repro.core.pairs import Pair
 from repro.crowd import (
     ApproveAll,
@@ -48,7 +48,7 @@ from repro.crowd import (
     TimeoutPolicy,
 )
 from repro.datasets import generate_paper_dataset, paper_spec
-from repro.engine import CrowdRuntime, LabelingEngine, RuntimeMode
+from repro.engine import CrowdRuntime
 from repro.matcher import CandidateGenerator, TfIdfCosine, word_tokens
 
 CASSETTE = Path(__file__).resolve().parent / "fixtures" / "mturk_campaign.json"
@@ -125,24 +125,35 @@ def make_live_backend():  # pragma: no cover - needs real credentials
     return MTurkBackend(Credentials.from_env())
 
 
-async def run_campaign(candidates, backend, clock):
-    client = PollingPlatformClient(
-        backend,
-        batch_size=BATCH_SIZE,
-        n_assignments=N_ASSIGNMENTS,
-        poll_interval=POLL_INTERVAL_S,
-        clock=clock.now,
-        sleep=clock.sleep,
-    )
-    engine = LabelingEngine([c.pair for c in candidates])
-    runtime = CrowdRuntime(
-        engine,
-        client,
-        mode=RuntimeMode.HIT_INSTANT,  # re-decide after every completion
+def build_spec(candidates) -> CampaignSpec:
+    """The whole campaign as one CampaignSpec — the same document the
+    campaign service's HTTP create endpoint and journal header carry."""
+    return CampaignSpec(
+        order=candidates,
+        mode="instant",  # re-decide after every completion
         budget=BudgetPolicy(max_assignments=5000),
         timeout=TimeoutPolicy(hit_timeout=HIT_TIMEOUT_S, max_reissues=3),
         review=ApproveAll(),
+        platform=PlatformConfig(
+            kind="mturk",
+            batch_size=BATCH_SIZE,
+            n_assignments=N_ASSIGNMENTS,
+            options={"poll_interval": POLL_INTERVAL_S},
+        ),
     )
+
+
+async def run_campaign(spec: CampaignSpec, backend, clock):
+    client = PollingPlatformClient(
+        backend,
+        batch_size=spec.platform.batch_size,
+        n_assignments=spec.platform.n_assignments,
+        poll_interval=spec.platform.options["poll_interval"],
+        clock=clock.now,
+        sleep=clock.sleep,
+    )
+    engine = spec.build_engine()
+    runtime = CrowdRuntime(engine, client, spec=spec)
     report = await runtime.run()
     return engine, report
 
@@ -165,6 +176,11 @@ def main(argv=None) -> int:
     candidates, truth = build_workload()
     print(f"{len(candidates):,} candidate pairs to label")
 
+    # Round-trip the campaign through its JSON wire form: what runs below
+    # is exactly what an operator could POST to the campaign service.
+    spec = CampaignSpec.from_json(build_spec(candidates).to_json())
+    assert spec == build_spec(candidates), "spec JSON round-trip must be exact"
+
     if args.live:  # pragma: no cover - needs real credentials
         import time
 
@@ -179,7 +195,7 @@ def main(argv=None) -> int:
         backend = make_offline_backend(truth, clock, record=args.record)
         print(f"mode: {'RECORD' if args.record else 'REPLAY'} ({CASSETTE.name})\n")
 
-    engine, report = asyncio.run(run_campaign(candidates, backend, clock))
+    engine, report = asyncio.run(run_campaign(spec, backend, clock))
 
     result = engine.result
     correct = sum(

@@ -1,0 +1,192 @@
+"""The multi-tenant campaign service, driven end-to-end over HTTP — offline.
+
+This example runs the whole service stack a deployment would run:
+
+1. start a :class:`~repro.service.CampaignService` with its stdlib HTTP
+   front end (``CampaignHTTPServer``);
+2. POST a :class:`~repro.spec.CampaignSpec` JSON document to
+   ``/campaigns`` — the same document ``examples/mturk_campaign.py``
+   round-trips, here pointed at the built-in deterministic ``in-memory``
+   platform with scripted crowd answers;
+3. pause and resume the campaign over HTTP while it runs, then poll its
+   status until the crowd finishes;
+4. simulate a process crash: throw the service away (journals survive on
+   disk), start a **fresh** service over the same root, and ``recover()``
+   — the journal replays through the real runtime and must land on the
+   exact same engine state the first process reached.
+
+No network, no credentials, no third-party dependency: the "platform" is
+in-process, the clock is manual, and the whole run is deterministic.
+"""
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import CampaignSpec, PlatformConfig
+from repro.core.pairs import Label, Pair
+from repro.crowd.clients import (
+    InMemoryCrowdBackend,
+    ManualClock,
+    PollingPlatformClient,
+)
+from repro.service import CampaignHTTPServer, CampaignService
+
+# Twelve entity clusters; the campaign must discover them from pair
+# answers.  Large enough that the campaign is still mid-flight when the
+# pause request lands (an HTTP round-trip costs a handful of event-loop
+# steps; the campaign needs hundreds).
+CLUSTERS = [list(range(start, start + 5)) for start in range(0, 60, 5)]
+
+
+def build_spec() -> CampaignSpec:
+    """A small transitive-join campaign with fully scripted crowd answers."""
+    members = {obj: ci for ci, cluster in enumerate(CLUSTERS) for obj in cluster}
+    objects = sorted(members)
+    pairs = [
+        (a, b) for i, a in enumerate(objects) for b in objects[i + 1 :]
+        if abs(a - b) <= 6  # a blocking window, like a real matcher would cut
+    ]
+    answers = [
+        [a, b, "matching" if members[a] == members[b] else "non-matching"]
+        for a, b in pairs
+    ]
+    return CampaignSpec(
+        order=pairs,
+        mode="instant",
+        platform=PlatformConfig(
+            kind="paced-in-memory",
+            batch_size=4,
+            n_assignments=1,
+            options={"answers": answers},
+        ),
+    )
+
+
+def paced_in_memory_factory(spec: CampaignSpec):
+    """The built-in ``in-memory`` platform, paced by the real clock.
+
+    Simulated time still comes from a :class:`ManualClock` (so the run is
+    deterministic), but every poll cycle also sleeps a few real
+    milliseconds — giving the operator a window to pause a *live* campaign
+    over HTTP, which an unpaced in-memory campaign finishes too fast to
+    allow.  Custom platforms register exactly like this
+    (``service.register_client_factory``).
+    """
+    answers = {
+        Pair(a, b): Label(label)
+        for a, b, label in spec.platform.options.get("answers", [])
+    }
+    clock = ManualClock()
+    backend = InMemoryCrowdBackend(
+        answer_fn=lambda pair: answers[pair],
+        clock=clock.now,
+        latency=lambda rng: 1.0,
+        seed=0,
+    )
+
+    async def paced_sleep(seconds: float) -> None:
+        await clock.sleep(seconds)  # advance simulated time
+        await asyncio.sleep(0.003)  # pace the real event loop
+
+    return PollingPlatformClient(
+        backend,
+        batch_size=spec.platform.batch_size,
+        n_assignments=spec.platform.n_assignments,
+        poll_interval=1.0,
+        clock=clock.now,
+        sleep=paced_sleep,
+    )
+
+
+async def http(host: str, port: int, method: str, path: str, body: str = ""):
+    """One raw HTTP/1.1 request over asyncio streams; returns (status, json)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = body.encode("utf-8")
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n".encode("ascii") + payload
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, doc = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(doc)
+
+
+async def main_async(root: Path) -> int:
+    failures = []
+    spec_json = build_spec().to_json()
+
+    # -- first process: create over HTTP, pause/resume, run to completion --
+    service = CampaignService(root)
+    service.register_client_factory("paced-in-memory", paced_in_memory_factory)
+    server = CampaignHTTPServer(service)
+    host, port = await server.start()
+    print(f"campaign service over HTTP at http://{host}:{port}")
+
+    status, created = await http(host, port, "POST", "/campaigns", spec_json)
+    cid = created.get("campaign_id")
+    print(f"POST /campaigns -> {status} (campaign {cid}, {created['n_pairs']} pairs)")
+    if status != 201:
+        failures.append(f"create returned {status}")
+
+    _, paused = await http(host, port, "POST", f"/campaigns/{cid}/pause")
+    _, resumed = await http(host, port, "POST", f"/campaigns/{cid}/resume")
+    print(f"pause -> {paused['state']}, resume -> {resumed['state']}")
+    if (paused["state"], resumed["state"]) != ("paused", "running"):
+        failures.append("pause/resume did not flip the campaign state")
+
+    while True:
+        status, snap = await http(host, port, "GET", f"/campaigns/{cid}")
+        if snap["state"] != "running":
+            break
+        await asyncio.sleep(0.01)
+    print(
+        f"campaign {snap['state']}: {snap['n_crowdsourced']} crowdsourced, "
+        f"{snap['n_deduced']} deduced, {snap['assignments_committed']} "
+        f"assignments, journal seq {snap['journal_seq']}"
+    )
+    if snap["state"] != "done":
+        failures.append(f"campaign ended {snap['state']!r}, not done")
+    if snap["n_deduced"] == 0:
+        failures.append("transitivity deduced nothing — campaign logic broke")
+
+    fingerprint = service.get(cid).engine.state_fingerprint()
+    await server.stop()
+    await service.close()
+
+    # -- "crashed" process: fresh service, same root, recover by replay --
+    revived = CampaignService(root)
+    revived.register_client_factory("paced-in-memory", paced_in_memory_factory)
+    recovered_ids = await revived.recover()
+    print(f"fresh service recovered campaigns: {recovered_ids}")
+    if recovered_ids != [cid]:
+        failures.append(f"recover() found {recovered_ids}, expected [{cid}]")
+    campaign = await revived.wait(cid)
+    replay_fp = campaign.engine.state_fingerprint()
+    identical = replay_fp == fingerprint
+    print(f"replayed engine state identical to original: {identical}")
+    if not identical:
+        failures.append("journal replay diverged from the original run")
+    await revived.close()
+
+    if failures:
+        print("\nSERVICE EXAMPLE FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        return asyncio.run(main_async(Path(tmp)))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

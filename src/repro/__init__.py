@@ -5,16 +5,21 @@ The package implements the paper's hybrid transitive-relations +
 crowdsourcing labeling framework along with every substrate its evaluation
 depends on:
 
-* ``repro.core``        — ClusterGraph deduction, labeling orders, the
-                          sequential/parallel/instant labelers, and the
+* ``repro.core``        — ClusterGraph deduction, labeling orders, and the
                           framework facade.
 * ``repro.engine``      — the shared event-driven LabelingEngine with its
-                          incremental pending-pair frontier and pluggable
-                          dispatch strategies (the labelers above are thin
-                          facades over it).
+                          incremental pending-pair frontier, pluggable
+                          dispatch strategies, and the async crowd runtime.
 * ``repro.crowd``       — a simulated crowdsourcing platform (HIT batching,
                           assignment replication, majority voting, worker
-                          accuracy and latency models, discrete-event timing).
+                          accuracy and latency models, discrete-event timing)
+                          plus live platform clients.
+* ``repro.spec``        — :class:`CampaignSpec`, the one JSON-serialisable
+                          description of a campaign accepted by every entry
+                          point (engine, runtime, sync runners, the service).
+* ``repro.service``     — the multi-tenant campaign host: durable answer
+                          journals, crash recovery by replay, and an HTTP
+                          control API.
 * ``repro.matcher``     — machine-based candidate generation: tokenizers,
                           similarity functions, blocking, likelihoods.
 * ``repro.datasets``    — synthetic Cora-like ("Paper") and Abt-Buy-like
@@ -25,14 +30,22 @@ depends on:
 
 Quickstart::
 
-    from repro import (CandidatePair, GroundTruthOracle, Pair,
-                       TransitiveJoinFramework)
+    from repro import CampaignSpec, LabelingEngine, GroundTruthOracle
 
-    candidates = [CandidatePair(Pair("iPad 2", "iPad two"), 0.9), ...]
-    oracle = GroundTruthOracle({"iPad 2": 1, "iPad two": 1, ...})
-    run = TransitiveJoinFramework(labeler="parallel").label(candidates, oracle)
-    print(run.result.n_crowdsourced, "pairs asked,",
-          run.result.n_deduced, "deduced for free")
+    spec = CampaignSpec(order=[("iPad 2", "iPad two"), ...], mode="instant")
+    engine = spec.build_engine()          # or run a campaign:
+    # service = CampaignService("campaigns/"); await service.create(spec)
+
+Migration from the pre-spec labeler facades (each emits a
+:class:`DeprecationWarning`; full table in ``docs/service.md``):
+
+========================  ====================================================
+Deprecated                Replacement
+========================  ====================================================
+``SequentialLabeler``     ``SequentialDispatch(spec=CampaignSpec(mode="sequential", ...))``
+``ParallelLabeler``       ``RoundParallelDispatch(spec=CampaignSpec(mode="rounds", ...))``
+``InstantLabeler``        ``InstantDispatch(spec=CampaignSpec(mode="instant", ...))``
+========================  ====================================================
 """
 
 from .core import (
@@ -76,61 +89,96 @@ from .engine import (
     AsyncDispatch,
     CrowdRuntime,
     DispatchStrategy,
+    EngineBackend,
     HITDispatchAdapter,
     InstantDispatch,
     LabelingEngine,
+    PauseGate,
     RoundParallelDispatch,
     RuntimeMode,
     RuntimeReport,
     SequentialDispatch,
     must_crowdsource_frontier,
 )
+from .crowd.budget import BudgetPolicy, CostModel
+from .crowd.review import ApproveAll, ReviewPolicy
+from .crowd.latency import TimeoutPolicy
+from .spec import CampaignSpec, PlatformConfig, SpecError
+from .service import (
+    CampaignHTTPServer,
+    CampaignService,
+    CampaignState,
+    Journal,
+    JournalCorruptError,
+    JournalingPlatformClient,
+)
 
 __version__ = "1.0.0"
 
+#: The curated public API.  Everything here is stable; the pre-spec labeler
+#: facades (``SequentialLabeler`` & co.) remain importable for compatibility
+#: but are deprecated and intentionally absent from ``__all__``.
 __all__ = [
-    "AnswerPolicy",
-    "AsyncDispatch",
-    "CandidatePair",
-    "ClusterGraph",
-    "ConflictPolicy",
-    "CountingOracle",
-    "CrowdRuntime",
-    "DispatchStrategy",
-    "ExpectedOrderSorter",
-    "FrameworkRun",
-    "GroundTruthOracle",
-    "HITDispatchAdapter",
-    "InstantDispatch",
-    "InstantLabeler",
+    # the one campaign description
+    "CampaignSpec",
+    "PlatformConfig",
+    "SpecError",
+    # the engine and its runtime
     "LabelingEngine",
+    "EngineBackend",
+    "CrowdRuntime",
+    "RuntimeMode",
+    "PauseGate",
+    # dispatch strategies (spec-aware synchronous runners)
+    "AsyncDispatch",
+    "DispatchStrategy",
+    "SequentialDispatch",
+    "RoundParallelDispatch",
+    "InstantDispatch",
+    # the campaign service layer
+    "CampaignService",
+    "CampaignState",
+    "CampaignHTTPServer",
+    "Journal",
+    "JournalCorruptError",
+    "JournalingPlatformClient",
+    # campaign policies
+    "BudgetPolicy",
+    "CostModel",
+    "TimeoutPolicy",
+    "ReviewPolicy",
+    "ApproveAll",
+    # core vocabulary
+    "Pair",
+    "CandidatePair",
     "Label",
     "LabeledPair",
-    "LabelingResult",
-    "NoisyOracle",
-    "OptimalOrderSorter",
-    "Pair",
-    "ParallelLabeler",
     "Provenance",
-    "RandomOrderSorter",
-    "RoundParallelDispatch",
-    "RuntimeMode",
-    "RuntimeReport",
-    "SequentialDispatch",
-    "SequentialLabeler",
-    "TransitiveJoinFramework",
+    "ClusterGraph",
+    "ConflictPolicy",
+    "LabelingResult",
     "UnionFind",
-    "WorstOrderSorter",
-    "__version__",
-    "candidate",
     "deduce_label",
+    "make_pair",
+    "candidate",
+    "must_crowdsource_frontier",
+    # oracles, orders, and the framework facade
+    "GroundTruthOracle",
+    "NoisyOracle",
+    "CountingOracle",
+    "AnswerPolicy",
+    "ExpectedOrderSorter",
+    "OptimalOrderSorter",
+    "RandomOrderSorter",
+    "WorstOrderSorter",
     "expected_cost",
     "expected_order",
-    "label_baseline",
-    "label_parallel",
-    "label_sequential",
-    "label_with_transitivity",
-    "make_pair",
-    "must_crowdsource_frontier",
     "optimal_order",
+    "TransitiveJoinFramework",
+    "FrameworkRun",
+    "label_with_transitivity",
+    "label_baseline",
+    "HITDispatchAdapter",
+    "RuntimeReport",
+    "__version__",
 ]

@@ -19,14 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional, Sequence
 
+from ..engine.dispatch import (
+    AnswerPolicy,
+    InstantDispatch,
+    InstantRunResult,
+    RoundParallelDispatch,
+    SequentialDispatch,
+)
 from .cluster_graph import ConflictPolicy
-from .instant import AnswerPolicy, InstantLabeler, InstantRunResult
 from .oracle import CountingOracle, LabelOracle
 from .ordering import ExpectedOrderSorter, Sorter
 from .pairs import CandidatePair
-from .parallel import ParallelLabeler
 from .result import LabelingResult
-from .sequential import SequentialLabeler, label_non_transitive
+from .sequential import label_non_transitive
 
 LabelerName = Literal["sequential", "parallel", "instant", "instant+nf"]
 
@@ -95,22 +100,22 @@ class TransitiveJoinFramework:
         counting = CountingOracle(oracle)
         instant_run: Optional[InstantRunResult] = None
         if self._labeler_name == "sequential":
-            result = SequentialLabeler(policy=self._policy).run(order, counting)
+            result = SequentialDispatch(policy=self._policy).run(order, counting)
         elif self._labeler_name == "parallel":
-            result = ParallelLabeler(policy=self._policy).run(order, counting)
+            result = RoundParallelDispatch(policy=self._policy).run(order, counting)
         else:
             answer_policy = (
                 AnswerPolicy.NON_MATCHING_FIRST
                 if self._labeler_name == "instant+nf"
                 else AnswerPolicy.RANDOM
             )
-            labeler = InstantLabeler(
+            dispatch = InstantDispatch(
                 instant_decision=True,
                 answer_policy=answer_policy,
                 seed=self._seed,
                 policy=self._policy,
             )
-            instant_run = labeler.run(order, counting)
+            instant_run = dispatch.run(order, counting)
             result = instant_run.result
         assert counting.n_calls == result.n_crowdsourced, (
             "oracle calls must equal crowdsourced pairs "

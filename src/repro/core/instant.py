@@ -15,12 +15,15 @@ drains to zero between rounds and workers idle.  Two optimisations fix this:
 The event loop itself lives in
 :class:`repro.engine.dispatch.InstantDispatch`, which drives the shared
 :class:`repro.engine.LabelingEngine`; :class:`InstantLabeler` is a
-compatibility facade.  The answer-policy enum and the run-result records are
+**deprecated** compatibility facade — migrate to the dispatch class
+(optionally configured from a :class:`repro.spec.CampaignSpec` with
+``mode="instant"``).  The answer-policy enum and the run-result records are
 re-exported here for callers that import them from this module.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence, Union
 
 from ..engine.dispatch import (
@@ -66,6 +69,14 @@ class InstantLabeler:
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         use_index: bool = True,
     ) -> None:
+        warnings.warn(
+            "InstantLabeler is deprecated; use "
+            "repro.engine.dispatch.InstantDispatch (optionally with "
+            "spec=CampaignSpec(mode='instant', ...)) — see the migration "
+            "table in docs/service.md",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._dispatch = InstantDispatch(
             instant_decision=instant_decision,
             answer_policy=answer_policy,
@@ -90,8 +101,8 @@ def label_instant(
     answer_policy: AnswerPolicy = AnswerPolicy.RANDOM,
     seed: int = 0,
 ) -> InstantRunResult:
-    """Convenience wrapper around :class:`InstantLabeler`."""
-    labeler = InstantLabeler(
+    """Convenience wrapper around :class:`InstantDispatch`."""
+    dispatch = InstantDispatch(
         instant_decision=instant_decision, answer_policy=answer_policy, seed=seed
     )
-    return labeler.run(order, oracle)
+    return dispatch.run(order, oracle)

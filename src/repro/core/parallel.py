@@ -16,13 +16,16 @@ paper Figures 13 and 14.
 
 The must-crowdsource selection and the optimistic cluster graph live in
 :mod:`repro.engine.frontier` (shared by every dispatch strategy and the
-campaign runner); :class:`ParallelLabeler` is a compatibility facade over
-:class:`repro.engine.dispatch.RoundParallelDispatch`.  See the frontier
+campaign runner); :class:`ParallelLabeler` is a **deprecated** compatibility
+facade over :class:`repro.engine.dispatch.RoundParallelDispatch` — migrate
+to the dispatch class (optionally configured from a
+:class:`repro.spec.CampaignSpec` with ``mode="rounds"``).  See the frontier
 module for the reproduction note on Algorithm 3's pseudocode vs its prose.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 from ..engine.dispatch import RoundParallelDispatch
@@ -63,6 +66,14 @@ class ParallelLabeler:
     """
 
     def __init__(self, policy: ConflictPolicy = ConflictPolicy.STRICT) -> None:
+        warnings.warn(
+            "ParallelLabeler is deprecated; use "
+            "repro.engine.dispatch.RoundParallelDispatch (optionally with "
+            "spec=CampaignSpec(mode='rounds', ...)) — see the migration "
+            "table in docs/service.md",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._policy = policy
 
     def run(
@@ -94,5 +105,5 @@ def label_parallel(
     oracle: LabelOracle,
     policy: ConflictPolicy = ConflictPolicy.STRICT,
 ) -> LabelingResult:
-    """Convenience wrapper around :class:`ParallelLabeler`."""
-    return ParallelLabeler(policy=policy).run(order, oracle)
+    """Convenience wrapper around :class:`RoundParallelDispatch`."""
+    return RoundParallelDispatch(policy=policy).run(order, oracle)

@@ -9,13 +9,20 @@ This algorithm attains the minimum number of crowdsourced pairs *for its
 order*, but serialises crowd work: each crowdsourced pair is its own round,
 which is the latency problem the parallel labeler (Section 5) solves.
 
-:class:`SequentialLabeler` is a compatibility facade over
+:class:`SequentialLabeler` is a **deprecated** compatibility facade over
 :class:`repro.engine.dispatch.SequentialDispatch`; the labeling loop itself
-lives in the shared :class:`repro.engine.LabelingEngine`.
+lives in the shared :class:`repro.engine.LabelingEngine`.  Migrate::
+
+    SequentialLabeler(policy=p).run(order, oracle)
+    # becomes
+    SequentialDispatch(policy=p).run(order, oracle)
+    # or, spec-first:
+    SequentialDispatch(spec=CampaignSpec(order=order, mode="sequential")).run(order, oracle)
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence, Union
 
 from ..engine.dispatch import SequentialDispatch
@@ -39,6 +46,14 @@ class SequentialLabeler:
     """
 
     def __init__(self, policy: ConflictPolicy = ConflictPolicy.STRICT) -> None:
+        warnings.warn(
+            "SequentialLabeler is deprecated; use "
+            "repro.engine.dispatch.SequentialDispatch (optionally with "
+            "spec=CampaignSpec(mode='sequential', ...)) — see the migration "
+            "table in docs/service.md",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._policy = policy
 
     def run(
@@ -63,8 +78,8 @@ def label_sequential(
     oracle: LabelOracle,
     policy: ConflictPolicy = ConflictPolicy.STRICT,
 ) -> LabelingResult:
-    """Convenience wrapper around :class:`SequentialLabeler`."""
-    return SequentialLabeler(policy=policy).run(order, oracle)
+    """Convenience wrapper around :class:`SequentialDispatch`."""
+    return SequentialDispatch(policy=policy).run(order, oracle)
 
 
 def crowdsourced_count(

@@ -28,7 +28,10 @@ the application of out-of-order crowd answers are the same code path a live
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..spec import CampaignSpec
 
 from ..core.cluster_graph import ConflictPolicy
 from ..core.pairs import CandidatePair, Label, Pair, Provenance
@@ -132,10 +135,12 @@ def run_non_transitive(
 
 
 def run_transitive(
-    candidates: Sequence[CandidatePair | Pair],
-    platform: SimulatedPlatform,
-    instant_decision: bool = True,
-    policy: ConflictPolicy = ConflictPolicy.FIRST_WINS,
+    candidates: Sequence[CandidatePair | Pair] | None = None,
+    platform: SimulatedPlatform | None = None,
+    instant_decision: bool | None = None,
+    policy: ConflictPolicy | None = None,
+    *,
+    spec: "CampaignSpec | None" = None,
 ) -> CampaignReport:
     """The paper's framework against the simulated platform.
 
@@ -144,21 +149,53 @@ def run_transitive(
     must-crowdsource set is re-evaluated after *every* HIT completion
     (Parallel(ID)); otherwise only when the platform has drained (Parallel).
 
+    A :class:`~repro.spec.CampaignSpec` may be passed instead of (or in
+    addition to) the loose arguments: ``candidates`` defaults to the spec's
+    order, the engine is configured from the spec (backend, thresholds,
+    conflict policy), the runtime mode follows ``spec.mode``, and the spec's
+    budget/timeout/review policies drive the runtime.  Explicit arguments
+    override the spec field-by-field.
+
     Crowd answers always win for pairs that were published; deductions fill
     in the rest.  With noisy workers the answers may be mutually inconsistent
     — the FIRST_WINS policy keeps the first-inserted edges and logs
     conflicts, mirroring how cascaded deduction errors arise in the paper's
     Table 2.
     """
-    engine = LabelingEngine(_pairs_of(candidates), policy=policy)
+    if platform is None:
+        raise TypeError("run_transitive() requires a platform")
+    if spec is not None:
+        if candidates is not None:
+            spec = spec.with_order(candidates)
+        engine_kwargs = spec.engine_kwargs()
+        if policy is not None:
+            engine_kwargs["policy"] = policy
+        engine = LabelingEngine(list(spec.pairs), **engine_kwargs)
+        if instant_decision is None:
+            mode = spec.runtime_mode()
+        else:
+            mode = (
+                _runtime.RuntimeMode.HIT_INSTANT
+                if instant_decision
+                else _runtime.RuntimeMode.HIT_ROUNDS
+            )
+    else:
+        if candidates is None:
+            raise TypeError("run_transitive() requires candidates or a spec")
+        engine = LabelingEngine(
+            _pairs_of(candidates),
+            policy=ConflictPolicy.FIRST_WINS if policy is None else policy,
+        )
+        mode = (
+            _runtime.RuntimeMode.HIT_ROUNDS
+            if instant_decision is False
+            else _runtime.RuntimeMode.HIT_INSTANT
+        )
     runtime = _runtime.CrowdRuntime(
         engine,
         SimulatedPlatformClient(platform),
-        mode=(
-            _runtime.RuntimeMode.HIT_INSTANT
-            if instant_decision
-            else _runtime.RuntimeMode.HIT_ROUNDS
-        ),
+        spec=spec,
+        mode=mode,
     )
     return _report_from(engine, runtime.run_sync(), platform)
 

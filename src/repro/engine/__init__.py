@@ -41,7 +41,13 @@ The legacy labeler classes in :mod:`repro.core` remain available as thin
 compatibility facades over these strategies.
 """
 
-from .async_dispatch import AsyncDispatch, CrowdRuntime, RuntimeMode, RuntimeReport
+from .async_dispatch import (
+    AsyncDispatch,
+    CrowdRuntime,
+    PauseGate,
+    RuntimeMode,
+    RuntimeReport,
+)
 from .dispatch import (
     AnswerPolicy,
     AvailabilityPoint,
@@ -51,7 +57,7 @@ from .dispatch import (
     RoundParallelDispatch,
     SequentialDispatch,
 )
-from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
+from .engine import DEFAULT_SHARD_THRESHOLD, EngineBackend, LabelingEngine
 from .frontier import FrontierCursor, OptimisticGraph, must_crowdsource_frontier
 from .hit_adapter import HITDispatchAdapter
 from .parallel import (
@@ -75,6 +81,7 @@ __all__ = [
     "DEFAULT_PARALLEL_THRESHOLD",
     "DEFAULT_SHARD_THRESHOLD",
     "DispatchStrategy",
+    "EngineBackend",
     "FrontierCursor",
     "HITDispatchAdapter",
     "InstantDispatch",
@@ -82,6 +89,7 @@ __all__ = [
     "LabelingEngine",
     "OptimisticGraph",
     "ParallelShardedClusterGraph",
+    "PauseGate",
     "ProcessShardExecutor",
     "RoundParallelDispatch",
     "RuntimeMode",

@@ -57,6 +57,10 @@ from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
 from .hit_adapter import HITDispatchAdapter
 from .parallel import DEFAULT_PARALLEL_THRESHOLD
 
+#: Sentinel distinguishing "argument not given" from an explicit ``None``
+#: (with a spec, an explicit ``None`` *overrides* the spec's policy).
+_UNSET = object()
+
 
 class RuntimeMode(enum.Enum):
     """When the runtime publishes which pairs (the dispatch semantics).
@@ -121,6 +125,39 @@ class RuntimeReport:
     leftovers: List[HITCompletion] = field(default_factory=list)
 
 
+class PauseGate:
+    """A pause/resume switch shared between a runtime and its operator.
+
+    The campaign service hands one gate to each hosted
+    :class:`CrowdRuntime`.  While paused, the runtime issues **no new
+    HITs** — completion-triggered publishes are deferred, and the
+    idle-republish path is skipped — but it keeps consuming events, so
+    in-flight completions are still applied, reviewed, and journaled.
+    Deferred publishes fire on :meth:`resume`.
+
+    The gate is asyncio-native (no locks: all transitions happen on the
+    loop thread) and reusable across pause/resume cycles.
+    """
+
+    def __init__(self) -> None:
+        self._resumed = asyncio.Event()
+        self._resumed.set()
+
+    @property
+    def paused(self) -> bool:
+        return not self._resumed.is_set()
+
+    def pause(self) -> None:
+        self._resumed.clear()
+
+    def resume(self) -> None:
+        self._resumed.set()
+
+    async def wait_resumed(self) -> None:
+        """Block until :meth:`resume` (returns immediately when running)."""
+        await self._resumed.wait()
+
+
 class CrowdRuntime:
     """Asyncio event loop driving a :class:`LabelingEngine` over a client.
 
@@ -128,6 +165,10 @@ class CrowdRuntime:
         engine: the labeling engine (any backend; the runtime only uses
             the ``frontier``/``publish``/``record_answer``/``sweep`` seam).
         client: the platform client to submit to and await events from.
+        spec: optional :class:`~repro.spec.CampaignSpec` supplying the
+            dispatch mode and runtime policies in one object; any of the
+            explicit keyword arguments below overrides the spec's value
+            (an explicit ``None`` clears a spec-carried policy).
         mode: dispatch semantics (:class:`RuntimeMode` or its value).
         budget: optional spending cap checked before every submission.
         timeout: optional per-HIT expiry deadline + re-issue cap; without
@@ -142,6 +183,9 @@ class CrowdRuntime:
         max_rounds: ROUNDS-mode safety cap (the algorithm provably
             terminates; the cap exists to fail fast on bugs).
         preplanned: SERIAL-mode HIT contents, one inner sequence per HIT.
+        gate: optional :class:`PauseGate` for operator pause/resume; while
+            paused the runtime defers all new HIT issuance but still
+            applies in-flight completions.
 
     The runtime is single-shot: build, ``await run()`` (or ``run_sync()``
     from synchronous code), read the report.
@@ -152,13 +196,25 @@ class CrowdRuntime:
         engine: LabelingEngine,
         client: PlatformClient,
         *,
-        mode: Union[RuntimeMode, str] = RuntimeMode.HIT_INSTANT,
-        budget: Optional[BudgetPolicy] = None,
-        timeout: Optional[TimeoutPolicy] = None,
-        review: Optional[ReviewPolicy] = None,
-        max_rounds: Optional[int] = None,
+        spec=None,
+        mode: Union[RuntimeMode, str, None] = None,
+        budget=_UNSET,
+        timeout=_UNSET,
+        review=_UNSET,
+        max_rounds=_UNSET,
         preplanned: Optional[Sequence[Sequence[Pair]]] = None,
+        gate: Optional[PauseGate] = None,
     ) -> None:
+        if mode is None:
+            mode = spec.mode if spec is not None else RuntimeMode.HIT_INSTANT
+        if budget is _UNSET:
+            budget = spec.budget if spec is not None else None
+        if timeout is _UNSET:
+            timeout = spec.timeout if spec is not None else None
+        if review is _UNSET:
+            review = spec.review if spec is not None else None
+        if max_rounds is _UNSET:
+            max_rounds = spec.max_rounds if spec is not None else None
         self._engine = engine
         self._client = client
         self._mode = RuntimeMode(mode)
@@ -166,6 +222,8 @@ class CrowdRuntime:
         self._timeout = timeout
         self._review = review
         self._max_rounds = max_rounds
+        self._gate = gate
+        self._kick_pending = False
         if (preplanned is not None) != (self._mode is RuntimeMode.SERIAL):
             raise ValueError("preplanned batches are for SERIAL mode exactly")
         self._preplanned = [list(chunk) for chunk in preplanned or ()]
@@ -268,18 +326,45 @@ class CrowdRuntime:
             self._engine.close()
         return self.report
 
+    def _paused(self) -> bool:
+        return self._gate is not None and self._gate.paused
+
+    async def _kick(self) -> None:
+        """Fire the publish that a pause deferred (mode-appropriate)."""
+        self._kick_pending = False
+        if self._engine.is_done:
+            return
+        if self._mode is RuntimeMode.SEQUENTIAL:
+            await self._advance_sequential()
+        elif self._mode is RuntimeMode.ROUNDS:
+            await self._start_round()
+        elif self._adapter is not None:
+            self._adapter.select_new()
+            await self._flush_chunks()
+
     async def _event_loop(self) -> None:
         engine = self._engine
         while not engine.is_done:
-            if (
-                self._adapter is not None
-                and self._client.n_outstanding_hits == 0
-            ):
-                # The platform would otherwise sit idle: re-select and
-                # force out even a partial HIT (paper Section 6.4).
-                self._adapter.select_new()
-                self._adapter.flush(force=True)
-                await self._flush_chunks()
+            if self._paused():
+                # Paused: issue nothing new.  With work still in flight,
+                # keep consuming events (completions must not be dropped);
+                # once the platform is quiet, sleep until resumed.
+                if self._client.n_outstanding_hits == 0:
+                    await self._gate.wait_resumed()
+                    continue
+            else:
+                if self._kick_pending:
+                    await self._kick()
+                    continue
+                if (
+                    self._adapter is not None
+                    and self._client.n_outstanding_hits == 0
+                ):
+                    # The platform would otherwise sit idle: re-select and
+                    # force out even a partial HIT (paper Section 6.4).
+                    self._adapter.select_new()
+                    self._adapter.flush(force=True)
+                    await self._flush_chunks()
             event = await self._client.next_event()
             if event is None:
                 raise RuntimeError(
@@ -293,6 +378,8 @@ class CrowdRuntime:
             await self._on_completion(event)
 
     async def _start(self) -> None:
+        if self._gate is not None:
+            await self._gate.wait_resumed()
         if self._mode is RuntimeMode.FLOOD:
             # The baseline publishes unconditionally (even an empty order
             # records its single publish burst, as the old runner did).
@@ -371,7 +458,10 @@ class CrowdRuntime:
                 self._engine.result.rounds.append([pair])
                 self._round_index += 1
             self.report.n_completions += 1
-            await self._advance_sequential()
+            if self._paused():
+                self._kick_pending = True
+            else:
+                await self._advance_sequential()
         elif mode is RuntimeMode.ROUNDS:
             applied = self._apply_labels(event, self._round_index)
             self._round_outstanding.difference_update(applied)
@@ -383,7 +473,10 @@ class CrowdRuntime:
                 self._engine.sweep(self._round_index)
                 self._round_index += 1
                 if not self._engine.is_done:
-                    await self._start_round()
+                    if self._paused():
+                        self._kick_pending = True
+                    else:
+                        await self._start_round()
         elif mode is RuntimeMode.FLOOD:
             self._apply_labels(event, self.report.n_completions)
             self.report.n_completions += 1
@@ -396,8 +489,11 @@ class CrowdRuntime:
             self._adapter.sweep(self.report.n_completions)
             self.report.n_completions += 1
             if not self._engine.is_done and mode is RuntimeMode.HIT_INSTANT:
-                self._adapter.select_new()
-                await self._flush_chunks()
+                if self._paused():
+                    self._kick_pending = True
+                else:
+                    self._adapter.select_new()
+                    await self._flush_chunks()
 
     # ------------------------------------------------------------------
     # mode drivers
@@ -436,6 +532,8 @@ class CrowdRuntime:
         """SERIAL mode: each preplanned HIT fully completes before the
         next is published (Table 1's Non-Parallel baseline)."""
         for chunk in self._preplanned:
+            if self._gate is not None:
+                await self._gate.wait_resumed()
             hits = await self._submit(chunk)
             waiting = {hit.hit_id for hit in hits}
             while waiting:
@@ -467,13 +565,19 @@ class AsyncDispatch:
         mode: ``RuntimeMode.SEQUENTIAL`` or ``RuntimeMode.ROUNDS`` (the two
             pair-granularity labelers; HIT-granularity campaigns live in
             :mod:`repro.crowd.campaign`).
+        spec: optional :class:`~repro.spec.CampaignSpec` supplying the mode,
+            engine configuration, and runtime policies in one object; the
+            explicit keyword arguments below override the spec's values.
+            (The spec's ``order`` and ``platform`` are ignored here —
+            ``run_async`` takes the order, the client factory the platform.)
         client_factory: builds the platform client for a run, given the
             oracle; defaults to the deterministic simulated client
             (:meth:`SimulatedPlatformClient.for_oracle`).  Clients that do
             not consult the oracle (live platforms) may ignore it.
         policy: conflict policy for the engine's deduction graph.
         backend: engine backend (``"auto"``, ``"monolithic"``, ``"sharded"``,
-            ``"vectorized"``, or ``"parallel"``).
+            ``"vectorized"``, or ``"parallel"``, as a string or
+            :class:`~repro.engine.engine.EngineBackend`).
         shard_threshold: the ``auto`` backend's cut-over point.
         budget: optional runtime spending cap.
         timeout: optional per-HIT expiry deadline + re-issue cap.
@@ -486,25 +590,50 @@ class AsyncDispatch:
 
     def __init__(
         self,
-        mode: Union[RuntimeMode, str] = RuntimeMode.ROUNDS,
+        mode: Union[RuntimeMode, str, None] = None,
         *,
+        spec=None,
         client_factory=None,
-        policy: ConflictPolicy = ConflictPolicy.STRICT,
-        backend: str = "auto",
-        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
-        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        policy: Optional[ConflictPolicy] = None,
+        backend: Optional[str] = None,
+        shard_threshold: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
-        budget: Optional[BudgetPolicy] = None,
-        timeout: Optional[TimeoutPolicy] = None,
-        review: Optional[ReviewPolicy] = None,
-        max_rounds: Optional[int] = None,
+        budget=_UNSET,
+        timeout=_UNSET,
+        review=_UNSET,
+        max_rounds=_UNSET,
     ) -> None:
+        if mode is None:
+            mode = spec.mode if spec is not None else RuntimeMode.ROUNDS
         mode = RuntimeMode(mode)
         if mode not in (RuntimeMode.SEQUENTIAL, RuntimeMode.ROUNDS):
             raise ValueError(
                 "AsyncDispatch labels at pair granularity: mode must be "
                 f"SEQUENTIAL or ROUNDS, got {mode}"
             )
+        if policy is None:
+            policy = spec.policy if spec is not None else ConflictPolicy.STRICT
+        if backend is None:
+            backend = spec.backend if spec is not None else "auto"
+        if shard_threshold is None:
+            shard_threshold = spec.shard_threshold if spec is not None else None
+            if shard_threshold is None:
+                shard_threshold = DEFAULT_SHARD_THRESHOLD
+        if parallel_threshold is None:
+            parallel_threshold = spec.parallel_threshold if spec is not None else None
+            if parallel_threshold is None:
+                parallel_threshold = DEFAULT_PARALLEL_THRESHOLD
+        if n_workers is None and spec is not None:
+            n_workers = spec.n_workers
+        if budget is _UNSET:
+            budget = spec.budget if spec is not None else None
+        if timeout is _UNSET:
+            timeout = spec.timeout if spec is not None else None
+        if review is _UNSET:
+            review = spec.review if spec is not None else None
+        if max_rounds is _UNSET:
+            max_rounds = spec.max_rounds if spec is not None else None
         self._mode = mode
         self._client_factory = client_factory
         self._policy = policy
@@ -512,6 +641,7 @@ class AsyncDispatch:
         self._shard_threshold = shard_threshold
         self._parallel_threshold = parallel_threshold
         self._n_workers = n_workers
+        self._mp_start_method = spec.mp_start_method if spec is not None else None
         self._budget = budget
         self._timeout = timeout
         self._review = review
@@ -539,6 +669,7 @@ class AsyncDispatch:
             shard_threshold=self._shard_threshold,
             parallel_threshold=self._parallel_threshold,
             n_workers=self._n_workers,
+            mp_start_method=self._mp_start_method,
         )
         runtime = CrowdRuntime(
             engine,

@@ -48,6 +48,43 @@ from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
 from .parallel import DEFAULT_PARALLEL_THRESHOLD
 
 
+def _engine_config(
+    spec,
+    *,
+    policy=None,
+    backend=None,
+    shard_threshold=None,
+    parallel_threshold=None,
+    n_workers=None,
+) -> dict:
+    """Resolve engine kwargs: explicit argument > spec value > default.
+
+    Every dispatch strategy used to re-plumb these knobs by hand; a
+    :class:`~repro.spec.CampaignSpec` now carries them once, and explicit
+    keyword arguments keep working as per-call overrides.
+    """
+    if spec is not None:
+        resolved = spec.engine_kwargs()
+    else:
+        resolved = {
+            "policy": ConflictPolicy.STRICT,
+            "backend": "auto",
+            "shard_threshold": DEFAULT_SHARD_THRESHOLD,
+            "parallel_threshold": DEFAULT_PARALLEL_THRESHOLD,
+            "n_workers": None,
+            "mp_start_method": None,
+        }
+    overrides = {
+        "policy": policy,
+        "backend": backend,
+        "shard_threshold": shard_threshold,
+        "parallel_threshold": parallel_threshold,
+        "n_workers": n_workers,
+    }
+    resolved.update({k: v for k, v in overrides.items() if v is not None})
+    return resolved
+
+
 @runtime_checkable
 class DispatchStrategy(Protocol):
     """A labeling loop: drives a :class:`LabelingEngine` against an oracle."""
@@ -72,17 +109,22 @@ class SequentialDispatch:
 
     def __init__(
         self,
-        policy: ConflictPolicy = ConflictPolicy.STRICT,
-        backend: str = "auto",
-        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
-        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        policy: Optional[ConflictPolicy] = None,
+        backend: Optional[str] = None,
+        shard_threshold: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
+        *,
+        spec=None,
     ) -> None:
-        self._policy = policy
-        self._backend = backend
-        self._shard_threshold = shard_threshold
-        self._parallel_threshold = parallel_threshold
-        self._n_workers = n_workers
+        self._engine_kwargs = _engine_config(
+            spec,
+            policy=policy,
+            backend=backend,
+            shard_threshold=shard_threshold,
+            parallel_threshold=parallel_threshold,
+            n_workers=n_workers,
+        )
 
     def run(
         self,
@@ -103,13 +145,9 @@ class SequentialDispatch:
         # foreign graphs (e.g. the one-to-one extension's).
         engine = LabelingEngine(
             order,
-            policy=self._policy,
             graph=graph,
             use_index=False,
-            backend=self._backend,
-            shard_threshold=self._shard_threshold,
-            parallel_threshold=self._parallel_threshold,
-            n_workers=self._n_workers,
+            **self._engine_kwargs,
         )
         CrowdRuntime(
             engine,
@@ -130,17 +168,22 @@ class RoundParallelDispatch:
 
     def __init__(
         self,
-        policy: ConflictPolicy = ConflictPolicy.STRICT,
-        backend: str = "auto",
-        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
-        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        policy: Optional[ConflictPolicy] = None,
+        backend: Optional[str] = None,
+        shard_threshold: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
+        *,
+        spec=None,
     ) -> None:
-        self._policy = policy
-        self._backend = backend
-        self._shard_threshold = shard_threshold
-        self._parallel_threshold = parallel_threshold
-        self._n_workers = n_workers
+        self._engine_kwargs = _engine_config(
+            spec,
+            policy=policy,
+            backend=backend,
+            shard_threshold=shard_threshold,
+            parallel_threshold=parallel_threshold,
+            n_workers=n_workers,
+        )
 
     def run(
         self,
@@ -161,14 +204,7 @@ class RoundParallelDispatch:
         Raises:
             RuntimeError: if ``max_rounds`` is exceeded.
         """
-        engine = LabelingEngine(
-            order,
-            policy=self._policy,
-            backend=self._backend,
-            shard_threshold=self._shard_threshold,
-            parallel_threshold=self._parallel_threshold,
-            n_workers=self._n_workers,
-        )
+        engine = LabelingEngine(order, **self._engine_kwargs)
         CrowdRuntime(
             engine,
             SimulatedPlatformClient.for_oracle(oracle),
@@ -279,22 +315,27 @@ class InstantDispatch:
         instant_decision: bool = True,
         answer_policy: AnswerPolicy = AnswerPolicy.RANDOM,
         seed: int = 0,
-        policy: ConflictPolicy = ConflictPolicy.STRICT,
+        policy: Optional[ConflictPolicy] = None,
         use_index: bool = True,
-        backend: str = "auto",
-        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
-        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        backend: Optional[str] = None,
+        shard_threshold: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
+        *,
+        spec=None,
     ) -> None:
         self._instant = instant_decision
         self._answer_policy = answer_policy
         self._seed = seed
-        self._graph_policy = policy
         self._use_index = use_index
-        self._backend = backend
-        self._shard_threshold = shard_threshold
-        self._parallel_threshold = parallel_threshold
-        self._n_workers = n_workers
+        self._engine_kwargs = _engine_config(
+            spec,
+            policy=policy,
+            backend=backend,
+            shard_threshold=shard_threshold,
+            parallel_threshold=parallel_threshold,
+            n_workers=n_workers,
+        )
 
     def run(
         self,
@@ -304,12 +345,8 @@ class InstantDispatch:
         """Label every pair in ``order``; return result plus the trace."""
         engine = LabelingEngine(
             order,
-            policy=self._graph_policy,
             use_index=self._use_index,
-            backend=self._backend,
-            shard_threshold=self._shard_threshold,
-            parallel_threshold=self._parallel_threshold,
-            n_workers=self._n_workers,
+            **self._engine_kwargs,
         )
         try:
             return self._run(engine, oracle)

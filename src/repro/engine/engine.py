@@ -33,6 +33,7 @@ whatever order they arrive.  Events flow in through three entry points:
 
 from __future__ import annotations
 
+import enum
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.cluster_graph import ClusterGraph, ConflictPolicy
@@ -58,6 +59,22 @@ from .vectorized import (
 DEFAULT_SHARD_THRESHOLD = 100_000
 
 _BACKENDS = ("auto", "monolithic", "sharded", "vectorized", "parallel")
+
+
+class EngineBackend(str, enum.Enum):
+    """The engine backends, as an enum for the curated public surface.
+
+    Members compare (and serialize) equal to their plain-string spellings,
+    so ``LabelingEngine(order, backend=EngineBackend.SHARDED)`` and
+    ``backend="sharded"`` are interchangeable everywhere a backend is
+    accepted — including :class:`repro.spec.CampaignSpec`.
+    """
+
+    AUTO = "auto"
+    MONOLITHIC = "monolithic"
+    SHARDED = "sharded"
+    VECTORIZED = "vectorized"
+    PARALLEL = "parallel"
 
 
 class LabelingEngine:
@@ -116,6 +133,8 @@ class LabelingEngine:
         n_workers: Optional[int] = None,
         mp_start_method: Optional[str] = None,
     ) -> None:
+        if isinstance(backend, EngineBackend):
+            backend = backend.value
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
         # Duplicate pairs in the order collapse to their first occurrence:
@@ -223,6 +242,68 @@ class LabelingEngine:
     def deduce(self, pair: Pair) -> Optional[Label]:
         """What the received answers imply about ``pair`` (Algorithm 1)."""
         return self.graph.deduce(pair)
+
+    def state_fingerprint(self) -> dict:
+        """A canonical, backend-independent digest of the engine state.
+
+        Built for differential testing — two engines that processed the same
+        answers (in any backend, in any arrival order that the conflict
+        policy resolves identically) produce *equal* fingerprints, and the
+        journal replay tests require the resumed engine's fingerprint to be
+        byte-identical (after ``json.dumps(..., sort_keys=True)``) to the
+        uninterrupted run's.
+
+        The digest is computed purely from state held in this process
+        (``labeled``/``published`` and the order), never from graph queries:
+        it stays readable after :meth:`close`, including on the parallel
+        backend whose graph lives in (possibly terminated) workers.  The
+        frontier is derived by re-running the shared Algorithm-3 selection
+        over the labeled map, so it is exact without touching the backend.
+        """
+        labels = sorted(
+            (repr(pair), label.value) for pair, label in self.labeled.items()
+        )
+        # The matching-partition: connected components of the answered
+        # MATCHING pairs, via a throwaway union-find over object reprs.
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for pair, label in self.labeled.items():
+            if label is Label.MATCHING:
+                ra, rb = find(repr(pair.left)), find(repr(pair.right))
+                if ra != rb:
+                    parent[rb] = ra
+        clusters: Dict[str, List[str]] = {}
+        for member in parent:
+            clusters.setdefault(find(member), []).append(member)
+        partition = sorted(sorted(members) for members in clusters.values())
+        if self.is_done:
+            frontier: List[Pair] = []
+        else:
+            # Recompute Algorithm 3 from the labeled map alone (the shared
+            # reference selection) so closed/parallel backends need not be
+            # queried.  Unanswered published pairs keep their assumed-
+            # matching role but are not selected, exactly as frontier().
+            from .frontier import must_crowdsource_frontier
+
+            frontier = must_crowdsource_frontier(
+                self.pairs, self.labeled, exclude=self.published
+            )
+        return {
+            "labels": labels,
+            "partition": partition,
+            "frontier": [repr(pair) for pair in frontier],
+            "published": sorted(repr(pair) for pair in self.published),
+            "n_labeled": self.n_labeled,
+            "n_crowdsourced": self.result.n_crowdsourced,
+            "n_deduced": self.result.n_deduced,
+        }
 
     @property
     def executor(self):

@@ -13,7 +13,7 @@ to zero (idle workers); ID keeps it stocked; ID+NF keeps it fullest.
 
 from __future__ import annotations
 
-from ..core.instant import AnswerPolicy, InstantLabeler
+from ..engine.dispatch import AnswerPolicy, InstantDispatch
 from ..core.ordering import expected_order
 from .config import ExperimentConfig
 from .harness import prepare
@@ -29,13 +29,13 @@ def run(
     prepared = prepare(config)
     candidates = expected_order(prepared.candidates_above(threshold))
     labelers = {
-        "parallel": InstantLabeler(
+        "parallel": InstantDispatch(
             instant_decision=False, answer_policy=AnswerPolicy.RANDOM, seed=config.seed
         ),
-        "parallel_id": InstantLabeler(
+        "parallel_id": InstantDispatch(
             instant_decision=True, answer_policy=AnswerPolicy.RANDOM, seed=config.seed
         ),
-        "parallel_id_nf": InstantLabeler(
+        "parallel_id_nf": InstantDispatch(
             instant_decision=True,
             answer_policy=AnswerPolicy.NON_MATCHING_FIRST,
             seed=config.seed,

@@ -1,0 +1,410 @@
+"""CampaignSpec: the one way to describe a labeling campaign.
+
+Before this module, every entry point re-plumbed the same ~8 keyword
+arguments (``policy``, ``backend``, ``shard_threshold``,
+``parallel_threshold``, ``n_workers``, ``mp_start_method``, ``budget``,
+``timeout``, ``review``, ``max_rounds``) through every dispatch strategy,
+and a campaign could not be described *as data* — which a long-running
+service, an HTTP create endpoint, and a durable journal header all need.
+
+:class:`CampaignSpec` is a frozen dataclass capturing everything a campaign
+is, independent of *which* crowd answers it:
+
+* the labeling order (pairs with machine likelihoods);
+* the dispatch semantics (:class:`~repro.engine.async_dispatch.RuntimeMode`);
+* the engine configuration (conflict policy, backend, thresholds, workers);
+* the runtime policies (budget, timeout, review, round cap);
+* the platform shape (:class:`PlatformConfig`: client kind, HIT batch size,
+  replication, free-form options the client factory interprets).
+
+Specs round-trip to/from JSON (:meth:`CampaignSpec.to_json` /
+:meth:`CampaignSpec.from_json`), so the service's HTTP create endpoint and
+the journal header written by :class:`repro.service.journal.Journal` share
+one schema.  Every public entry point accepts a spec:
+``LabelingEngine`` via :meth:`CampaignSpec.build_engine`,
+:class:`~repro.engine.async_dispatch.CrowdRuntime` and
+:class:`~repro.engine.async_dispatch.AsyncDispatch` via their ``spec=``
+argument, the synchronous dispatch strategies and
+:func:`repro.crowd.campaign.run_transitive` likewise, and
+:class:`repro.service.CampaignService` hosts one campaign per spec.
+
+JSON-serializability constrains the pair objects: the order's objects must
+be JSON scalars (``str``/``int``/``float``/``bool``) so they survive the
+round trip with identity intact.  That is not a loss of generality — real
+workloads key records by id — and :func:`encode_object` fails loudly on
+anything else.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .core.cluster_graph import ConflictPolicy
+from .core.pairs import CandidatePair, Label, Pair
+from .crowd.budget import BudgetPolicy, CostModel
+from .crowd.hit import DEFAULT_ASSIGNMENTS, DEFAULT_BATCH_SIZE
+from .crowd.latency import TimeoutPolicy
+from .crowd.review import ApproveAll, ReviewPolicy
+
+#: Current wire-format version of the spec schema (also the journal header's).
+SPEC_SCHEMA_VERSION = 1
+
+_SCALARS = (str, int, float, bool)
+
+
+class SpecError(ValueError):
+    """A CampaignSpec could not be built, serialized, or deserialized."""
+
+
+def encode_object(obj: Hashable) -> Any:
+    """Encode one pair-member object for JSON.
+
+    Only JSON scalars round-trip with identity (and hashability) intact;
+    anything else would come back as a different object and silently break
+    pair equality, so it is rejected here instead.
+    """
+    if isinstance(obj, bool) or obj is None:
+        # bool before int: True is an int but must round-trip as a bool.
+        return obj
+    if isinstance(obj, _SCALARS):
+        return obj
+    raise SpecError(
+        f"pair object {obj!r} ({type(obj).__name__}) is not JSON-serializable; "
+        "campaign specs and journals require str/int/float/bool object ids"
+    )
+
+
+def encode_pair(pair: Pair) -> List[Any]:
+    """``Pair`` -> ``[left, right]`` (canonical order preserved)."""
+    return [encode_object(pair.left), encode_object(pair.right)]
+
+
+def decode_pair(data: Sequence[Any]) -> Pair:
+    """``[left, right]`` -> ``Pair`` (re-canonicalised on construction)."""
+    if len(data) != 2:
+        raise SpecError(f"a pair must be a 2-element array, got {data!r}")
+    return Pair(data[0], data[1])
+
+
+def encode_label(label: Label) -> str:
+    return label.value
+
+
+def decode_label(value: str) -> Label:
+    return Label(value)
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """The platform shape of a campaign: which client kind, at what HIT
+    granularity, with what free-form options.
+
+    Attributes:
+        kind: registry key the service's client factories interpret
+            (``"simulated"`` is the offline default; a deployment registers
+            e.g. ``"mturk"`` or ``"in-memory"`` factories with
+            :class:`repro.service.CampaignService`).
+        batch_size: pairs per HIT.
+        n_assignments: replication factor per HIT.
+        options: free-form JSON-serializable options for the client factory
+            (seeds, poll intervals, credentials *references* — never
+            secrets themselves).
+    """
+
+    kind: str = "simulated"
+    batch_size: int = DEFAULT_BATCH_SIZE
+    n_assignments: int = DEFAULT_ASSIGNMENTS
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise SpecError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.n_assignments < 1:
+            raise SpecError(
+                f"n_assignments must be >= 1, got {self.n_assignments}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "batch_size": self.batch_size,
+            "n_assignments": self.n_assignments,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformConfig":
+        return cls(
+            kind=data.get("kind", "simulated"),
+            batch_size=int(data.get("batch_size", DEFAULT_BATCH_SIZE)),
+            n_assignments=int(data.get("n_assignments", DEFAULT_ASSIGNMENTS)),
+            options=dict(data.get("options", {})),
+        )
+
+
+def _encode_budget(budget: Optional[BudgetPolicy]) -> Optional[dict]:
+    if budget is None:
+        return None
+    return {
+        "max_cost": budget.max_cost,
+        "max_assignments": budget.max_assignments,
+        "price_per_assignment": budget.model.price_per_assignment,
+    }
+
+
+def _decode_budget(data: Optional[Mapping[str, Any]]) -> Optional[BudgetPolicy]:
+    if data is None:
+        return None
+    return BudgetPolicy(
+        max_cost=data.get("max_cost"),
+        max_assignments=data.get("max_assignments"),
+        model=CostModel(
+            price_per_assignment=data.get(
+                "price_per_assignment", CostModel().price_per_assignment
+            )
+        ),
+    )
+
+
+def _encode_timeout(timeout: Optional[TimeoutPolicy]) -> Optional[dict]:
+    if timeout is None:
+        return None
+    return {"hit_timeout": timeout.hit_timeout, "max_reissues": timeout.max_reissues}
+
+
+def _decode_timeout(data: Optional[Mapping[str, Any]]) -> Optional[TimeoutPolicy]:
+    if data is None:
+        return None
+    return TimeoutPolicy(
+        hit_timeout=float(data["hit_timeout"]),
+        max_reissues=int(data.get("max_reissues", 3)),
+    )
+
+
+def _encode_review(review: Optional[ReviewPolicy]) -> Optional[dict]:
+    if review is None:
+        return None
+    if isinstance(review, ApproveAll):
+        return {"kind": "approve-all", "feedback": review.feedback}
+    raise SpecError(
+        f"review policy {type(review).__name__} has no JSON form; only "
+        "ApproveAll (or None) can be carried by a CampaignSpec — wire custom "
+        "policies into the runtime directly"
+    )
+
+
+def _decode_review(data: Optional[Mapping[str, Any]]) -> Optional[ReviewPolicy]:
+    if data is None:
+        return None
+    kind = data.get("kind")
+    if kind == "approve-all":
+        return ApproveAll(feedback=data.get("feedback", ApproveAll().feedback))
+    raise SpecError(f"unknown review policy kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A complete, immutable, JSON-serializable description of a campaign.
+
+    Attributes:
+        order: the labeling order as :class:`CandidatePair`\\ s (bare pairs
+            are accepted at construction and get the neutral 0.5 likelihood).
+        mode: dispatch semantics — a :class:`RuntimeMode` value string
+            (``"sequential"``, ``"rounds"``, ``"instant"``, ``"hit-rounds"``,
+            ``"flood"``; ``"serial"`` campaigns need preplanned HITs and are
+            not spec-expressible).
+        policy: conflict policy for the deduction graph.
+        backend: engine backend (string or
+            :class:`~repro.engine.engine.EngineBackend`).
+        shard_threshold / parallel_threshold / n_workers / mp_start_method:
+            engine scaling knobs, exactly as :class:`LabelingEngine` takes
+            them.
+        budget: optional spending cap (:class:`BudgetPolicy`).
+        timeout: optional per-HIT expiry policy (:class:`TimeoutPolicy`).
+        review: optional assignment review policy (JSON-serializable kinds
+            only; see :func:`_encode_review`).
+        max_rounds: ROUNDS-mode safety cap.
+        platform: the platform shape (:class:`PlatformConfig`).
+
+    Build one explicitly, or from JSON via :meth:`from_json`.  Derive the
+    engine with :meth:`build_engine`; entry points accept the spec directly.
+    """
+
+    order: Tuple[CandidatePair, ...]
+    mode: str = "instant"
+    policy: ConflictPolicy = ConflictPolicy.STRICT
+    backend: str = "auto"
+    shard_threshold: Optional[int] = None
+    parallel_threshold: Optional[int] = None
+    n_workers: Optional[int] = None
+    mp_start_method: Optional[str] = None
+    budget: Optional[BudgetPolicy] = None
+    timeout: Optional[TimeoutPolicy] = None
+    review: Optional[ReviewPolicy] = None
+    max_rounds: Optional[int] = None
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for item in self.order:
+            if isinstance(item, CandidatePair):
+                normalized.append(item)
+            elif isinstance(item, Pair):
+                normalized.append(CandidatePair(item))
+            else:
+                try:
+                    left, right = item
+                except (TypeError, ValueError):
+                    raise SpecError(
+                        "order items must be CandidatePair, Pair, or a "
+                        f"(left, right) 2-sequence, got {item!r}"
+                    ) from None
+                normalized.append(CandidatePair(Pair(left, right)))
+        object.__setattr__(self, "order", tuple(normalized))
+        if isinstance(self.mode, enum.Enum):
+            object.__setattr__(self, "mode", self.mode.value)
+        if isinstance(self.backend, enum.Enum):
+            object.__setattr__(self, "backend", self.backend.value)
+        if self.mode == "serial":
+            raise SpecError(
+                "SERIAL campaigns replay preplanned HITs and cannot be "
+                "described by a CampaignSpec"
+            )
+        # Validate mode/policy eagerly so a bad spec fails at construction,
+        # not deep inside a runtime build.  RuntimeMode itself is imported
+        # lazily to keep this module on the engine's import path.
+        from .engine.async_dispatch import RuntimeMode
+
+        RuntimeMode(self.mode)
+        if not isinstance(self.policy, ConflictPolicy):
+            object.__setattr__(self, "policy", ConflictPolicy(self.policy))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> List[Pair]:
+        """The bare pairs of the order, in order."""
+        return [item.pair for item in self.order]
+
+    def runtime_mode(self):
+        """The :class:`RuntimeMode` this spec dispatches with."""
+        from .engine.async_dispatch import RuntimeMode
+
+        return RuntimeMode(self.mode)
+
+    def engine_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for :class:`LabelingEngine` (minus the order)."""
+        from .engine.engine import DEFAULT_SHARD_THRESHOLD
+        from .engine.parallel import DEFAULT_PARALLEL_THRESHOLD
+
+        return {
+            "policy": self.policy,
+            "backend": self.backend,
+            "shard_threshold": (
+                DEFAULT_SHARD_THRESHOLD
+                if self.shard_threshold is None
+                else self.shard_threshold
+            ),
+            "parallel_threshold": (
+                DEFAULT_PARALLEL_THRESHOLD
+                if self.parallel_threshold is None
+                else self.parallel_threshold
+            ),
+            "n_workers": self.n_workers,
+            "mp_start_method": self.mp_start_method,
+        }
+
+    def build_engine(self):
+        """Construct the :class:`LabelingEngine` this spec describes.
+
+        The sequential mode deduces at visit time and never sweeps, so the
+        incremental pending-pair index would be pure overhead — the same
+        optimisation every pre-spec entry point applied by hand.
+        """
+        from .engine.engine import LabelingEngine
+
+        return LabelingEngine(
+            list(self.order),
+            use_index=self.mode != "sequential",
+            **self.engine_kwargs(),
+        )
+
+    def with_order(
+        self, order: Sequence[Union[Pair, CandidatePair]]
+    ) -> "CampaignSpec":
+        """A copy of this spec over a different labeling order."""
+        return replace(self, order=tuple(order))
+
+    # ------------------------------------------------------------------
+    # JSON round trip (the HTTP create schema == the journal header schema)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": SPEC_SCHEMA_VERSION,
+            "order": [
+                [*encode_pair(item.pair), item.likelihood] for item in self.order
+            ],
+            "mode": self.mode,
+            "policy": self.policy.value,
+            "backend": self.backend,
+            "shard_threshold": self.shard_threshold,
+            "parallel_threshold": self.parallel_threshold,
+            "n_workers": self.n_workers,
+            "mp_start_method": self.mp_start_method,
+            "budget": _encode_budget(self.budget),
+            "timeout": _encode_timeout(self.timeout),
+            "review": _encode_review(self.review),
+            "max_rounds": self.max_rounds,
+            "platform": self.platform.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        version = data.get("version", SPEC_SCHEMA_VERSION)
+        if version != SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                f"unsupported spec schema version {version!r} "
+                f"(this build reads version {SPEC_SCHEMA_VERSION})"
+            )
+        try:
+            order = tuple(
+                CandidatePair(
+                    decode_pair(entry[:2]),
+                    float(entry[2]) if len(entry) > 2 else 0.5,
+                )
+                for entry in data["order"]
+            )
+        except (KeyError, TypeError, IndexError) as exc:
+            raise SpecError(f"malformed spec order: {exc}") from exc
+        return cls(
+            order=order,
+            mode=data.get("mode", "instant"),
+            policy=ConflictPolicy(data.get("policy", "strict")),
+            backend=data.get("backend", "auto"),
+            shard_threshold=data.get("shard_threshold"),
+            parallel_threshold=data.get("parallel_threshold"),
+            n_workers=data.get("n_workers"),
+            mp_start_method=data.get("mp_start_method"),
+            budget=_decode_budget(data.get("budget")),
+            timeout=_decode_timeout(data.get("timeout")),
+            review=_decode_review(data.get("review")),
+            max_rounds=data.get("max_rounds"),
+            platform=PlatformConfig.from_dict(data.get("platform", {})),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SpecError("a spec document must be a JSON object")
+        return cls.from_dict(data)

@@ -22,6 +22,7 @@ def test_docs_exist():
         "crowd.md",
         "engine.md",
         "index.md",
+        "service.md",
     ]
 
 

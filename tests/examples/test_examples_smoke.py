@@ -29,6 +29,7 @@ OFFLINE_EXAMPLES = [
     ("expected_cost_analysis.py", "Heuristic vs brute force"),
     ("async_campaign.py", "async campaign over PollingPlatformClient"),
     ("mturk_campaign.py", "transitive-join campaign over MTurkBackend"),
+    ("service_campaign.py", "campaign service over HTTP"),
 ]
 
 

@@ -1,0 +1,147 @@
+"""The HTTP control surface: routes, status codes, and error bodies."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service import CampaignHTTPServer, CampaignService
+
+from ..aio import run_async
+from .helpers import make_spec, register_stepped
+
+
+async def http_request(host, port, method, path, body: str = ""):
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = body.encode("utf-8")
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n".encode("ascii") + payload
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, doc = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), json.loads(doc)
+
+
+def run_with_server(tmp_path, scenario):
+    """Run ``scenario(service, request)`` against a live server."""
+    async def main():
+        service = CampaignService(tmp_path)
+        register_stepped(service)
+        server = CampaignHTTPServer(service)
+        host, port = await server.start()
+
+        async def request(method, path, body=""):
+            return await http_request(host, port, method, path, body)
+
+        try:
+            return await scenario(service, request)
+        finally:
+            await server.stop()
+            await service.close()
+
+    return run_async(main())
+
+
+def test_create_inspect_list_lifecycle(tmp_path):
+    async def scenario(service, request):
+        status, created = await request(
+            "POST", "/campaigns", make_spec("instant").to_json()
+        )
+        assert status == 201
+        cid = created["campaign_id"]
+        assert created["state"] == "running"
+        assert created["n_pairs"] > 0
+
+        status, listed = await request("GET", "/campaigns")
+        assert status == 200
+        assert [c["campaign_id"] for c in listed["campaigns"]] == [cid]
+
+        await service.wait(cid)
+        status, snap = await request("GET", f"/campaigns/{cid}")
+        assert status == 200
+        assert snap["state"] == "done"
+        assert snap["n_labeled"] == snap["n_pairs"]
+        # trailing slash resolves to the same route
+        status, _ = await request("GET", f"/campaigns/{cid}/")
+        assert status == 200
+
+    run_with_server(tmp_path, scenario)
+
+
+def test_pause_resume_cancel_actions(tmp_path):
+    async def scenario(service, request):
+        _, created = await request(
+            "POST",
+            "/campaigns",
+            make_spec("instant", n_clusters=12, kind="stepped-in-memory").to_json(),
+        )
+        cid = created["campaign_id"]
+        status, paused = await request("POST", f"/campaigns/{cid}/pause")
+        assert (status, paused["state"]) == (200, "paused")
+        status, resumed = await request("POST", f"/campaigns/{cid}/resume")
+        assert (status, resumed["state"]) == (200, "running")
+        status, cancelled = await request("POST", f"/campaigns/{cid}/cancel")
+        assert (status, cancelled["state"]) == (200, "cancelled")
+
+    run_with_server(tmp_path, scenario)
+
+
+def test_error_statuses(tmp_path):
+    async def scenario(service, request):
+        # 400: body is not a spec
+        status, body = await request("POST", "/campaigns", "{not json")
+        assert status == 400 and "invalid campaign spec" in body["error"]
+        # 400: spec is valid JSON but an unregistered platform kind
+        bad = json.loads(make_spec("instant").to_json())
+        bad["platform"]["kind"] = "no-such-kind"
+        status, body = await request("POST", "/campaigns", json.dumps(bad))
+        assert status == 400 and "no platform client factory" in body["error"]
+        # 404: unknown campaign / unknown action / unknown route
+        status, _ = await request("GET", "/campaigns/nope")
+        assert status == 404
+        status, _ = await request("POST", "/campaigns/nope/pause")
+        assert status == 404
+        status, _ = await request("GET", "/not-a-route")
+        assert status == 404
+        # 405: wrong method
+        status, _ = await request("DELETE", "/campaigns")
+        assert status == 405
+        _, created = await request(
+            "POST", "/campaigns", make_spec("instant").to_json()
+        )
+        cid = created["campaign_id"]
+        status, _ = await request("GET", f"/campaigns/{cid}/pause")
+        assert status == 405
+        status, body = await request("POST", f"/campaigns/{cid}/explode")
+        assert status == 404 and "unknown action" in body["error"]
+
+    run_with_server(tmp_path, scenario)
+
+
+def test_malformed_request_line_is_400_not_a_crash(tmp_path):
+    async def main():
+        service = CampaignService(tmp_path)
+        server = CampaignHTTPServer(service)
+        host, port = await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GARBAGE\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            # the server still serves the next request
+            status, _ = await http_request(host, port, "GET", "/campaigns")
+            assert status == 200
+        finally:
+            await server.stop()
+            await service.close()
+
+    run_async(main())

@@ -1,0 +1,165 @@
+"""Unit tests for the append-only campaign journal.
+
+The contract under test: a torn **final** line is expected crash damage
+(dropped with a warning, file repaired); any interior damage is real
+corruption and must raise :class:`JournalCorruptError` with the byte
+offset — silently skipping records would replay a different campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.journal import JOURNAL_VERSION, Journal, JournalCorruptError
+
+HEADER = {"type": "header", "version": JOURNAL_VERSION, "campaign_id": "c1", "spec": {}}
+
+
+def write_journal(path, n_events: int = 4) -> Journal:
+    journal = Journal(str(path))
+    journal.append(HEADER)
+    for i in range(n_events):
+        journal.append({"type": "note", "text": f"event {i}"})
+    journal.close()
+    return journal
+
+
+def test_append_stamps_monotonic_seq_and_reads_back(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(str(path))
+    assert journal.append(HEADER) == 0
+    assert journal.append({"type": "note", "text": "a"}) == 1
+    assert journal.append({"type": "note", "text": "b"}) == 2
+    assert journal.next_seq == 3
+    journal.close()
+
+    header, events = Journal.read(str(path))
+    assert header["campaign_id"] == "c1"
+    assert [e["seq"] for e in events] == [1, 2]
+    assert [e["text"] for e in events] == ["a", "b"]
+
+
+def test_reopened_journal_continues_the_sequence(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, n_events=2)
+    journal = Journal(str(path))
+    assert journal.next_seq == 3
+    assert journal.append({"type": "note", "text": "later"}) == 3
+    journal.close()
+    _, events = Journal.read(str(path))
+    assert [e["seq"] for e in events] == [1, 2, 3]
+
+
+def test_torn_final_line_is_dropped_with_warning_and_repaired(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, n_events=3)
+    good_size = os.path.getsize(path)
+    with open(path, "ab") as fh:
+        fh.write(b'{"seq": 5, "type": "note", "tex')  # crash mid-write
+
+    with pytest.warns(UserWarning, match="torn final line"):
+        header, events = Journal.read(str(path), repair=True)
+    assert len(events) == 3
+    # repair truncated the file back to the last durable record
+    assert os.path.getsize(path) == good_size
+    # a second read is clean: no warning, same records
+    header2, events2 = Journal.read(str(path))
+    assert events2 == events
+
+
+def test_torn_final_line_without_repair_leaves_file_untouched(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, n_events=1)
+    with open(path, "ab") as fh:
+        fh.write(b"{bad")
+    size = os.path.getsize(path)
+    with pytest.warns(UserWarning, match="torn final line"):
+        Journal.read(str(path), repair=False)
+    assert os.path.getsize(path) == size
+
+
+def test_interior_malformed_record_raises_with_offset(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, n_events=3)
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    corrupt_offset = sum(len(l) for l in lines[:2])
+    lines[2] = b'{"seq": 2, "type": "note", CORRUPT}\n'
+    open(path, "wb").write(b"".join(lines))
+
+    with pytest.raises(JournalCorruptError, match="malformed record") as info:
+        Journal.read(str(path))
+    assert info.value.offset == corrupt_offset
+    assert info.value.line_number == 3
+    assert info.value.path == str(path)
+
+
+def test_sequence_gap_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, n_events=3)
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    del lines[2]  # drop an interior record: seq 1, <gap>, seq 3
+    open(path, "wb").write(b"".join(lines))
+    with pytest.raises(JournalCorruptError, match="sequence discontinuity"):
+        Journal.read(str(path))
+
+
+def test_blank_interior_line_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, n_events=2)
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    lines.insert(1, b"\n")
+    open(path, "wb").write(b"".join(lines))
+    with pytest.raises(JournalCorruptError, match="blank interior line"):
+        Journal.read(str(path))
+
+
+def test_missing_header_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with open(path, "wb") as fh:
+        fh.write(json.dumps({"seq": 0, "type": "note"}).encode() + b"\n")
+    with pytest.raises(JournalCorruptError, match="not a campaign header"):
+        Journal.read(str(path))
+
+
+def test_unsupported_version_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    record = dict(HEADER, version=999, seq=0)
+    with open(path, "wb") as fh:
+        fh.write(json.dumps(record).encode() + b"\n")
+    with pytest.raises(JournalCorruptError, match="unsupported journal version"):
+        Journal.read(str(path))
+
+
+def test_unknown_event_type_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(str(path))
+    journal.append(HEADER)
+    journal.append({"type": "note"})
+    journal.close()
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    lines[1] = b'{"seq": 1, "type": "mystery"}\n'
+    open(path, "wb").write(b"".join(lines))
+    with pytest.raises(JournalCorruptError, match="unknown record type"):
+        Journal.read(str(path))
+
+
+def test_empty_journal_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_bytes(b"")
+    with pytest.raises(JournalCorruptError, match="no intact header"):
+        Journal.read(str(path))
+
+
+def test_fsync_every_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="fsync_every"):
+        Journal(str(tmp_path / "journal.jsonl"), fsync_every=0)
+
+
+def test_append_after_close_raises(tmp_path):
+    journal = Journal(str(tmp_path / "journal.jsonl"))
+    journal.close()
+    with pytest.raises(ValueError, match="closed"):
+        journal.append(HEADER)

@@ -1,0 +1,204 @@
+"""The tentpole acceptance: kill a campaign anywhere, replay, land identical.
+
+Every test here runs the same differential: an uninterrupted campaign's
+final engine state (labels, partition, frontier, published set, spend) is
+the frozen reference; a campaign whose process "dies" — journal truncated
+at a record boundary, torn mid-record, or the process actually SIGKILLed —
+must recover to the byte-identical fingerprint with the same assignments
+spent, across every runtime mode and engine backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import CampaignService
+from repro.service.journal import Journal
+
+from ..aio import run_async
+from .helpers import (
+    fingerprint_json,
+    journal_record_offsets,
+    make_spec,
+    run_to_completion,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+MODES = ["instant", "rounds", "sequential", "hit-rounds", "flood"]
+
+
+def reference_run(spec, tmp_path):
+    """Uninterrupted campaign: (fingerprint_json, assignments, journal bytes)."""
+
+    async def scenario():
+        service = CampaignService(tmp_path / "reference")
+        campaign = await run_to_completion(service, spec, campaign_id="ref")
+        assert campaign.state.value == "done", campaign.error
+        fp = fingerprint_json(campaign.engine)
+        spend = campaign.runtime.report.assignments_committed
+        await service.close()
+        return fp, spend
+
+    fp, spend = run_async(scenario())
+    journal_bytes = (tmp_path / "reference" / "ref" / "journal.jsonl").read_bytes()
+    return fp, spend, journal_bytes
+
+
+def recover_truncated(journal_bytes, cut: int, tmp_path, tag: str):
+    """Drop a truncated journal into a fresh root and recover it."""
+    root = tmp_path / f"recovered-{tag}"
+    campaign_dir = root / "crashed"
+    campaign_dir.mkdir(parents=True)
+    (campaign_dir / "journal.jsonl").write_bytes(journal_bytes[:cut])
+
+    async def scenario():
+        service = CampaignService(root)
+        recovered = await service.recover()
+        assert recovered == ["crashed"]
+        campaign = await service.wait("crashed")
+        assert campaign.state.value == "done", campaign.error
+        assert campaign.recovered
+        fp = fingerprint_json(campaign.engine)
+        spend = campaign.runtime.report.assignments_committed
+        await service.close()
+        return fp, spend
+
+    return run_async(scenario())
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_crash_at_any_record_boundary_resumes_identical(mode, tmp_path):
+    spec = make_spec(mode)
+    fp, spend, journal_bytes = reference_run(spec, tmp_path)
+    offsets = journal_record_offsets(
+        tmp_path / "reference" / "ref" / "journal.jsonl"
+    )
+    assert len(offsets) >= 4, "workload too small to exercise recovery"
+    for i, cut in enumerate(offsets[:-1]):  # after header .. before last record
+        got_fp, got_spend = recover_truncated(journal_bytes, cut, tmp_path, f"{i}")
+        assert got_fp == fp, f"{mode}: fingerprint diverged at record {i}"
+        # Replay never re-charges budget for journaled work; the resumed
+        # run's total spend equals the uninterrupted run's.
+        assert got_spend == spend, f"{mode}: spend diverged at record {i}"
+
+
+@pytest.mark.parametrize(
+    "backend,kwargs",
+    [
+        ("monolithic", {}),
+        ("sharded", {}),
+        ("vectorized", {}),
+        ("parallel", {"parallel_threshold": 0, "n_workers": 2}),
+    ],
+)
+def test_torn_journal_resumes_identical_on_every_backend(backend, kwargs, tmp_path):
+    spec = make_spec("instant", backend=backend, **kwargs)
+    fp, spend, journal_bytes = reference_run(spec, tmp_path)
+    offsets = journal_record_offsets(
+        tmp_path / "reference" / "ref" / "journal.jsonl"
+    )
+    # Crash mid-write: half the records, then a torn partial JSON line.
+    cut = offsets[len(offsets) // 2]
+    torn = journal_bytes[:cut] + b'{"seq": 99999, "type": "comp'
+    with pytest.warns(UserWarning, match="torn final line"):
+        got_fp, got_spend = recover_truncated(torn, len(torn), tmp_path, backend)
+    assert got_fp == fp
+    assert got_spend == spend
+
+
+KILLED_CHILD = textwrap.dedent(
+    """
+    import asyncio, os, sys
+    from repro.service import CampaignService
+    from repro.spec import CampaignSpec
+
+    async def main():
+        spec = CampaignSpec.from_json(sys.stdin.read())
+        service = CampaignService(sys.argv[1])
+        campaign = await service.create(spec, campaign_id="victim")
+        # Run until a healthy amount of work is journaled, then die hard:
+        # no flush, no close, no atexit — exactly a machine crash.
+        while campaign._journal.next_seq < 12:
+            await asyncio.sleep(0)
+        os.kill(os.getpid(), 9)
+
+    asyncio.run(main())
+    """
+)
+
+
+def test_sigkilled_campaign_recovers_identical(tmp_path):
+    """A real process, really SIGKILLed mid-campaign, really recovered."""
+    spec = make_spec("instant")
+    fp, spend, _ = reference_run(spec, tmp_path)
+
+    root = tmp_path / "killed"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", KILLED_CHILD, str(root)],
+        input=spec.to_json(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+    journal_path = root / "victim" / "journal.jsonl"
+    assert journal_path.exists(), "the child died before journaling anything"
+    # The journal may end in a torn line (fsync batching + SIGKILL).
+    import warnings
+
+    async def scenario():
+        service = CampaignService(root)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            recovered = await service.recover()
+        assert recovered == ["victim"]
+        campaign = await service.wait("victim")
+        assert campaign.state.value == "done", campaign.error
+        got = fingerprint_json(campaign.engine)
+        got_spend = campaign.runtime.report.assignments_committed
+        await service.close()
+        return got, got_spend
+
+    got_fp, got_spend = run_async(scenario())
+    assert got_fp == fp
+    assert got_spend == spend
+
+
+def test_recovering_a_finished_campaign_is_a_pure_replay(tmp_path):
+    """A journal of a completed campaign replays to DONE without any new
+    platform traffic (journal_seq does not advance)."""
+    spec = make_spec("instant")
+    fp, spend, journal_bytes = reference_run(spec, tmp_path)
+    root = tmp_path / "finished"
+    (root / "c1").mkdir(parents=True)
+    (root / "c1" / "journal.jsonl").write_bytes(journal_bytes)
+    seq_before = len(journal_record_offsets(root / "c1" / "journal.jsonl"))
+
+    async def scenario():
+        service = CampaignService(root)
+        await service.recover()
+        campaign = await service.wait("c1")
+        assert campaign.state.value == "done", campaign.error
+        got = fingerprint_json(campaign.engine)
+        await service.close()
+        return got
+
+    assert run_async(scenario()) == fp
+    _, events = Journal.read(str(root / "c1" / "journal.jsonl"))
+    assert len(events) + 1 == seq_before, "pure replay must not journal anew"

@@ -1,0 +1,224 @@
+"""CampaignSpec: the one campaign description every entry point accepts."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    CampaignSpec,
+    EngineBackend,
+    InstantDispatch,
+    PlatformConfig,
+    RoundParallelDispatch,
+    SequentialDispatch,
+    SpecError,
+)
+from repro.core.cluster_graph import ConflictPolicy
+from repro.core.oracle import GroundTruthOracle
+from repro.core.pairs import CandidatePair, make_pair
+from repro.crowd.budget import BudgetPolicy, CostModel
+from repro.crowd.campaign import run_transitive
+from repro.crowd.latency import TimeoutPolicy
+from repro.crowd.review import ApproveAll
+from repro.engine.async_dispatch import AsyncDispatch, CrowdRuntime, RuntimeMode
+from repro.spec import SPEC_SCHEMA_VERSION
+
+from ..aio import run_async
+
+PAIRS = [(i, i + 1) for i in range(0, 10, 2)]
+ENTITY_OF = {i: i // 2 for i in range(10)}
+
+
+def full_spec() -> CampaignSpec:
+    return CampaignSpec(
+        order=[CandidatePair(make_pair(a, b), 0.7) for a, b in PAIRS],
+        mode="rounds",
+        policy=ConflictPolicy.FIRST_WINS,
+        backend="sharded",
+        shard_threshold=10,
+        parallel_threshold=20,
+        n_workers=2,
+        budget=BudgetPolicy(
+            max_cost=12.5, max_assignments=400, model=CostModel(price_per_assignment=0.05)
+        ),
+        timeout=TimeoutPolicy(hit_timeout=900.0, max_reissues=2),
+        review=ApproveAll(feedback="thanks"),
+        max_rounds=50,
+        platform=PlatformConfig(
+            kind="in-memory", batch_size=7, n_assignments=2, options={"seed": 3}
+        ),
+    )
+
+
+def test_json_round_trip_is_exact():
+    spec = full_spec()
+    restored = CampaignSpec.from_json(spec.to_json())
+    assert restored == spec
+    # and canonical: serialising again gives identical bytes
+    assert restored.to_json() == spec.to_json()
+
+
+def test_to_dict_carries_the_schema_version():
+    assert full_spec().to_dict()["version"] == SPEC_SCHEMA_VERSION
+
+
+def test_unknown_schema_version_rejected():
+    data = full_spec().to_dict()
+    data["version"] = 999
+    with pytest.raises(SpecError, match="unsupported spec schema version"):
+        CampaignSpec.from_dict(data)
+
+
+def test_non_scalar_pair_objects_rejected_at_serialization():
+    spec = CampaignSpec(order=[((1, 2), (3, 4))])  # tuple object ids
+    with pytest.raises(SpecError, match="not JSON-serializable"):
+        spec.to_dict()
+
+
+def test_serial_mode_is_not_speccable():
+    with pytest.raises(SpecError, match="SERIAL"):
+        CampaignSpec(order=PAIRS, mode="serial")
+
+
+def test_invalid_mode_rejected_eagerly():
+    with pytest.raises(ValueError):
+        CampaignSpec(order=PAIRS, mode="warp-speed")
+
+
+def test_order_normalises_tuples_pairs_and_candidates():
+    spec = CampaignSpec(
+        order=[(1, 2), make_pair(3, 4), CandidatePair(make_pair(5, 6), 0.9)]
+    )
+    assert all(isinstance(item, CandidatePair) for item in spec.order)
+    assert [(p.left, p.right) for p in spec.pairs] == [(1, 2), (3, 4), (5, 6)]
+    with pytest.raises(SpecError, match="order items"):
+        CampaignSpec(order=[42])
+
+
+def test_engine_backend_enum_is_accepted_everywhere():
+    assert EngineBackend.VECTORIZED == "vectorized"
+    spec = CampaignSpec(order=PAIRS, backend=EngineBackend.MONOLITHIC)
+    assert spec.backend == "monolithic"  # normalised to the string value
+    engine = spec.build_engine()
+    assert engine.backend == "monolithic"
+    engine.close()
+
+
+def test_build_engine_honours_spec_knobs():
+    spec = CampaignSpec(order=PAIRS, mode="sequential", backend="sharded")
+    engine = spec.build_engine()
+    assert engine.backend == "sharded"
+    engine.close()
+
+
+def test_sync_dispatch_strategies_accept_spec():
+    oracle = GroundTruthOracle(ENTITY_OF)
+    spec = CampaignSpec(order=PAIRS, policy=ConflictPolicy.STRICT)
+    plain = SequentialDispatch().run(PAIRS_AS_PAIRS(), oracle)
+    for dispatch in (
+        SequentialDispatch(spec=spec),
+        RoundParallelDispatch(spec=spec),
+    ):
+        result = dispatch.run(PAIRS_AS_PAIRS(), oracle)
+        assert result.labels() == plain.labels()
+    run = InstantDispatch(spec=spec).run(PAIRS_AS_PAIRS(), oracle)
+    assert run.result.labels() == plain.labels()
+
+
+def PAIRS_AS_PAIRS():
+    return [make_pair(a, b) for a, b in PAIRS]
+
+
+def test_async_dispatch_and_runtime_accept_spec():
+    oracle = GroundTruthOracle(ENTITY_OF)
+    spec = CampaignSpec(order=PAIRS, mode="rounds")
+
+    async def scenario():
+        dispatch = AsyncDispatch(spec=spec)
+        return await dispatch.run_async(PAIRS_AS_PAIRS(), oracle)
+
+    result = run_async(scenario())
+    reference = SequentialDispatch().run(PAIRS_AS_PAIRS(), oracle)
+    assert result.labels() == reference.labels()
+
+
+def test_crowd_runtime_resolves_policies_from_spec():
+    spec = full_spec()
+    from repro.crowd.clients import SimulatedPlatformClient
+
+    oracle = GroundTruthOracle(ENTITY_OF)
+    engine = spec.build_engine()
+    runtime = CrowdRuntime(
+        engine, SimulatedPlatformClient.for_oracle(oracle), spec=spec
+    )
+    assert runtime._mode is RuntimeMode.ROUNDS
+    run_async(runtime.run())
+    assert engine.is_done
+
+
+def test_run_transitive_accepts_spec(crowd_platform_factory=None):
+    from repro.crowd.latency import FixedLatency
+    from repro.crowd.platform import SimulatedPlatform
+    from repro.crowd.worker import make_worker_pool
+
+    oracle = GroundTruthOracle(ENTITY_OF)
+
+    def platform():
+        return SimulatedPlatform(
+            workers=make_worker_pool(4, seed=0),
+            truth=oracle,
+            latency=FixedLatency(),
+            batch_size=3,
+            n_assignments=3,
+            seed=0,
+        )
+
+    spec = CampaignSpec(order=PAIRS, mode="instant")
+    via_spec = run_transitive(platform=platform(), spec=spec)
+    legacy = run_transitive(PAIRS_AS_PAIRS(), platform(), True)
+    assert via_spec.labels == legacy.labels
+    assert via_spec.n_hits == legacy.n_hits
+
+
+def test_review_policy_encoding_rejects_custom_policies():
+    class CustomReview:
+        def review(self, completion):  # pragma: no cover - shape only
+            return []
+
+    spec_dict_ok = CampaignSpec(order=PAIRS, review=ApproveAll()).to_dict()
+    assert spec_dict_ok["review"] == {"kind": "approve-all", "feedback": "Thank you!"}
+    with pytest.raises(SpecError):
+        CampaignSpec(order=PAIRS, review=CustomReview()).to_dict()
+
+
+def test_curated_public_api():
+    # every curated name resolves ...
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert missing == []
+    # ... the service layer is first-class ...
+    for name in ("CampaignSpec", "CampaignService", "CampaignHTTPServer", "Journal"):
+        assert name in repro.__all__
+    # ... and the deprecated facades are importable but uncurated.
+    for name in ("SequentialLabeler", "ParallelLabeler", "InstantLabeler"):
+        assert hasattr(repro, name)
+        assert name not in repro.__all__
+
+
+@pytest.mark.parametrize(
+    "name", ["SequentialLabeler", "ParallelLabeler", "InstantLabeler"]
+)
+def test_legacy_labelers_warn_on_construction(name):
+    cls = getattr(repro, name)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        cls()
+
+
+def test_label_wrappers_do_not_warn():
+    import warnings
+
+    oracle = GroundTruthOracle(ENTITY_OF)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        repro.label_sequential(PAIRS_AS_PAIRS(), oracle)
+        repro.label_parallel(PAIRS_AS_PAIRS(), oracle)
