@@ -906,3 +906,163 @@ def test_service_restart_replay_throughput():
     # must stay within the same order of magnitude so restart never costs
     # more than the campaign it resurrects.
     assert replay_s < live_s * 10
+
+
+# ----------------------------------------------------------------------
+# campaign service: snapshot + tail recovery vs full journal replay
+# ----------------------------------------------------------------------
+# One assignment per single-pair HIT with a review policy journals three
+# records per crowdsourced pair (issue, completion, review), so this pair
+# count clears the 100k-record floor the compaction gate is specified at.
+RECOVERY_N_PAIRS = 35_000
+
+
+def _recovery_workload(n_pairs: int, seed: int = 0):
+    n_objects = n_pairs // 3
+    rng = random.Random(seed)
+    entity_of = {i: rng.randrange(n_objects // 10) for i in range(n_objects)}
+    truth = GroundTruthOracle(entity_of)
+    pairs: List[Pair] = []
+    seen = set()
+    while len(pairs) < n_pairs:
+        a, b = rng.sample(range(n_objects), 2)
+        pair = Pair(a, b)
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+    return pairs, truth
+
+
+def test_service_recovery_compacted_throughput():
+    """Bounded-time crash recovery: a 100k+-record journaled campaign
+    recovered by full replay versus from its post-compaction snapshot +
+    empty tail.  Replay cost grows with campaign age; the snapshot path is
+    bounded by engine-state size — the ``service_recovery_compacted_*``
+    entries pin the gap, and the in-test gates hold the snapshot path to
+    >=10x full replay and batched replay itself well above the ~425
+    records/sec per-record baseline this PR replaces.
+
+    The artifact entries carry ``requires: "numpy"``: the 10x bound is
+    specified against the vectorized backend's near-native array
+    snapshot, so the whole test skips on a numpy-less runner.
+    """
+    if not vectorized_available():
+        pytest.skip("numpy unavailable: the vectorized backend is the perf extra")
+    import asyncio
+    import tempfile
+
+    from repro.crowd.review import ApproveAll
+    from repro.service import CampaignService
+    from repro.spec import CampaignSpec, PlatformConfig
+
+    pairs, truth = _recovery_workload(RECOVERY_N_PAIRS)
+    spec = CampaignSpec(
+        order=pairs,
+        mode="hit-rounds",
+        backend="vectorized",
+        review=ApproveAll(),
+        platform=PlatformConfig(
+            kind="in-memory",
+            batch_size=1,
+            n_assignments=1,
+            options={
+                "answers": [
+                    [p.left, p.right, truth.label(p).value] for p in pairs
+                ]
+            },
+        ),
+    )
+
+    def fingerprint(engine) -> str:
+        return json.dumps(engine.state_fingerprint(), sort_keys=True)
+
+    async def live_run(root):
+        service = CampaignService(root)
+        campaign = await service.create(spec, campaign_id="bench")
+        await service.wait("bench")
+        assert campaign.state.value == "done", campaign.error
+        fp = fingerprint(campaign.engine)
+        n_records = campaign._journal.next_seq - 1
+        await service.close()
+        return fp, n_records
+
+    async def recover(root):
+        # Timed section: recover + wait only.  The fingerprint is
+        # verification, computed after the clock stops.
+        import gc
+
+        service = CampaignService(root)
+        gc.collect()
+        start = time.perf_counter()
+        recovered = await service.recover()
+        campaign = await service.wait("bench")
+        elapsed = time.perf_counter() - start
+        assert recovered == ["bench"]
+        assert campaign.state.value == "done", campaign.error
+        fp = fingerprint(campaign.engine)
+        await service.close()
+        return elapsed, fp
+
+    def best_recover(root, n: int) -> Tuple[float, str]:
+        # min-of-n: a single GC pause or scheduler hiccup lands squarely
+        # inside a sub-second timed section, so one-shot timing would make
+        # the ratio gate flaky on loaded runners.
+        runs = [asyncio.run(recover(root)) for _ in range(n)]
+        return min(t for t, _ in runs), runs[0][1]
+
+    async def compact(root):
+        service = CampaignService(root)
+        await service.recover()
+        await service.wait("bench")
+        await service.compact("bench")
+        await service.close()
+
+    with tempfile.TemporaryDirectory() as root:
+        live_fp, n_records = asyncio.run(live_run(root))
+        assert n_records >= 100_000, n_records
+        journal = Path(root) / "bench" / "journal.jsonl"
+        full_bytes = journal.stat().st_size
+
+        full_s, full_fp = best_recover(root, 2)
+        asyncio.run(compact(root))
+        compacted_bytes = journal.stat().st_size
+        compacted_s, compacted_fp = best_recover(root, 3)
+
+    assert full_fp == live_fp, "full replay must reproduce the live state"
+    assert compacted_fp == live_fp, (
+        "snapshot+tail recovery must reproduce the live state"
+    )
+
+    ratio = full_s / compacted_s if compacted_s else float("inf")
+    _record(
+        "service_recovery_full_replay",
+        total_s=full_s,
+        n_journal_records=n_records,
+        records_per_sec=n_records / full_s,
+        journal_bytes=full_bytes,
+        n_pairs=RECOVERY_N_PAIRS,
+        requires="numpy",
+    )
+    _record(
+        "service_recovery_compacted",
+        total_s=compacted_s,
+        n_journal_records=n_records,
+        journal_bytes=compacted_bytes,
+        n_pairs=RECOVERY_N_PAIRS,
+        requires="numpy",
+    )
+    _record(
+        "service_recovery_compacted_ratio",
+        ratio=ratio,
+        n_journal_records=n_records,
+        requires="numpy",
+    )
+    # Batched tail replay must beat the per-record baseline it replaced
+    # (~425 records/sec in the PR-7 service_restart_replay entry) by a
+    # wide margin even on a noisy runner.
+    assert n_records / full_s > 425 * 4, (
+        f"batched replay regressed to {n_records / full_s:.0f} records/sec"
+    )
+    # The tentpole bound: snapshot + empty tail beats replaying the full
+    # journal by >=10x at 100k+ records.
+    assert ratio >= 10, f"snapshot recovery only {ratio:.1f}x faster"

@@ -103,7 +103,7 @@ from .engine import (
 from .crowd.budget import BudgetPolicy, CostModel
 from .crowd.review import ApproveAll, ReviewPolicy
 from .crowd.latency import TimeoutPolicy
-from .spec import CampaignSpec, PlatformConfig, SpecError
+from .spec import CampaignSpec, JournalConfig, PlatformConfig, SpecError
 from .service import (
     CampaignHTTPServer,
     CampaignService,
@@ -121,6 +121,7 @@ __version__ = "1.0.0"
 __all__ = [
     # the one campaign description
     "CampaignSpec",
+    "JournalConfig",
     "PlatformConfig",
     "SpecError",
     # the engine and its runtime

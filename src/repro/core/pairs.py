@@ -97,6 +97,26 @@ class Pair:
     def __contains__(self, obj: Hashable) -> bool:
         return obj == self.left or obj == self.right
 
+    def __hash__(self) -> int:
+        # Pairs key every hot dict in the engine (positions, likelihoods,
+        # outcomes), so the tuple hash is cached on first use.  The cache
+        # lives in the instance dict, not a field: it must never leak
+        # through pickle (str hashes are salted per process — see
+        # __getstate__) and never participate in repr/eq.
+        fields = self.__dict__
+        cached = fields.get("_hash")
+        if cached is None:
+            cached = fields["_hash"] = hash((self.left, self.right))
+        return cached
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def __repr__(self) -> str:
         return f"Pair({self.left!r}, {self.right!r})"
 

@@ -159,6 +159,49 @@ class LabelingResult:
             f"{self.n_deduced} deduced, {self.n_rounds} rounds)"
         )
 
+    # ------------------------------------------------------------------
+    # deferred bulk restore
+    # ------------------------------------------------------------------
+    def defer_restore(self, thunk) -> None:
+        """Register ``thunk(self)`` to rebuild ``outcomes``/``rounds`` lazily.
+
+        A snapshot restore of a large campaign would otherwise spend most
+        of its time materialising per-pair :class:`PairOutcome` records
+        that nothing may ever read (a recovered campaign that keeps
+        labeling touches them only when reporting).  The thunk runs at
+        most once, on the first access to either field — including the
+        first :meth:`record` of a post-snapshot answer, so resumed runs
+        always append to fully restored state.
+        """
+        self.__dict__["_restore_thunk"] = thunk
+
+
+def _lazy_restore_field(name: str) -> property:
+    """A field that materialises a pending :meth:`defer_restore` thunk.
+
+    Plain instance storage under the same key; only reads trigger the
+    thunk.  A wholesale assignment during deferral would be clobbered by
+    a later materialisation — the only writer between defer and first
+    read is the thunk itself, by construction in ``restore_state``.
+    """
+
+    def fget(self):
+        d = self.__dict__
+        thunk = d.get("_restore_thunk")
+        if thunk is not None:
+            d["_restore_thunk"] = None
+            thunk(self)
+        return d[name]
+
+    def fset(self, value) -> None:
+        self.__dict__[name] = value
+
+    return property(fget, fset)
+
+
+LabelingResult.outcomes = _lazy_restore_field("outcomes")
+LabelingResult.rounds = _lazy_restore_field("rounds")
+
 
 def merge_counts(results: Sequence[LabelingResult]) -> Dict[str, int]:
     """Aggregate headline counts across runs (used by sweep experiments)."""

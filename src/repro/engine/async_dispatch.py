@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import asyncio
 import enum
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.cluster_graph import ConflictPolicy
 from ..core.oracle import LabelOracle
@@ -53,13 +54,28 @@ from ..crowd.hit import HIT, n_hits_needed
 from ..crowd.latency import TimeoutPolicy
 from ..crowd.platform import HITCompletion
 from ..crowd.review import ReviewPolicy
-from .engine import DEFAULT_SHARD_THRESHOLD, LabelingEngine
+from .engine import (
+    DEFAULT_SHARD_THRESHOLD,
+    LabelingEngine,
+    _pack_ints,
+    _unpack_ints,
+)
 from .hit_adapter import HITDispatchAdapter
 from .parallel import DEFAULT_PARALLEL_THRESHOLD
 
 #: Sentinel distinguishing "argument not given" from an explicit ``None``
 #: (with a spec, an explicit ``None`` *overrides* the spec's policy).
 _UNSET = object()
+
+
+def _pack_hit_batches(hit_batches, position) -> dict:
+    """Encode the HIT publication history as flat+sizes packed columns."""
+    flat, sizes = array("i"), array("i")
+    for batch in hit_batches:
+        sizes.append(len(batch))
+        for pair in batch:
+            flat.append(position[pair])
+    return {"flat": _pack_ints(flat), "sizes": _pack_ints(sizes)}
 
 
 class RuntimeMode(enum.Enum):
@@ -124,6 +140,39 @@ class RuntimeReport:
     n_assignments_rejected: int = 0
     leftovers: List[HITCompletion] = field(default_factory=list)
 
+    def defer_restore(self, thunk) -> None:
+        """Register ``thunk(self)`` to rebuild the per-HIT history lazily.
+
+        Runs at most once, on the first read of ``publish_events`` or
+        ``hit_batches`` (both rebuilt together); set by
+        :meth:`CrowdRuntime.restore_state` so snapshot recovery skips
+        materialising one list entry per historical HIT.
+        """
+        self.__dict__["_restore_thunk"] = thunk
+
+
+def _lazy_report_field(name: str) -> property:
+    """Instance storage under ``name`` that first materialises a pending
+    :meth:`RuntimeReport.defer_restore` thunk on read (cf. the identical
+    mechanism on :class:`~repro.core.result.LabelingResult`)."""
+
+    def fget(self):
+        d = self.__dict__
+        thunk = d.get("_restore_thunk")
+        if thunk is not None:
+            d["_restore_thunk"] = None
+            thunk(self)
+        return d[name]
+
+    def fset(self, value) -> None:
+        self.__dict__[name] = value
+
+    return property(fget, fset)
+
+
+RuntimeReport.publish_events = _lazy_report_field("publish_events")
+RuntimeReport.hit_batches = _lazy_report_field("hit_batches")
+
 
 class PauseGate:
     """A pause/resume switch shared between a runtime and its operator.
@@ -152,6 +201,17 @@ class PauseGate:
 
     def resume(self) -> None:
         self._resumed.set()
+
+    def poke(self) -> None:
+        """Wake a parked waiter for one pass without resuming.
+
+        The campaign service uses this to route a paused-but-idle runtime
+        through one safe-point check (e.g. an on-demand journal
+        compaction); the gate stays paused, so the pass issues nothing.
+        """
+        if self.paused:
+            self._resumed.set()
+            self._resumed.clear()
 
     async def wait_resumed(self) -> None:
         """Block until :meth:`resume` (returns immediately when running)."""
@@ -244,6 +304,14 @@ class CrowdRuntime:
                 engine, self._buffer_chunk, client.batch_size
             )
         self._pending_chunks: List[List[Pair]] = []
+        # Snapshot/restore seam (journal compaction): set by restore_state
+        # so run() enters the event loop mid-campaign instead of _start().
+        self._restored = False
+        #: Invoked at the top of every event-loop iteration — the one point
+        #: where engine + mode state exactly reflect the records journaled
+        #: so far (no chunk is half-flushed, no completion half-applied).
+        #: The campaign service hooks its compaction policy here.
+        self.on_safe_point: Optional[Callable[[], None]] = None
 
     @property
     def engine(self) -> LabelingEngine:
@@ -252,6 +320,139 @@ class CrowdRuntime:
     @property
     def client(self) -> PlatformClient:
         return self._client
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (journal compaction)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-serializable dispatch state, captured at a safe point.
+
+        Everything mode-dependent the event loop would otherwise rebuild
+        by replaying the journal: the sequential cursor, the open round,
+        the HIT adapter's partial buffer, re-issue chains, the deferred-
+        kick flag, and the full report.  Pairs are encoded as order
+        positions (the engine snapshot binds the order).
+
+        Only meaningful at a safe point (see :attr:`on_safe_point`);
+        SERIAL mode is not snapshottable (its preplanned batches are not
+        spec-expressible, so the service never hosts it).
+        """
+        if self._mode is RuntimeMode.SERIAL:
+            raise ValueError("SERIAL-mode runtimes cannot be snapshotted")
+        if self._pending_chunks:
+            raise ValueError("cannot snapshot with unflushed publish chunks")
+        position = self._engine._position
+        report = self.report
+        return {
+            "version": 1,
+            "mode": self._mode.value,
+            "round_index": self._round_index,
+            "cursor": self._cursor,
+            "round_batch": [position[p] for p in self._round_batch],
+            "round_outstanding": sorted(
+                position[p] for p in self._round_outstanding
+            ),
+            "adapter_buffer": (
+                [position[p] for p in self._adapter.buffered]
+                if self._adapter is not None
+                else []
+            ),
+            "kick_pending": self._kick_pending,
+            "reissue_counts": sorted(self._reissue_counts.items()),
+            "report": {
+                # The burst/batch histories grow with the record count
+                # (one HIT per batch_size pairs): packed columns keep the
+                # snapshot line's json.loads cost flat — see _pack_ints.
+                "publish_events": {
+                    "t": _pack_ints(
+                        array("d", (t for t, _ in report.publish_events))
+                    ),
+                    "n": _pack_ints(
+                        array("i", (n for _, n in report.publish_events))
+                    ),
+                },
+                "hit_batches": _pack_hit_batches(report.hit_batches, position),
+                "conflicts": [position[p] for p in report.conflicts],
+                "completion_hours": report.completion_hours,
+                "n_completions": report.n_completions,
+                "n_expired_hits": report.n_expired_hits,
+                "n_reissued_hits": report.n_reissued_hits,
+                "assignments_committed": report.assignments_committed,
+                "n_assignments_approved": report.n_assignments_approved,
+                "n_assignments_rejected": report.n_assignments_rejected,
+            },
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Load a :meth:`snapshot_state` payload; ``run()`` then enters the
+        event loop directly, mid-campaign, instead of publishing a fresh
+        start.  The engine must already be restored to the matching state.
+        """
+        if self._ran:
+            raise ValueError("cannot restore into a runtime that already ran")
+        if snapshot.get("version") != 1:
+            raise ValueError(
+                f"unsupported runtime snapshot version {snapshot.get('version')!r}"
+            )
+        if RuntimeMode(snapshot["mode"]) is not self._mode:
+            raise ValueError(
+                f"snapshot mode {snapshot['mode']!r} does not match runtime "
+                f"mode {self._mode.value!r}"
+            )
+        pairs = self._engine.pairs
+        self._round_index = int(snapshot["round_index"])
+        self._cursor = int(snapshot["cursor"])
+        self._round_batch = [pairs[i] for i in snapshot["round_batch"]]
+        self._round_outstanding = {
+            pairs[i] for i in snapshot["round_outstanding"]
+        }
+        if self._adapter is not None:
+            self._adapter.restore_buffer(
+                pairs[i] for i in snapshot["adapter_buffer"]
+            )
+        self._kick_pending = bool(snapshot["kick_pending"])
+        self._reissue_counts = {
+            int(hit_id): int(count)
+            for hit_id, count in snapshot["reissue_counts"]
+        }
+        report = self.report
+        payload = snapshot["report"]
+        bursts = payload["publish_events"]
+        batches = payload["hit_batches"]
+
+        def rebuild(rep: RuntimeReport) -> None:
+            rep.__dict__["publish_events"] = list(
+                zip(
+                    _unpack_ints(bursts["t"], "d"),
+                    _unpack_ints(bursts["n"], "i"),
+                )
+            )
+            # Decode once into a flat pair list, then slice per batch: the
+            # history holds one entry per HIT, so per-element iteration
+            # here would dominate a restore with small batch sizes.
+            flat_pairs = [pairs[i] for i in _unpack_ints(batches["flat"], "i")]
+            hit_batches = []
+            start = 0
+            for size in _unpack_ints(batches["sizes"], "i"):
+                stop = start + size
+                hit_batches.append(flat_pairs[start:stop])
+                start = stop
+            rep.__dict__["hit_batches"] = hit_batches
+
+        # The publish/HIT history is one entry per burst/HIT — rebuilding
+        # it eagerly would rival everything else a snapshot restore does,
+        # and live continuation only appends to it.  Deferred like the
+        # engine result's outcome records.
+        report.defer_restore(rebuild)
+        report.conflicts = [pairs[i] for i in payload["conflicts"]]
+        report.completion_hours = float(payload["completion_hours"])
+        report.n_completions = int(payload["n_completions"])
+        report.n_expired_hits = int(payload["n_expired_hits"])
+        report.n_reissued_hits = int(payload["n_reissued_hits"])
+        report.assignments_committed = int(payload["assignments_committed"])
+        report.n_assignments_approved = int(payload["n_assignments_approved"])
+        report.n_assignments_rejected = int(payload["n_assignments_rejected"])
+        self._restored = True
 
     # ------------------------------------------------------------------
     # submission plumbing
@@ -309,7 +510,8 @@ class CrowdRuntime:
             if self._mode is RuntimeMode.SERIAL:
                 await self._run_serial()
             else:
-                await self._start()
+                if not self._restored:
+                    await self._start()
                 await self._event_loop()
             self.report.leftovers = await self._client.drain()
             # Leftover completions arrived after the campaign was decided,
@@ -345,6 +547,10 @@ class CrowdRuntime:
     async def _event_loop(self) -> None:
         engine = self._engine
         while not engine.is_done:
+            if self.on_safe_point is not None:
+                # Engine + mode state now reflect exactly the journaled
+                # records: the one consistent place to snapshot/compact.
+                self.on_safe_point()
             if self._paused():
                 # Paused: issue nothing new.  With work still in flight,
                 # keep consuming events (completions must not be dropped);
@@ -356,15 +562,26 @@ class CrowdRuntime:
                 if self._kick_pending:
                     await self._kick()
                     continue
-                if (
-                    self._adapter is not None
-                    and self._client.n_outstanding_hits == 0
-                ):
-                    # The platform would otherwise sit idle: re-select and
-                    # force out even a partial HIT (paper Section 6.4).
-                    self._adapter.select_new()
-                    self._adapter.flush(force=True)
-                    await self._flush_chunks()
+                if self._client.n_outstanding_hits == 0:
+                    if self._adapter is not None:
+                        # The platform would otherwise sit idle: re-select
+                        # and force out even a partial HIT (paper §6.4).
+                        self._adapter.select_new()
+                        self._adapter.flush(force=True)
+                        await self._flush_chunks()
+                    elif not self._round_outstanding and not self.report.publish_events:
+                        # Restored from a snapshot taken while paused
+                        # before the mode's first publish: fire it.  The
+                        # publish-history gate matters — a live run can
+                        # also reach zero outstanding HITs with events
+                        # still buffered in the client (a poll fetched
+                        # every completion at once), and must fall through
+                        # to next_event() instead of re-publishing.
+                        if self._mode is RuntimeMode.FLOOD:
+                            await self._submit(engine.pairs)
+                        else:
+                            await self._kick()
+                        continue
             event = await self._client.next_event()
             if event is None:
                 raise RuntimeError(
@@ -378,7 +595,9 @@ class CrowdRuntime:
             await self._on_completion(event)
 
     async def _start(self) -> None:
-        if self._gate is not None:
+        # Loop, not a single wait: PauseGate.poke() wakes waiters without
+        # resuming, and a still-paused campaign must not publish.
+        while self._gate is not None and self._gate.paused:
             await self._gate.wait_resumed()
         if self._mode is RuntimeMode.FLOOD:
             # The baseline publishes unconditionally (even an empty order
@@ -484,6 +703,26 @@ class CrowdRuntime:
             self._apply_labels(
                 event, self.report.n_completions, track_conflicts=True
             )
+            if mode is RuntimeMode.HIT_ROUNDS:
+                # Replay fast path: coalesce the journaled run of consecutive
+                # completions into one batched application with a single
+                # trailing sweep — ``LabelingEngine.record_answers``
+                # semantics, unrolled to keep per-completion round indices
+                # and conflict tracking.  Exact because this mode publishes
+                # only when the platform drains (an issue record would break
+                # the run), and mid-run sweeps can never touch the withheld
+                # on-platform pairs later completions answer.  The client
+                # hook only yields events while replaying a journal.
+                take = getattr(self._client, "take_replay_completion", None)
+                while take is not None and not self._engine.is_done:
+                    extra = take()
+                    if extra is None:
+                        break
+                    self._reissue_counts.pop(extra.hit.hit_id, None)
+                    self.report.n_completions += 1
+                    self._apply_labels(
+                        extra, self.report.n_completions, track_conflicts=True
+                    )
             # Rescued pairs leave the adapter's buffer; on-platform pairs
             # stay withheld from the sweep (the crowd will answer them).
             self._adapter.sweep(self.report.n_completions)

@@ -59,6 +59,15 @@ class HITDispatchAdapter:
         """Selected pairs awaiting a full HIT (a copy)."""
         return list(self._buffer)
 
+    def restore_buffer(self, pairs: Sequence[Pair]) -> None:
+        """Seed the buffer from a runtime snapshot (crash recovery).
+
+        The pairs must already be published-not-withheld in the engine,
+        which is exactly how :meth:`~repro.engine.engine.LabelingEngine
+        .restore_state` leaves them.
+        """
+        self._buffer = list(pairs)
+
     def select_new(self) -> None:
         """Pull the current must-crowdsource frontier into the buffer.
 

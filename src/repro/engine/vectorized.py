@@ -71,6 +71,49 @@ SMALL_COMPONENT_THRESHOLD = 4096
 #: state): 0 = unlabeled, 1 = matching, 2 = non-matching.
 CODE_UNLABELED = 0
 _CODE_OF = {Label.MATCHING: 1, Label.NON_MATCHING: 2}
+_LABEL_FROM_CODE = {1: Label.MATCHING, 2: Label.NON_MATCHING}
+
+#: Kind tag of the :meth:`VectorizedEngineCore.snapshot_arrays` payload.
+VECTOR_SNAPSHOT_KIND = "vectorized-arrays-v1"
+
+
+def _pack_adjacency(nm: Dict[int, Set[int]], b64) -> dict:
+    """Encode a root -> neighbour-set adjacency as three packed columns."""
+    roots: List[int] = []
+    counts: List[int] = []
+    flat: List[int] = []
+    for root in sorted(nm):
+        neighbours = sorted(nm[root])
+        roots.append(root)
+        counts.append(len(neighbours))
+        flat.extend(neighbours)
+    # Object ids are bounded by the order's universe, so 4-byte lanes
+    # always fit and halve the base64 footprint.
+    return {
+        "roots": b64(roots, "<i4"),
+        "counts": b64(counts, "<i4"),
+        "flat": b64(flat, "<i4"),
+    }
+
+
+def _unpack_adjacency(payload: dict) -> Dict[int, Set[int]]:
+    """Decode a :func:`_pack_adjacency` payload back into the dict."""
+    import base64
+
+    import numpy
+
+    def ints(key: str) -> List[int]:
+        return numpy.frombuffer(
+            base64.b64decode(payload[key]), dtype="<i4"
+        ).tolist()
+
+    flat = ints("flat")
+    nm: Dict[int, Set[int]] = {}
+    idx = 0
+    for root, count in zip(ints("roots"), ints("counts")):
+        nm[root] = set(flat[idx : idx + count])
+        idx += count
+    return nm
 
 
 def array_namespace():
@@ -244,6 +287,7 @@ class VectorizedEngineCore:
         *,
         policy: ConflictPolicy = ConflictPolicy.STRICT,
         xp=None,
+        positions: Optional[Dict[Pair, int]] = None,
     ) -> None:
         if xp is None:
             xp = array_namespace()
@@ -252,35 +296,42 @@ class VectorizedEngineCore:
                 "the vectorized backend requires numpy (install the 'perf' extra)"
             )
         self._xp = xp
-        pairs: List[Pair] = []
-        positions: Dict[Pair, int] = {}
-        for item in order:
-            pair = item.pair if isinstance(item, CandidatePair) else item
-            if pair not in positions:
-                positions[pair] = len(pairs)
-                pairs.append(pair)
+        if positions is not None:
+            # Trusted fast path: the caller already deduplicated the order
+            # into plain pairs, with ``positions`` mapping each pair to its
+            # index — skip re-walking the sequence.
+            pairs: List[Pair] = list(order)
+        else:
+            pairs = []
+            positions = {}
+            for item in order:
+                pair = item.pair if isinstance(item, CandidatePair) else item
+                if pair not in positions:
+                    positions[pair] = len(pairs)
+                    pairs.append(pair)
         self.pairs = pairs
         self._pos_of = positions
         m = len(pairs)
 
-        # Dense object ids and the parallel endpoint arrays.
+        # Dense object ids and the parallel endpoint arrays.  Ids are
+        # collected in plain lists first: per-element scatter into a numpy
+        # array costs more than the single bulk conversion at the end.
         id_of: Dict[Hashable, int] = {}
-        objects: List[Hashable] = []
-        left = xp.empty(m, dtype=xp.int64)
-        right = xp.empty(m, dtype=xp.int64)
-        for i, pair in enumerate(pairs):
-            obj_id = id_of.get(pair.left)
-            if obj_id is None:
-                obj_id = id_of[pair.left] = len(objects)
-                objects.append(pair.left)
-            left[i] = obj_id
-            obj_id = id_of.get(pair.right)
-            if obj_id is None:
-                obj_id = id_of[pair.right] = len(objects)
-                objects.append(pair.right)
-            right[i] = obj_id
+        left_ids: List[int] = []
+        right_ids: List[int] = []
+        setdefault = id_of.setdefault
+        for pair in pairs:
+            left_ids.append(setdefault(pair.left, len(id_of)))
+            right_ids.append(setdefault(pair.right, len(id_of)))
         self._id_of = id_of
-        self._objects = objects
+        # Dict insertion order *is* id order, so the id->object list falls
+        # out of the index for free.
+        self._objects = objects = list(id_of)
+        left = xp.asarray(left_ids, dtype=xp.int64)
+        right = xp.asarray(right_ids, dtype=xp.int64)
+        if m == 0:
+            left = xp.empty(0, dtype=xp.int64)
+            right = xp.empty(0, dtype=xp.int64)
         self._left = left
         self._right = right
         n = len(objects)
@@ -291,25 +342,14 @@ class VectorizedEngineCore:
         pair_arr[:] = pairs
         self._pair_arr = pair_arr
 
-        # Static candidate components via one full-order Boruvka pass.
-        _, comp_of_obj = _forest_mask(xp, left, right, n)
-        self._comp_of_obj = comp_of_obj
-        comp_of_pair = comp_of_obj[left] if m else xp.empty(0, dtype=xp.int64)
-        self._comp_of_pair = comp_of_pair
-        # Group order positions by component: a stable argsort on the
-        # component key keeps each slice in ascending position order.
-        self._comp_positions: Dict[int, object] = {}
-        if m:
-            by_comp = xp.argsort(comp_of_pair, kind="stable")
-            sorted_comps = comp_of_pair[by_comp]
-            boundary = xp.empty(sorted_comps.shape[0], dtype=bool)
-            boundary[0] = True
-            boundary[1:] = sorted_comps[1:] != sorted_comps[:-1]
-            starts = xp.nonzero(boundary)[0]
-            for t in range(starts.shape[0]):
-                start = int(starts[t])
-                stop = int(starts[t + 1]) if t + 1 < starts.shape[0] else m
-                self._comp_positions[int(sorted_comps[start])] = by_comp[start:stop]
+        # Static candidate components (one full-order Boruvka pass) are
+        # materialized lazily by :meth:`_ensure_components`: only the
+        # frontier path and the cross-component guard read them, so a
+        # snapshot restore of an already-finished campaign never pays for
+        # the decomposition.
+        self._comp_of_obj: Optional[object] = None
+        self._comp_of_pair: Optional[object] = None
+        self._comp_positions: Optional[Dict[int, object]] = None
 
         # Deduction graph state (the VectorizedClusterGraph contract's
         # backing store): union-find arrays over the dense ids, lazy "seen"
@@ -318,7 +358,8 @@ class VectorizedEngineCore:
         self._parent = xp.arange(n, dtype=xp.int64)
         self._size = xp.ones(n, dtype=xp.int64)
         self._seen = xp.zeros(n, dtype=bool)
-        self._nm: Dict[int, Set[int]] = {}
+        self._nm_store: Optional[Dict[int, Set[int]]] = {}
+        self._nm_packed: Optional[dict] = None
         self._n_objects = 0
         self._n_clusters = 0
         self._n_matching_edges = 0
@@ -331,16 +372,68 @@ class VectorizedEngineCore:
         self._excluded = xp.zeros(m, dtype=bool)
         self._withheld = xp.zeros(m, dtype=bool)
 
-        # Dirty-component bookkeeping.  The sweep set starts empty (nothing
-        # is deducible before any answer); the frontier set starts all-dirty
-        # so the first call reads the full state.
+        # Dirty bookkeeping.  Sweeps are root-granular: each union-find
+        # root owns the pending order positions touching its cluster, and
+        # an answer dirties only the roots it changed, so one sweep costs
+        # O(affected neighbourhood) instead of O(component).  The sweep
+        # set starts empty (nothing is deducible before any answer); the
+        # frontier set (component-granular — Algorithm 3 is a per-component
+        # computation) starts all-dirty so the first call reads the full
+        # state.
         self._sweep_dirty: Set[int] = set()
-        self._frontier_dirty: Set[int] = set(self._comp_positions)
+        self._root_pending: Dict[int, object] = {}
+        if m:
+            self._rebuild_root_pending(xp.arange(m, dtype=xp.int64))
+        self._frontier_all_dirty = True
+        self._frontier_dirty: Set[int] = set()
         self._nm_label_comps: Set[int] = set()
         self._cursors: Dict[int, FrontierCursor] = {}
         self._selected: Dict[int, object] = {}
         self._merged: Optional[List[Pair]] = None
         self._empty_positions = xp.empty(0, dtype=xp.int64)
+
+    def _ensure_components(self) -> None:
+        """Materialize the static component decomposition on first use.
+
+        Components drive the frontier computation and the cross-component
+        guard; the deduction sweep is root-granular and never reads them.
+        Comp-keyed state that accrued while the decomposition was absent
+        (nm-labeled components, the all-dirty frontier marker) is derived
+        here from the label masks, which carry the same information.
+        """
+        if self._comp_positions is not None:
+            return
+        xp = self._xp
+        m = len(self.pairs)
+        _, comp_of_obj = _forest_mask(xp, self._left, self._right, self.n_universe)
+        self._comp_of_obj = comp_of_obj
+        comp_of_pair = (
+            comp_of_obj[self._left] if m else xp.empty(0, dtype=xp.int64)
+        )
+        self._comp_of_pair = comp_of_pair
+        # Group order positions by component: a stable argsort on the
+        # component key keeps each slice in ascending position order.
+        comp_positions: Dict[int, object] = {}
+        if m:
+            by_comp = xp.argsort(comp_of_pair, kind="stable")
+            sorted_comps = comp_of_pair[by_comp]
+            boundary = xp.empty(sorted_comps.shape[0], dtype=bool)
+            boundary[0] = True
+            boundary[1:] = sorted_comps[1:] != sorted_comps[:-1]
+            starts = xp.nonzero(boundary)[0]
+            for t in range(starts.shape[0]):
+                start = int(starts[t])
+                stop = int(starts[t + 1]) if t + 1 < starts.shape[0] else m
+                comp_positions[int(sorted_comps[start])] = by_comp[start:stop]
+        self._comp_positions = comp_positions
+        if m:
+            nm_mask = self._label_code == _CODE_OF[Label.NON_MATCHING]
+            self._nm_label_comps = {
+                int(comp) for comp in xp.unique(comp_of_pair[nm_mask]).tolist()
+            }
+        if self._frontier_all_dirty:
+            self._frontier_dirty = set(comp_positions)
+            self._frontier_all_dirty = False
 
     # ------------------------------------------------------------------
     # inspection
@@ -348,6 +441,7 @@ class VectorizedEngineCore:
     @property
     def n_components(self) -> int:
         """Number of static candidate-graph components."""
+        self._ensure_components()
         return len(self._comp_positions)
 
     @property
@@ -377,6 +471,27 @@ class VectorizedEngineCore:
             self._n_objects += 1
             self._n_clusters += 1
 
+    @property
+    def _nm(self) -> Dict[int, Set[int]]:
+        """Root -> neighbour-roots non-matching adjacency.
+
+        After :meth:`restore_arrays` the adjacency stays in its packed
+        snapshot form until something actually reads it — deduction and
+        sweeps during live labeling do, but a restore that only serves
+        queries (e.g. recovering an already-finished campaign) never pays
+        the dict-of-sets rebuild.
+        """
+        nm = self._nm_store
+        if nm is None:
+            nm = self._nm_store = _unpack_adjacency(self._nm_packed)
+            self._nm_packed = None
+        return nm
+
+    @_nm.setter
+    def _nm(self, value: Dict[int, Set[int]]) -> None:
+        self._nm_store = value
+        self._nm_packed = None
+
     def _require_ids(self, pair: Pair) -> Tuple[int, int]:
         id_of = self._id_of
         i = id_of.get(pair.left)
@@ -387,6 +502,7 @@ class VectorizedEngineCore:
                 "vectorized graph is bound to the engine's candidate universe "
                 "(use the monolithic backend for open-world graphs)"
             )
+        self._ensure_components()
         if int(self._comp_of_obj[i]) != int(self._comp_of_obj[j]):
             raise ValueError(
                 f"{pair!r} spans two candidate components: the vectorized "
@@ -425,22 +541,53 @@ class VectorizedEngineCore:
             return False
         self._see(i)
         self._see(j)
-        comp = int(self._comp_of_obj[i])
         root_i = self._find(i)
         root_j = self._find(j)
         if label is Label.MATCHING:
             self._n_matching_edges += 1
             if root_i != root_j:
-                self._union(root_i, root_j)
-                self._sweep_dirty.add(comp)
+                survivor = self._union(root_i, root_j)
+                # Every pair the merge made deducible touches the merged
+                # cluster, and the loser's pending list just folded into
+                # the survivor's.
+                self._sweep_dirty.add(survivor)
         else:
             # admit_label rejected intra-cluster non-matching edges.
             if root_j not in self._nm.get(root_i, ()):
                 self._nm.setdefault(root_i, set()).add(root_j)
                 self._nm.setdefault(root_j, set()).add(root_i)
                 self._n_non_matching_edges += 1
-                self._sweep_dirty.add(comp)
+                self._sweep_dirty.add(root_i)
+                self._sweep_dirty.add(root_j)
         return True
+
+    def _rebuild_root_pending(self, positions) -> None:
+        """Key ``positions`` (pending order positions) by the current root
+        of each endpoint, one vectorized argsort pass.  A position lands in
+        both endpoints' lists; :meth:`sweep` de-duplicates on read."""
+        xp = self._xp
+        self._root_pending = {}
+        if not positions.shape[0]:
+            return
+        roots = xp.concatenate(
+            (
+                _find_many(xp, self._parent, self._left[positions]),
+                _find_many(xp, self._parent, self._right[positions]),
+            )
+        )
+        doubled = xp.concatenate((positions, positions))
+        order_idx = xp.argsort(roots, kind="stable")
+        sorted_roots = roots[order_idx]
+        doubled = doubled[order_idx]
+        boundary = xp.empty(sorted_roots.shape[0], dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_roots[1:] != sorted_roots[:-1]
+        starts = xp.nonzero(boundary)[0]
+        n_runs = starts.shape[0]
+        for t in range(n_runs):
+            start = int(starts[t])
+            stop = int(starts[t + 1]) if t + 1 < n_runs else sorted_roots.shape[0]
+            self._root_pending[int(sorted_roots[start])] = doubled[start:stop]
 
     def _union(self, root_a: int, root_b: int) -> int:
         """Union by size with monolithic-style nm-adjacency rewiring."""
@@ -468,6 +615,15 @@ class VectorizedEngineCore:
                     survivor_nm.add(neighbour)
             if not survivor_nm:
                 del self._nm[survivor]
+        loser_pending = self._root_pending.pop(loser, None)
+        if loser_pending is not None:
+            mine = self._root_pending.get(survivor)
+            if mine is None:
+                self._root_pending[survivor] = loser_pending
+            else:
+                self._root_pending[survivor] = self._xp.concatenate(
+                    (mine, loser_pending)
+                )
         return survivor
 
     # ------------------------------------------------------------------
@@ -482,9 +638,11 @@ class VectorizedEngineCore:
         self._label_code[pos] = _CODE_OF[label]
         self._excluded[pos] = False
         self._withheld[pos] = False
-        if label is Label.NON_MATCHING:
+        if label is Label.NON_MATCHING and self._comp_of_pair is not None:
             # The component leaves the MSF fast path for good: negative
-            # deducibility needs the full optimistic scan.
+            # deducibility needs the full optimistic scan.  Before the
+            # decomposition exists this is a no-op — _ensure_components
+            # rederives the set from the label mask.
             self._nm_label_comps.add(int(self._comp_of_pair[pos]))
 
     def note_published(self, batch: Sequence[Pair]) -> None:
@@ -509,7 +667,10 @@ class VectorizedEngineCore:
         pos = self._pos_of.get(pair)
         if pos is None:
             return
-        self._frontier_dirty.add(int(self._comp_of_pair[pos]))
+        if self._comp_of_pair is not None:
+            self._frontier_dirty.add(int(self._comp_of_pair[pos]))
+        # else: _frontier_all_dirty still holds — the first frontier()
+        # call dirties every component anyway.
         self._merged = None
 
     # ------------------------------------------------------------------
@@ -518,13 +679,20 @@ class VectorizedEngineCore:
     def sweep(self) -> List[Tuple[Pair, Label]]:
         """Resolve every pending pair the answers so far imply.
 
-        One bulk pass per dirty component: vectorized find over both
-        endpoint arrays of the component's pending pairs decides matching
-        deductions (equal roots); the surviving cross-cluster pairs probe
-        the nm adjacency.  Exactly the pairs
-        :class:`~repro.core.sweep.PendingPairIndex` would resolve — both
-        compute "all pending deducible pairs", and answers being order
-        pairs keeps every new deduction inside the dirtied component.
+        One bulk pass over the dirty roots' pending lists: vectorized find
+        over both endpoint arrays decides matching deductions (equal
+        roots); the surviving cross-cluster pairs probe the nm adjacency.
+        Exactly the pairs :class:`~repro.core.sweep.PendingPairIndex`
+        would resolve — both compute "all pending deducible pairs", and a
+        pair can only become deducible through an answer that dirtied a
+        root its endpoint now resolves to (a union folds the loser's
+        pending list into the dirtied survivor; a new nm edge dirties
+        both roots it connects, and rewired nm edges are all incident to
+        the dirtied survivor).
+
+        Visited pending lists are compacted on the way: already-labeled
+        positions drop out for good, withheld positions stay listed (they
+        leave the pending set only by being labeled).
 
         Returns:
             (pair, implied label) per newly resolved pair, in order
@@ -536,33 +704,54 @@ class VectorizedEngineCore:
         xp = self._xp
         dirty = self._sweep_dirty
         self._sweep_dirty = set()
-        resolved: List[Tuple[int, Pair, Label]] = []
-        pairs = self.pairs
-        for comp in dirty:
-            positions = self._comp_positions[comp]
-            pending = positions[
-                (self._label_code[positions] == CODE_UNLABELED)
-                & ~self._withheld[positions]
-            ]
-            if not pending.shape[0]:
+        chunks: List[object] = []
+        visited: Set[int] = set()
+        for r in dirty:
+            live = self._find(int(r))  # a dirtied root may have retired
+            if live in visited:
                 continue
-            roots_l = _find_many(xp, self._parent, self._left[pending])
-            roots_r = _find_many(xp, self._parent, self._right[pending])
-            seen = self._seen[self._left[pending]] & self._seen[self._right[pending]]
-            same = (roots_l == roots_r) & seen
-            for pos in pending[same].tolist():
-                resolved.append((pos, pairs[pos], Label.MATCHING))
-            if self._nm:
-                nm = self._nm
-                cross = seen & ~same
-                if bool(cross.any()):
-                    for pos, root_a, root_b in zip(
-                        pending[cross].tolist(),
-                        roots_l[cross].tolist(),
-                        roots_r[cross].tolist(),
-                    ):
-                        if root_b in nm.get(root_a, ()):
-                            resolved.append((pos, pairs[pos], Label.NON_MATCHING))
+            visited.add(live)
+            positions = self._root_pending.get(live)
+            if positions is None:
+                continue
+            keep = self._label_code[positions] == CODE_UNLABELED
+            if not bool(keep.all()):
+                positions = positions[keep]
+                if positions.shape[0]:
+                    self._root_pending[live] = positions
+                else:
+                    del self._root_pending[live]
+                    continue
+            chunks.append(positions)
+        if not chunks:
+            return []
+        # A position sits in both endpoints' lists: de-duplicate (unique
+        # also sorts, giving order-position output for free).
+        pending = xp.unique(
+            chunks[0] if len(chunks) == 1 else xp.concatenate(chunks)
+        )
+        pending = pending[~self._withheld[pending]]
+        if not pending.shape[0]:
+            return []
+        roots_l = _find_many(xp, self._parent, self._left[pending])
+        roots_r = _find_many(xp, self._parent, self._right[pending])
+        seen = self._seen[self._left[pending]] & self._seen[self._right[pending]]
+        same = (roots_l == roots_r) & seen
+        pairs = self.pairs
+        resolved: List[Tuple[int, Pair, Label]] = []
+        for pos in pending[same].tolist():
+            resolved.append((pos, pairs[pos], Label.MATCHING))
+        if self._nm:
+            nm = self._nm
+            cross = seen & ~same
+            if bool(cross.any()):
+                for pos, root_a, root_b in zip(
+                    pending[cross].tolist(),
+                    roots_l[cross].tolist(),
+                    roots_r[cross].tolist(),
+                ):
+                    if root_b in nm.get(root_a, ()):
+                        resolved.append((pos, pairs[pos], Label.NON_MATCHING))
         resolved.sort(key=lambda entry: entry[0])
         return [(pair, label) for _, pair, label in resolved]
 
@@ -583,6 +772,7 @@ class VectorizedEngineCore:
         """
         if self._merged is not None and not self._frontier_dirty:
             return list(self._merged)
+        self._ensure_components()
         xp = self._xp
         dirty = self._frontier_dirty
         self._frontier_dirty = set()
@@ -698,6 +888,149 @@ class VectorizedEngineCore:
         assert not bool(self._excluded[labeled_positions].any()), (
             "a labeled pair is still marked published"
         )
+        for root in self._root_pending:
+            assert self._find(root) == root, (
+                f"pending list keyed by retired root {root}"
+            )
+        pending = xp.nonzero(self._label_code == CODE_UNLABELED)[0]
+        if pending.shape[0]:
+            listed: Set[int] = set()
+            for positions in self._root_pending.values():
+                listed.update(positions.tolist())
+            missing = set(pending.tolist()) - listed
+            assert not missing, (
+                f"pending positions missing from root lists: {sorted(missing)[:5]}"
+            )
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (the near-native serialization seam)
+    # ------------------------------------------------------------------
+    def snapshot_arrays(self) -> dict:
+        """Serialize the flat array state near-natively.
+
+        The union-find, seen mask, label/exclusion masks, nm adjacency,
+        and counters are the *entire* deduction-graph state; everything
+        else (static component decomposition, cursors, dirty sets) is
+        either rebuilt from the order or a recoverable cache.  Arrays ship
+        as base64 over explicit little-endian dtypes, keeping the payload
+        JSON-serializable for the journal.
+        """
+        import base64
+
+        import numpy
+
+        def b64(arr, dtype) -> str:
+            data = numpy.ascontiguousarray(numpy.asarray(arr), dtype=dtype)
+            return base64.b64encode(data.tobytes()).decode("ascii")
+
+        pos_of = self._pos_of
+        return {
+            "kind": VECTOR_SNAPSHOT_KIND,
+            "n_universe": self.n_universe,
+            "n_pairs": len(self.pairs),
+            "parent": b64(self._parent, "<i4"),
+            "size": b64(self._size, "<i4"),
+            "seen": b64(self._seen, "|b1"),
+            "label_code": b64(self._label_code, "|i1"),
+            "excluded": b64(self._excluded, "|b1"),
+            "withheld": b64(self._withheld, "|b1"),
+            # The nm adjacency packs as three parallel columns (sorted
+            # roots, per-root neighbour counts, flattened sorted
+            # neighbours): one b64 string per column keeps the JSON line
+            # flat and lets restore rebuild the dict from C-speed slices.
+            # If the adjacency is still in packed form from a restore it
+            # round-trips untouched.
+            "nm": (
+                self._nm_packed
+                if self._nm_store is None
+                else _pack_adjacency(self._nm_store, b64)
+            ),
+            "counters": [
+                self._n_objects,
+                self._n_clusters,
+                self._n_matching_edges,
+                self._n_non_matching_edges,
+            ],
+            "conflicts": [
+                [pos_of[c.pair], _CODE_OF[c.label], _CODE_OF[c.implied]]
+                for c in self.conflicts
+            ],
+        }
+
+    def restore_arrays(self, payload: dict) -> bool:
+        """Load a :meth:`snapshot_arrays` payload into this (fresh) core.
+
+        Returns False — leaving the core untouched — when the payload is
+        not this encoding or was taken over a different order shape, so
+        callers can fall back to per-record replay.  Dirty sets are reset
+        conservatively (every live root with pending pairs re-sweeps,
+        every component recomputes its first frontier), which preserves
+        the sweep/frontier contracts without serializing cache state.
+        """
+        if payload.get("kind") != VECTOR_SNAPSHOT_KIND:
+            return False
+        if payload.get("n_universe") != self.n_universe or payload.get(
+            "n_pairs"
+        ) != len(self.pairs):
+            return False
+        import base64
+
+        import numpy
+
+        def arr(key: str, dtype, native_dtype, n: int):
+            data = numpy.frombuffer(base64.b64decode(payload[key]), dtype=dtype)
+            if data.shape[0] != n:
+                raise ValueError(
+                    f"vectorized snapshot field {key!r} has {data.shape[0]} "
+                    f"elements, expected {n}"
+                )
+            return self._xp.asarray(data.astype(native_dtype))
+
+        n, m = self.n_universe, len(self.pairs)
+        self._parent = arr("parent", "<i4", numpy.int64, n)
+        self._size = arr("size", "<i4", numpy.int64, n)
+        self._seen = arr("seen", "|b1", bool, n)
+        self._label_code = arr("label_code", "|i1", numpy.int8, m)
+        self._excluded = arr("excluded", "|b1", bool, m)
+        self._withheld = arr("withheld", "|b1", bool, m)
+        self._nm_store = None
+        self._nm_packed = payload["nm"]
+        (
+            self._n_objects,
+            self._n_clusters,
+            self._n_matching_edges,
+            self._n_non_matching_edges,
+        ) = (int(value) for value in payload["counters"])
+        self.conflicts = [
+            Conflict(self.pairs[pos], _LABEL_FROM_CODE[label], _LABEL_FROM_CODE[implied])
+            for pos, label, implied in payload["conflicts"]
+        ]
+        if self._comp_positions is not None:
+            self._nm_label_comps = {
+                int(comp)
+                for comp in numpy.asarray(self._comp_of_pair)[
+                    numpy.asarray(self._label_code) == _CODE_OF[Label.NON_MATCHING]
+                ].tolist()
+            }
+            self._frontier_dirty = set(self._comp_positions)
+        else:
+            # The decomposition hasn't been forced yet: leave it lazy
+            # (restores of finished campaigns never need it) and let
+            # _ensure_components derive the nm/dirty sets on first use.
+            self._nm_label_comps = set()
+            self._frontier_dirty = set()
+            self._frontier_all_dirty = True
+        # Re-key the pending lists under the restored union-find and dirty
+        # every live root: the snapshot carries no cache state, so the
+        # first sweep re-derives whatever was deducible-but-unswept.
+        xp = self._xp
+        pending = xp.nonzero(self._label_code == CODE_UNLABELED)[0].astype(xp.int64)
+        self._rebuild_root_pending(pending)
+        self._sweep_dirty = set(self._root_pending)
+        self._cursors = {}
+        self._selected = {}
+        self._merged = None
+        return True
 
 
 # ----------------------------------------------------------------------

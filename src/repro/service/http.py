@@ -12,6 +12,7 @@ GET      ``/campaigns/<id>``             inspect one campaign
 POST     ``/campaigns/<id>/pause``       stop issuing new HITs
 POST     ``/campaigns/<id>/resume``      resume issuance (deferred work fires)
 POST     ``/campaigns/<id>/cancel``      cancel; journal survives for recovery
+POST     ``/campaigns/<id>/compact``     snapshot + compact the campaign journal
 =======  ==============================  ===========================================
 
 Responses are JSON.  Errors: 400 for a malformed spec or an unregistered
@@ -155,6 +156,12 @@ class CampaignHTTPServer:
                 return 200, self._service.resume(campaign_id).status()
             if action == "cancel":
                 campaign = await self._service.cancel(campaign_id)
+                return 200, campaign.status()
+            if action == "compact":
+                try:
+                    campaign = await self._service.compact(campaign_id)
+                except RuntimeError as exc:  # failed/cancelled campaign
+                    return 400, {"error": str(exc)}
                 return 200, campaign.status()
             return 404, {"error": f"unknown action {action!r}"}
         return 404, {"error": f"no route for {path!r}"}

@@ -44,7 +44,6 @@ on a live platform); a crash anywhere else loses nothing.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -52,7 +51,7 @@ from ..core.pairs import Label, Pair
 from ..crowd.clients import HITExpiry, PlatformClient, PlatformEvent
 from ..crowd.hit import HIT
 from ..crowd.platform import HITCompletion
-from ..spec import decode_pair, encode_pair
+from ..spec import decode_canonical_pair, encode_pair
 from .journal import Journal, JournalReplayError
 
 
@@ -64,7 +63,7 @@ def _encode_labels(labels: Dict[Pair, Label]) -> List[List[Any]]:
 
 def _decode_labels(entries: Sequence[Sequence[Any]]) -> Dict[Pair, Label]:
     return {
-        decode_pair(entry[:2]): Label(entry[2]) for entry in entries
+        decode_canonical_pair(entry[:2]): Label(entry[2]) for entry in entries
     }
 
 
@@ -98,7 +97,7 @@ class JournalingPlatformClient:
         self._outstanding: Dict[int, HIT] = {}
         #: ext hit_id -> the timeout it was issued with (for adoption).
         self._issue_timeouts: Dict[int, Optional[float]] = {}
-        self._ext_counter = itertools.count()
+        self._ext_next = 0
         self._inner_to_ext: Dict[int, int] = {}
         self._ext_to_inner: Dict[int, int] = {}
         #: client-clock time while replaying (last record's timestamp).
@@ -138,6 +137,94 @@ class JournalingPlatformClient:
         return not self._live
 
     # ------------------------------------------------------------------
+    # snapshot / restore (journal compaction)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Serialize the wrapper's externally-visible state.
+
+        Valid only at a runtime safe point (the service takes snapshots
+        from the runtime's ``on_safe_point`` hook, or when the campaign is
+        provably quiescent), and never mid-replay — a snapshot taken while
+        the journal tail is still being consumed would disagree with the
+        tail's sequence numbering.
+        """
+        if not self._live:
+            raise RuntimeError(
+                "cannot snapshot a journaling client while it is replaying"
+            )
+        return {
+            "version": 1,
+            "ext_next": self._ext_next,
+            "outstanding": [
+                [
+                    ext_id,
+                    [encode_pair(p) for p in self._outstanding[ext_id].pairs],
+                    self._outstanding[ext_id].n_assignments,
+                    self._issue_timeouts.get(ext_id),
+                ]
+                for ext_id in sorted(self._outstanding)
+            ],
+        }
+
+    def restore_state(self, snapshot: Dict[str, Any]) -> None:
+        """Seed a fresh wrapper from a journaled snapshot record.
+
+        Must be called before any platform traffic.  The wrapper is left in
+        replay mode even when the post-snapshot tail is empty, so the first
+        ``next_event``/``submit_pairs`` runs :meth:`_go_live` and adopts the
+        restored outstanding HITs onto the fresh inner client (re-submitted
+        directly — their assignments were budget-charged at first issue).
+        """
+        if self._outstanding or self._inner_to_ext or self._ext_next:
+            raise RuntimeError(
+                "restore_state requires a freshly constructed client"
+            )
+        if int(snapshot.get("version", -1)) != 1:
+            raise JournalReplayError(
+                f"unsupported client snapshot version {snapshot.get('version')!r}"
+            )
+        self._ext_next = int(snapshot["ext_next"])
+        for ext_id, pairs, n_assignments, timeout in snapshot["outstanding"]:
+            hit = HIT(
+                hit_id=int(ext_id),
+                pairs=tuple(decode_canonical_pair(entry) for entry in pairs),
+                n_assignments=int(n_assignments),
+            )
+            self._outstanding[hit.hit_id] = hit
+            self._issue_timeouts[hit.hit_id] = (
+                None if timeout is None else float(timeout)
+            )
+        self._live = False
+
+    def take_replay_completion(self) -> Optional[HITCompletion]:
+        """Pop the next journaled record *iff* it is a loop completion.
+
+        The runtime's HIT-rounds mode uses this to coalesce consecutive
+        journaled completions into one deduction sweep during replay.  Any
+        other record type (or live mode, or an exhausted journal) returns
+        ``None`` without consuming anything, leaving ``next_event`` to
+        handle it through the normal path.
+        """
+        if self._live:
+            return None
+        while self._replay and self._replay[0].get("type") == "note":
+            self._replay.popleft()
+        if not self._replay:
+            return None
+        head = self._replay[0]
+        if head.get("type") != "completion" or head.get("leftover"):
+            return None
+        record = self._replay.popleft()
+        hit = self._pop_outstanding(record, "completion")
+        self._replay_now = float(record.get("completed_at", self._replay_now))
+        return HITCompletion(
+            hit=hit,
+            labels=_decode_labels(record["labels"]),
+            completed_at=float(record["completed_at"]),
+            assignments=(),
+        )
+
+    # ------------------------------------------------------------------
     # replay plumbing
     # ------------------------------------------------------------------
     def _divergence(self, expected: str, record: Dict[str, Any]) -> JournalReplayError:
@@ -151,12 +238,11 @@ class JournalingPlatformClient:
     def _restore_hit(self, record: Dict[str, Any]) -> HIT:
         hit = HIT(
             hit_id=int(record["hit_id"]),
-            pairs=tuple(decode_pair(entry) for entry in record["pairs"]),
+            pairs=tuple(decode_canonical_pair(entry) for entry in record["pairs"]),
             n_assignments=int(record["n_assignments"]),
         )
         # Keep the ext id allocator ahead of every replayed id.
-        while next(self._ext_counter) < hit.hit_id:
-            pass
+        self._ext_next = max(self._ext_next, hit.hit_id + 1)
         return hit
 
     def _pop_outstanding(self, record: Dict[str, Any], kind: str) -> HIT:
@@ -268,7 +354,8 @@ class JournalingPlatformClient:
         inner_hits = await self._inner.submit_pairs(pairs, timeout=timeout)
         ext_hits: List[HIT] = []
         for inner_hit in inner_hits:
-            ext_id = next(self._ext_counter)
+            ext_id = self._ext_next
+            self._ext_next += 1
             ext_hit = HIT(
                 hit_id=ext_id,
                 pairs=inner_hit.pairs,

@@ -20,7 +20,15 @@ Lifecycle:
 * :meth:`recover` — called on process start: every journal found under the
   root is replayed through a fresh runtime via
   :class:`~repro.service.journaling.JournalingPlatformClient`, rebuilding
-  identical engine state, then the campaign continues live.
+  identical engine state, then the campaign continues live.  A journal
+  holding a ``snapshot`` record recovers on the fast path: engine, client,
+  and runtime state load directly from the snapshot and only the
+  post-snapshot tail is replayed.
+* :meth:`compact` — snapshot the campaign at the next safe point and
+  atomically rewrite its journal as header + snapshot + tail, bounding
+  both the journal's size and the next recovery's replay time.  The
+  per-spec ``journal.compact_every`` knob does the same automatically
+  every N records, and :meth:`pause` requests one opportunistically.
 
 Platform clients are built by registered *factories* (``kind`` →
 ``factory(spec) -> PlatformClient``).  The built-in ``"in-memory"`` kind
@@ -85,13 +93,19 @@ def in_memory_client_factory(spec: CampaignSpec) -> PlatformClient:
     produced — the property the recovery differential tests pin down.
     """
     options = dict(spec.platform.options)
-    answers = {
-        Pair(entry[0], entry[1]): Label(entry[2])
-        for entry in options.get("answers", [])
-    }
+    # Decoded lazily: a snapshot-recovered campaign with an empty tail may
+    # never ask for a single answer, and a 100k-entry script would otherwise
+    # dominate its client construction cost.
+    scripted = options.get("answers", [])
+    answers: Optional[Dict[Pair, Label]] = None
     default_label = options.get("default_label")
 
     def answer(pair: Pair) -> Label:
+        nonlocal answers
+        if answers is None:
+            answers = {
+                Pair(entry[0], entry[1]): Label(entry[2]) for entry in scripted
+            }
         if pair in answers:
             return answers[pair]
         if default_label is not None:
@@ -136,11 +150,21 @@ class Campaign:
     task: Optional["asyncio.Task"] = None
     error: Optional[str] = None
     recovered: bool = False
+    #: seq of the latest snapshot record covering this campaign (0 = none;
+    #: the header is seq 0, so a real snapshot always has seq >= 1).
+    last_snapshot_seq: int = 0
+    #: an operator (or pause) asked for a compaction at the next safe point.
+    compact_requested: bool = False
     _journal: Journal = field(default=None, repr=False)  # type: ignore[assignment]
+    _compacted: "asyncio.Event" = field(default=None, repr=False)  # type: ignore[assignment]
 
     def status(self) -> Dict[str, Any]:
         """A JSON-ready snapshot of the campaign (the HTTP inspect body)."""
         report = self.runtime.report
+        try:
+            journal_bytes = os.path.getsize(self.journal_path)
+        except OSError:
+            journal_bytes = 0
         return {
             "campaign_id": self.campaign_id,
             "state": self.state.value,
@@ -155,6 +179,8 @@ class Campaign:
             "n_outstanding_hits": self.client.n_outstanding_hits,
             "replaying": self.client.replaying,
             "journal_seq": self._journal.next_seq - 1,
+            "journal_bytes": journal_bytes,
+            "last_snapshot_seq": self.last_snapshot_seq,
             "recovered": self.recovered,
             "error": self.error,
         }
@@ -228,6 +254,13 @@ class CampaignService:
             ):
                 return campaign_id
 
+    def _journal_fsync_every(self, spec: CampaignSpec) -> int:
+        return (
+            self._fsync_every
+            if spec.journal.fsync_every is None
+            else spec.journal.fsync_every
+        )
+
     def _host(
         self,
         campaign_id: str,
@@ -236,6 +269,7 @@ class CampaignService:
         replay_events: List[Dict[str, Any]],
         *,
         recovered: bool,
+        snapshot: Optional[Dict[str, Any]] = None,
     ) -> Campaign:
         client = JournalingPlatformClient(
             self._make_inner_client(spec), journal, replay_events=replay_events
@@ -243,6 +277,12 @@ class CampaignService:
         engine = spec.build_engine()
         gate = PauseGate()
         runtime = CrowdRuntime(engine, client, spec=spec, gate=gate)
+        if snapshot is not None:
+            # Fast-path recovery: load state directly instead of replaying
+            # the dropped prefix; only the post-snapshot tail replays.
+            engine.restore_state(snapshot["engine"])
+            client.restore_state(snapshot["client"])
+            runtime.restore_state(snapshot["runtime"])
         campaign = Campaign(
             campaign_id=campaign_id,
             spec=spec,
@@ -252,8 +292,11 @@ class CampaignService:
             client=client,
             gate=gate,
             recovered=recovered,
+            last_snapshot_seq=int(snapshot["seq"]) if snapshot else 0,
             _journal=journal,
+            _compacted=asyncio.Event(),
         )
+        runtime.on_safe_point = lambda: self._on_safe_point(campaign)
         self._campaigns[campaign_id] = campaign
         campaign.task = asyncio.get_running_loop().create_task(
             self._drive(campaign), name=f"campaign-{campaign_id}"
@@ -288,7 +331,7 @@ class CampaignService:
         self._make_inner_client(spec)
         journal = Journal(
             os.path.join(self.root, campaign_id, JOURNAL_FILENAME),
-            fsync_every=self._fsync_every,
+            fsync_every=self._journal_fsync_every(spec),
         )
         journal.append(
             {
@@ -306,9 +349,11 @@ class CampaignService:
 
         Campaigns already hosted in this process are skipped, so calling
         ``recover`` twice is safe.  Each journal is repaired
-        (:meth:`Journal.read` truncates a torn final line), replayed
-        through a fresh runtime to identical engine state, then continued
-        live from where the dead process stopped.
+        (:meth:`Journal.read` truncates a torn final line), then either
+        fast-pathed from its latest ``snapshot`` record (state loads
+        directly; only the post-snapshot tail replays) or, without one,
+        fully replayed through a fresh runtime to identical engine state —
+        and continued live from where the dead process stopped.
         """
         recovered: List[str] = []
         if not os.path.isdir(self.root):
@@ -320,18 +365,138 @@ class CampaignService:
             if not os.path.isfile(path):
                 continue
             header, events = Journal.read(path, repair=True)
-            spec = CampaignSpec.from_dict(header["spec"])
-            journal = Journal(path, fsync_every=self._fsync_every)
-            self._host(campaign_id, spec, journal, events, recovered=True)
+            spec = CampaignSpec.from_dict(header["spec"], trusted_order=True)
+            journal = Journal(
+                path,
+                fsync_every=self._journal_fsync_every(spec),
+                # read() above just parsed and repaired this very file;
+                # re-parsing a 100k-record journal to rediscover the next
+                # seq would double recovery's fixed cost.
+                resume_seq=(events[-1]["seq"] if events else header["seq"]) + 1,
+            )
+            snapshot = None
+            for i in range(len(events) - 1, -1, -1):
+                if events[i].get("type") == "snapshot":
+                    snapshot = events[i]
+                    events = events[i + 1:]
+                    break
+            self._host(
+                campaign_id, spec, journal, events,
+                recovered=True, snapshot=snapshot,
+            )
             recovered.append(campaign_id)
         return recovered
 
+    # ------------------------------------------------------------------
+    # journal compaction
+    # ------------------------------------------------------------------
+    def _on_safe_point(self, campaign: Campaign) -> None:
+        """Compaction policy, invoked at every runtime safe point.
+
+        At a safe point the engine/client/runtime state is exactly the
+        journaled record sequence, so a snapshot taken here covers
+        precisely the records before it.  Never fires mid-replay: a
+        snapshot then would disagree with the still-unconsumed tail.
+        """
+        if campaign.client.replaying:
+            return
+        due = campaign.compact_requested
+        compact_every = campaign.spec.journal.compact_every
+        if not due and compact_every is not None:
+            behind = campaign._journal.next_seq - 1 - campaign.last_snapshot_seq
+            due = behind >= compact_every
+        if due:
+            self._compact_campaign(campaign)
+
+    def _compact_campaign(self, campaign: Campaign) -> int:
+        """Append a snapshot record (unless one already sits at the tail)
+        and atomically rewrite the journal; returns records dropped."""
+        journal = campaign._journal
+        dropped = 0
+        if journal.next_seq > 1:  # something journaled beyond the header
+            if campaign.last_snapshot_seq != journal.next_seq - 1:
+                campaign.last_snapshot_seq = journal.append(
+                    {
+                        "type": "snapshot",
+                        "last_seq": journal.next_seq - 1,
+                        "engine": campaign.engine.snapshot_state(),
+                        "client": campaign.client.snapshot_state(),
+                        "runtime": campaign.runtime.snapshot_state(),
+                    }
+                )
+                journal.flush()
+            dropped = journal.compact()
+        campaign.compact_requested = False
+        campaign._compacted.set()
+        return dropped
+
+    async def compact(self, campaign_id: str) -> Campaign:
+        """Snapshot + compact the campaign's journal; returns the campaign.
+
+        A live campaign compacts at its next safe point (a parked paused
+        campaign is poked through one); a finished (``done``) campaign
+        compacts immediately through a reopened journal.  Failed or
+        cancelled campaigns refuse: their runtime may have stopped between
+        a publish and its journal record, so no consistent snapshot exists.
+        """
+        campaign = self.get(campaign_id)
+        if campaign.task is not None and not campaign.task.done():
+            campaign.compact_requested = True
+            campaign._compacted.clear()
+            campaign.gate.poke()
+            waiter = asyncio.ensure_future(campaign._compacted.wait())
+            try:
+                await asyncio.wait(
+                    [waiter, campaign.task],
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                waiter.cancel()
+            if campaign._compacted.is_set():
+                return campaign
+            # The task finished before reaching another safe point — fall
+            # through to the quiescent path below.
+        if campaign.state in (CampaignState.FAILED, CampaignState.CANCELLED):
+            raise RuntimeError(
+                f"campaign {campaign_id!r} is {campaign.state.value}: its "
+                "state may not match the journal, refusing to snapshot"
+            )
+        journal = campaign._journal
+        reopened = journal.closed
+        if reopened:
+            # The runtime closed the journal when it finished; reopen it
+            # just for the snapshot + rewrite.
+            journal = Journal(
+                journal.path,
+                fsync_every=self._journal_fsync_every(campaign.spec),
+            )
+            campaign._journal = journal
+        try:
+            self._compact_campaign(campaign)
+        finally:
+            if reopened:
+                journal.close()
+        return campaign
+
     def pause(self, campaign_id: str) -> Campaign:
-        """Stop issuing new HITs; in-flight completions still apply."""
+        """Stop issuing new HITs; in-flight completions still apply.
+
+        For campaigns that opted into compaction (``journal.compact_every``
+        in the spec), pausing also requests an opportunistic compaction: a
+        pause is the natural moment to bound recovery time, and the next
+        safe point the (still-consuming) runtime passes performs it.
+        """
         campaign = self.get(campaign_id)
         if campaign.state is CampaignState.RUNNING:
             campaign.gate.pause()
             campaign.state = CampaignState.PAUSED
+            if (
+                campaign.spec.journal.compact_every is not None
+                and campaign._journal.next_seq > 1
+                and not campaign.client.replaying
+            ):
+                campaign.compact_requested = True
+                campaign._compacted.clear()
         return campaign
 
     def resume(self, campaign_id: str) -> Campaign:

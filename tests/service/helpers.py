@@ -18,7 +18,7 @@ from repro.crowd.clients import (
     ManualClock,
     PollingPlatformClient,
 )
-from repro.spec import CampaignSpec, PlatformConfig
+from repro.spec import CampaignSpec, JournalConfig, PlatformConfig
 
 
 def cluster_workload(
@@ -55,6 +55,7 @@ def make_spec(
     n_workers: Optional[int] = None,
     extra_options: Optional[dict] = None,
     kind: str = "in-memory",
+    journal: Optional[JournalConfig] = None,
 ) -> CampaignSpec:
     pairs, answers = cluster_workload(n_clusters=n_clusters)
     options = {"answers": answers}
@@ -66,6 +67,7 @@ def make_spec(
         backend=backend,
         parallel_threshold=parallel_threshold,
         n_workers=n_workers,
+        journal=journal or JournalConfig(),
         platform=PlatformConfig(
             kind=kind,
             batch_size=batch_size,

@@ -124,6 +124,44 @@ def test_error_statuses(tmp_path):
     run_with_server(tmp_path, scenario)
 
 
+def test_compact_action(tmp_path):
+    async def scenario(service, request):
+        # A spec with journal knobs round-trips through the HTTP create body.
+        # batch_size=1 gives the journal enough per-pair records that the
+        # snapshot rewrite visibly shrinks it.
+        spec_doc = json.loads(make_spec("instant", batch_size=1).to_json())
+        spec_doc["journal"] = {"fsync_every": 4}
+        status, created = await request("POST", "/campaigns", json.dumps(spec_doc))
+        assert status == 201
+        cid = created["campaign_id"]
+        assert created["last_snapshot_seq"] == 0
+        assert created["journal_bytes"] > 0
+        campaign = await service.wait(cid)
+        assert campaign.spec.journal.fsync_every == 4
+        _, full = await request("GET", f"/campaigns/{cid}")
+
+        status, snap = await request("POST", f"/campaigns/{cid}/compact")
+        assert status == 200
+        assert snap["state"] == "done"
+        assert snap["last_snapshot_seq"] > 0
+        # Compaction shrank the on-disk journal.
+        assert 0 < snap["journal_bytes"] < full["journal_bytes"]
+
+        # A cancelled campaign's journal may trail its in-memory state: 400.
+        _, other = await request(
+            "POST",
+            "/campaigns",
+            make_spec("instant", n_clusters=12, kind="stepped-in-memory").to_json(),
+        )
+        await request("POST", f"/campaigns/{other['campaign_id']}/cancel")
+        status, body = await request(
+            "POST", f"/campaigns/{other['campaign_id']}/compact"
+        )
+        assert status == 400 and "cancelled" in body["error"]
+
+    run_with_server(tmp_path, scenario)
+
+
 def test_malformed_request_line_is_400_not_a_crash(tmp_path):
     async def main():
         service = CampaignService(tmp_path)

@@ -163,3 +163,130 @@ def test_append_after_close_raises(tmp_path):
     journal.close()
     with pytest.raises(ValueError, match="closed"):
         journal.append(HEADER)
+
+
+# ----------------------------------------------------------------------
+# format v2: snapshot records + compaction
+# ----------------------------------------------------------------------
+def snapshot_record(journal: Journal) -> dict:
+    """A minimal well-formed snapshot record for the journal's next slot."""
+    return {"type": "snapshot", "last_seq": journal.next_seq - 1, "engine": {}}
+
+
+def test_compact_drops_prefix_and_keeps_tail_seqs(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(str(path))
+    journal.append(HEADER)
+    for i in range(4):
+        journal.append({"type": "note", "text": f"before {i}"})
+    snap_seq = journal.append(snapshot_record(journal))
+    journal.append({"type": "note", "text": "after"})
+    dropped = journal.compact()
+    assert dropped == 4
+    # The journal stays appendable through the rewrite, seq uninterrupted.
+    assert journal.append({"type": "note", "text": "post-compact"}) == snap_seq + 2
+    journal.close()
+
+    header, events = Journal.read(str(path))
+    assert header["version"] == JOURNAL_VERSION
+    assert [e["type"] for e in events] == ["snapshot", "note", "note"]
+    assert [e["seq"] for e in events] == [snap_seq, snap_seq + 1, snap_seq + 2]
+    # A reopened writer continues after the preserved tail.
+    reopened = Journal(str(path))
+    assert reopened.next_seq == snap_seq + 3
+    reopened.close()
+
+
+def test_compact_without_snapshot_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(str(path))
+    journal.append(HEADER)
+    journal.append({"type": "note", "text": "x"})
+    with pytest.raises(ValueError, match="no snapshot"):
+        journal.compact()
+    journal.close()
+
+
+def test_compact_is_idempotent(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(str(path))
+    journal.append(HEADER)
+    journal.append({"type": "note", "text": "x"})
+    journal.append(snapshot_record(journal))
+    assert journal.compact() == 1
+    before = open(path, "rb").read()
+    assert journal.compact() == 0
+    journal.close()
+    assert open(path, "rb").read() == before
+
+
+def test_seq_jump_is_legal_only_for_a_leading_snapshot(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"seq": 0, **HEADER}) + "\n")
+        fh.write(json.dumps({"seq": 7, "type": "note", "text": "x"}) + "\n")
+    with pytest.raises(JournalCorruptError, match="discontinuity"):
+        Journal.read(str(path))
+
+
+def test_seq_jump_after_the_snapshot_still_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"seq": 0, **HEADER}) + "\n")
+        fh.write(
+            json.dumps({"seq": 5, "type": "snapshot", "last_seq": 4}) + "\n"
+        )
+        fh.write(json.dumps({"seq": 9, "type": "note", "text": "x"}) + "\n")
+    with pytest.raises(JournalCorruptError, match="discontinuity"):
+        Journal.read(str(path))
+
+
+def test_snapshot_last_seq_mismatch_is_corruption(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"seq": 0, **HEADER}) + "\n")
+        fh.write(
+            json.dumps({"seq": 3, "type": "snapshot", "last_seq": 1}) + "\n"
+        )
+    with pytest.raises(JournalCorruptError, match="last_seq"):
+        Journal.read(str(path))
+
+
+def test_v1_journal_without_snapshots_still_reads(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    v1_header = {**HEADER, "version": 1}
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"seq": 0, **v1_header}) + "\n")
+        fh.write(json.dumps({"seq": 1, "type": "note", "text": "x"}) + "\n")
+    header, events = Journal.read(str(path))
+    assert header["version"] == 1
+    assert [e["seq"] for e in events] == [1]
+
+
+def test_stray_compaction_tmp_is_removed_with_warning(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    write_journal(path, n_events=1)
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write("half-written compaction\n")
+    with pytest.warns(UserWarning, match="stray compaction temp"):
+        journal = Journal(str(path))
+    assert not os.path.exists(tmp)
+    # The journal itself was untouched and continues normally.
+    assert journal.append({"type": "note", "text": "later"}) == 2
+    journal.close()
+
+
+def test_crash_after_compact_rename_leaves_readable_journal(tmp_path):
+    """The rename is the commit point: the rewritten file must parse on
+    its own (a crash right after os.replace loses nothing)."""
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(str(path))
+    journal.append(HEADER)
+    journal.append({"type": "note", "text": "dropped"})
+    journal.append(snapshot_record(journal))
+    journal.compact()
+    journal.close()
+    header, events = Journal.read(str(path))
+    assert [e["type"] for e in events] == ["snapshot"]
+    assert events[0]["last_seq"] == events[0]["seq"] - 1

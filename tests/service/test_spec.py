@@ -9,6 +9,7 @@ from repro import (
     CampaignSpec,
     EngineBackend,
     InstantDispatch,
+    JournalConfig,
     PlatformConfig,
     RoundParallelDispatch,
     SequentialDispatch,
@@ -45,6 +46,7 @@ def full_spec() -> CampaignSpec:
         timeout=TimeoutPolicy(hit_timeout=900.0, max_reissues=2),
         review=ApproveAll(feedback="thanks"),
         max_rounds=50,
+        journal=JournalConfig(fsync_every=2, compact_every=16),
         platform=PlatformConfig(
             kind="in-memory", batch_size=7, n_assignments=2, options={"seed": 3}
         ),
@@ -94,6 +96,27 @@ def test_order_normalises_tuples_pairs_and_candidates():
     assert [(p.left, p.right) for p in spec.pairs] == [(1, 2), (3, 4), (5, 6)]
     with pytest.raises(SpecError, match="order items"):
         CampaignSpec(order=[42])
+
+
+def test_journal_config_round_trips_and_defaults():
+    spec = full_spec()
+    restored = CampaignSpec.from_json(spec.to_json())
+    assert restored.journal == JournalConfig(fsync_every=2, compact_every=16)
+    # Specs serialized before the journal block existed still load.
+    data = spec.to_dict()
+    del data["journal"]
+    assert CampaignSpec.from_dict(data).journal == JournalConfig()
+    # A bare dict in the constructor normalises to JournalConfig.
+    assert CampaignSpec(
+        order=PAIRS, journal={"compact_every": 5}
+    ).journal == JournalConfig(compact_every=5)
+
+
+@pytest.mark.parametrize("field", ["fsync_every", "compact_every"])
+@pytest.mark.parametrize("value", [0, -3])
+def test_journal_config_rejects_non_positive_intervals(field, value):
+    with pytest.raises(SpecError, match=field):
+        JournalConfig(**{field: value})
 
 
 def test_engine_backend_enum_is_accepted_everywhere():
