@@ -90,6 +90,7 @@ from .engine import (
     CrowdRuntime,
     DispatchStrategy,
     EngineBackend,
+    ExpectedValueDispatch,
     HITDispatchAdapter,
     InstantDispatch,
     LabelingEngine,
@@ -100,10 +101,17 @@ from .engine import (
     SequentialDispatch,
     must_crowdsource_frontier,
 )
+from .crowd.aggregation import WeightedAggregation, WorkerAccuracyTracker
 from .crowd.budget import BudgetPolicy, CostModel
-from .crowd.review import ApproveAll, ReviewPolicy
+from .crowd.review import ApproveAll, EscalateOnLowConfidence, ReviewPolicy
 from .crowd.latency import TimeoutPolicy
-from .spec import CampaignSpec, JournalConfig, PlatformConfig, SpecError
+from .spec import (
+    AggregationConfig,
+    CampaignSpec,
+    JournalConfig,
+    PlatformConfig,
+    SpecError,
+)
 from .service import (
     CampaignHTTPServer,
     CampaignService,
@@ -121,6 +129,7 @@ __version__ = "1.0.0"
 __all__ = [
     # the one campaign description
     "CampaignSpec",
+    "AggregationConfig",
     "JournalConfig",
     "PlatformConfig",
     "SpecError",
@@ -136,6 +145,7 @@ __all__ = [
     "SequentialDispatch",
     "RoundParallelDispatch",
     "InstantDispatch",
+    "ExpectedValueDispatch",
     # the campaign service layer
     "CampaignService",
     "CampaignState",
@@ -149,6 +159,9 @@ __all__ = [
     "TimeoutPolicy",
     "ReviewPolicy",
     "ApproveAll",
+    "EscalateOnLowConfidence",
+    "WeightedAggregation",
+    "WorkerAccuracyTracker",
     # core vocabulary
     "Pair",
     "CandidatePair",

@@ -27,12 +27,11 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .cluster_graph import ClusterGraph
 from .oracle import MappingOracle
 from .pairs import CandidatePair, Label, Pair
-from .sequential import label_sequential
 from .union_find import UnionFind
 
 MAX_ENUMERATION_PAIRS = 20
@@ -108,6 +107,10 @@ def crowdsourced_count(
 ) -> int:
     """``C(omega)`` under a fixed true assignment — by simulating the
     sequential labeler against a mapping oracle."""
+    # Imported late: .sequential is a facade over repro.engine, whose
+    # package in turn imports this module (via repro.engine.expected).
+    from .sequential import label_sequential
+
     return label_sequential(order, MappingOracle(assignment)).n_crowdsourced
 
 
@@ -219,3 +222,290 @@ def sample_assignment(
 def consistent_assignments_count(candidates: Sequence[CandidatePair]) -> int:
     """Number of consistent assignments with positive probability."""
     return len(enumerate_consistent_assignments(candidates))
+
+
+# ----------------------------------------------------------------------
+# posteriors and adaptive policies (arXiv:1409.7472 follow-up)
+# ----------------------------------------------------------------------
+def posterior_assignments(
+    candidates: Sequence[CandidatePair],
+    evidence: Mapping[Pair, Label],
+) -> List[WeightedAssignment]:
+    """Consistent assignments conditioned on ``evidence``, renormalised.
+
+    ``evidence`` maps already-resolved pairs (crowdsourced answers and the
+    labels deduced from them — deduced labels are implied, so conditioning
+    on them is redundant but harmless) to their labels; assignments that
+    contradict any evidence label are discarded and the surviving weights
+    renormalised to sum to 1.
+
+    Raises:
+        ValueError: if enumeration is infeasible, no consistent assignment
+            exists, or the evidence has zero posterior mass.
+    """
+    pairs = [c.pair for c in candidates]
+    index = {pair: i for i, pair in enumerate(pairs)}
+    for pair in evidence:
+        if pair not in index:
+            raise ValueError(f"evidence pair {pair!r} is not a candidate")
+    survivors: List[Tuple[Tuple[Label, ...], float]] = []
+    total = 0.0
+    for assignment in enumerate_consistent_assignments(candidates):
+        if any(assignment.labels[index[p]] is not label for p, label in evidence.items()):
+            continue
+        survivors.append((assignment.labels, assignment.weight))
+        total += assignment.weight
+    if not survivors or total <= 0.0:
+        raise ValueError("evidence has zero posterior probability")
+    return [WeightedAssignment(labels, weight / total) for labels, weight in survivors]
+
+
+def posterior_match_probability(
+    candidates: Sequence[CandidatePair],
+    evidence: Mapping[Pair, Label],
+    pair: Pair,
+) -> float:
+    """P(``pair`` is matching | evidence), marginalised over the posterior.
+
+    The spec-grade conditional the adaptive dispatch approximates per
+    component: transitivity correlates pairs, so the posterior differs from
+    the raw likelihood once any evidence exists.
+
+    Raises:
+        ValueError: as :func:`posterior_assignments`, or for an unknown pair.
+    """
+    index = {c.pair: i for i, c in enumerate(candidates)}
+    if pair not in index:
+        raise ValueError(f"{pair!r} is not a candidate")
+    position = index[pair]
+    return sum(
+        a.weight
+        for a in posterior_assignments(candidates, evidence)
+        if a.labels[position] is Label.MATCHING
+    )
+
+
+def _resolve_deductions(
+    candidates: Sequence[CandidatePair], evidence: Dict[Pair, Label]
+) -> Dict[Pair, Label]:
+    """Close ``evidence`` under transitive deduction over the candidates."""
+    graph = ClusterGraph()
+    for pair, label in evidence.items():
+        graph.add(pair, label)
+    closed = dict(evidence)
+    changed = True
+    while changed:
+        changed = False
+        for candidate in candidates:
+            if candidate.pair in closed:
+                continue
+            label = graph.deduce(candidate.pair)
+            if label is not None:
+                closed[candidate.pair] = label
+                graph.add(candidate.pair, label)
+                changed = True
+    return closed
+
+
+def _posterior_table(
+    candidates: Sequence[CandidatePair],
+) -> Tuple[Dict[Pair, int], List[WeightedAssignment]]:
+    """Pair index plus the consistent-assignment table, enumerated *once*.
+
+    The adaptive machinery prices a posterior for every (evidence state,
+    candidate) combination it explores; re-enumerating the 2^n assignments
+    inside each query is what made the DP intractable beyond toy sizes.
+    Filtering one shared table against the evidence is exact and cheap.
+    """
+    index = {c.pair: i for i, c in enumerate(candidates)}
+    return index, enumerate_consistent_assignments(candidates)
+
+
+def _conditioned(
+    assignments: Sequence[WeightedAssignment],
+    index: Mapping[Pair, int],
+    evidence: Mapping[Pair, Label],
+) -> Tuple[List[WeightedAssignment], float]:
+    """(survivors consistent with ``evidence``, their total weight).
+
+    Raises:
+        ValueError: if the evidence has zero posterior mass or names an
+            unknown pair.
+    """
+    for pair in evidence:
+        if pair not in index:
+            raise ValueError(f"evidence pair {pair!r} is not a candidate")
+    survivors = [
+        a
+        for a in assignments
+        if all(a.labels[index[p]] is label for p, label in evidence.items())
+    ]
+    total = sum(a.weight for a in survivors)
+    if not survivors or total <= 0.0:
+        raise ValueError("evidence has zero posterior probability")
+    return survivors, total
+
+
+def _marginal(
+    survivors: Sequence[WeightedAssignment], total: float, position: int
+) -> float:
+    return (
+        sum(a.weight for a in survivors if a.labels[position] is Label.MATCHING)
+        / total
+    )
+
+
+def adaptive_expected_cost(
+    candidates: Sequence[CandidatePair],
+    choose,
+) -> float:
+    """Exact expected crowdsourced count of an *adaptive* policy.
+
+    ``choose(unresolved, evidence)`` picks the next pair to crowdsource from
+    the unresolved candidates given the labels resolved so far (answered or
+    deduced); the expectation recurses over both answers weighted by the
+    posterior.  This evaluates a dynamic policy the way
+    :func:`expected_cost` evaluates a static order — adaptive policies can
+    beat every static order, so this is the fair yardstick for
+    ``ExpectedValueDispatch``.
+
+    Exponential in the number of pairs (enumeration limits apply).
+    """
+    index, assignments = _posterior_table(candidates)
+
+    def recurse(evidence: Dict[Pair, Label]) -> float:
+        closed = _resolve_deductions(candidates, evidence)
+        unresolved = [c for c in candidates if c.pair not in closed]
+        if not unresolved:
+            return 0.0
+        chosen = choose(unresolved, dict(closed))
+        pair = chosen.pair if isinstance(chosen, CandidatePair) else chosen
+        survivors, total = _conditioned(assignments, index, closed)
+        p_match = _marginal(survivors, total, index[pair])
+        cost = 1.0
+        if p_match > 1e-15:
+            cost += p_match * recurse({**closed, pair: Label.MATCHING})
+        if p_match < 1.0 - 1e-15:
+            cost += (1.0 - p_match) * recurse({**closed, pair: Label.NON_MATCHING})
+        return cost
+
+    return recurse({})
+
+
+def _adaptive_value(
+    candidates: Sequence[CandidatePair],
+    evidence: Mapping[Pair, Label],
+    cache: Dict[frozenset, float],
+    index: Mapping[Pair, int],
+    assignments: Sequence[WeightedAssignment],
+) -> float:
+    """Min expected remaining cost over all adaptive policies from ``evidence``."""
+    closed = _resolve_deductions(candidates, dict(evidence))
+    key = frozenset(closed.items())
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    unresolved = [c for c in candidates if c.pair not in closed]
+    if not unresolved:
+        cache[key] = 0.0
+        return 0.0
+    survivors, total = _conditioned(assignments, index, closed)
+    minimum = math.inf
+    for candidate in unresolved:
+        p_match = _marginal(survivors, total, index[candidate.pair])
+        cost = 1.0
+        if p_match > 1e-15:
+            cost += p_match * _adaptive_value(
+                candidates,
+                {**closed, candidate.pair: Label.MATCHING},
+                cache,
+                index,
+                assignments,
+            )
+        if p_match < 1.0 - 1e-15:
+            cost += (1.0 - p_match) * _adaptive_value(
+                candidates,
+                {**closed, candidate.pair: Label.NON_MATCHING},
+                cache,
+                index,
+                assignments,
+            )
+        minimum = min(minimum, cost)
+    cache[key] = minimum
+    return minimum
+
+
+def _check_adaptive_feasible(candidates: Sequence[CandidatePair]) -> None:
+    _check_enumerable(len(candidates))
+    if len(candidates) > 2 * MAX_BRUTE_FORCE_PAIRS:
+        raise ValueError(
+            f"adaptive brute force over {len(candidates)} pairs is infeasible; "
+            f"the limit is {2 * MAX_BRUTE_FORCE_PAIRS}"
+        )
+
+
+def brute_force_adaptive_optimal(
+    candidates: Sequence[CandidatePair],
+    evidence: Optional[Mapping[Pair, Label]] = None,
+) -> float:
+    """Exact minimum expected cost over *all* adaptive policies.
+
+    Dynamic programming over evidence states: at each state try every
+    unresolved pair and keep the cheapest.  Lower-bounds every static order
+    (a static order is an adaptive policy that ignores the answers), so
+    ``brute_force_adaptive_optimal <= brute_force_expected_optimal``.
+
+    ``evidence`` optionally fixes labels of some candidates before the
+    policy starts (they cost nothing — used to condition on constraints).
+    """
+    _check_adaptive_feasible(candidates)
+    index, assignments = _posterior_table(candidates)
+    return _adaptive_value(candidates, evidence or {}, {}, index, assignments)
+
+
+def adaptive_optimal_choice(
+    candidates: Sequence[CandidatePair],
+    evidence: Optional[Mapping[Pair, Label]] = None,
+) -> Optional[CandidatePair]:
+    """The first question of an expected-optimal adaptive policy.
+
+    Evaluates every unresolved candidate's ``1 + p*V(match) + (1-p)*V(non)``
+    under the exact DP and returns the cheapest (ties keep the earliest
+    candidate, so pre-sorting by descending likelihood makes ties fall back
+    to the paper's heuristic).  Returns None when the evidence already
+    resolves everything.  This is the small-n oracle the production
+    ``ExpectedValueDispatch`` consults when enumeration is feasible.
+    """
+    _check_adaptive_feasible(candidates)
+    index, assignments = _posterior_table(candidates)
+    cache: Dict[frozenset, float] = {}
+    closed = _resolve_deductions(candidates, dict(evidence or {}))
+    unresolved = [c for c in candidates if c.pair not in closed]
+    if not unresolved:
+        return None
+    survivors, total = _conditioned(assignments, index, closed)
+    best_candidate = None
+    best_cost = math.inf
+    for candidate in unresolved:
+        p_match = _marginal(survivors, total, index[candidate.pair])
+        cost = 1.0
+        if p_match > 1e-15:
+            cost += p_match * _adaptive_value(
+                candidates,
+                {**closed, candidate.pair: Label.MATCHING},
+                cache,
+                index,
+                assignments,
+            )
+        if p_match < 1.0 - 1e-15:
+            cost += (1.0 - p_match) * _adaptive_value(
+                candidates,
+                {**closed, candidate.pair: Label.NON_MATCHING},
+                cache,
+                index,
+                assignments,
+            )
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_candidate = candidate
+    return best_candidate

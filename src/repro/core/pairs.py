@@ -49,9 +49,27 @@ def _object_sort_key(obj: Hashable) -> tuple[str, str]:
     """A total order over arbitrary hashable objects.
 
     Objects of heterogeneous types cannot always be compared with ``<``; we
-    order by ``(type name, repr)`` which is deterministic and total.
+    order by ``(type name, repr)`` which is deterministic and total —
+    *provided* the repr itself is deterministic.  The default
+    ``object.__repr__`` embeds the instance's memory address, which varies
+    across processes: a pair canonicalised by it would store its members in
+    different left/right order in different processes, silently breaking the
+    journal's encoded order and ``state_fingerprint`` comparisons.  Such
+    objects are rejected at construction.
+
+    Raises:
+        TypeError: if ``obj``'s repr is the address-based default.
     """
-    return (type(obj).__name__, repr(obj))
+    cls = type(obj)
+    if cls.__repr__ is object.__repr__:
+        raise TypeError(
+            f"cannot canonicalise a Pair containing a {cls.__name__} instance: "
+            "its default repr embeds a memory address, so left/right order "
+            "would differ across processes. Use scalar object ids "
+            "(str/int/float/bool/None) — the contract repro.spec.encode_object "
+            "enforces — or give the type a deterministic __repr__."
+        )
+    return (cls.__name__, repr(obj))
 
 
 @dataclass(frozen=True)

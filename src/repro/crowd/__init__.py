@@ -14,9 +14,17 @@ MTurk backend with its record/replay cassette layer (see ``docs/crowd.md``).
 # package (budget, latency, hit, platform, clients); otherwise a first
 # import entering through ``repro.engine`` cannot resolve the cycle.
 from .aggregation import (
+    MAX_TRACKED_ACCURACY,
+    MIN_TRACKED_ACCURACY,
+    QuorumError,
+    VoteSummary,
+    WeightedAggregation,
+    WorkerAccuracyTracker,
     agreement_rate,
     aggregate_assignments,
     majority_vote,
+    summarize_assignments,
+    summarize_votes,
     unanimous_or,
 )
 from .budget import (
@@ -43,10 +51,16 @@ from .latency import (
     ZeroLatency,
 )
 from .platform import HITCompletion, PlatformStats, SimulatedPlatform
-from .review import ApproveAll, ReviewDecision, ReviewPolicy
+from .review import (
+    ApproveAll,
+    EscalateOnLowConfidence,
+    ReviewDecision,
+    ReviewPolicy,
+)
 from .worker import (
     AmbiguityAwareWorker,
     BernoulliWorker,
+    LikelihoodAwareWorker,
     PerfectWorker,
     QualificationTest,
     Worker,
@@ -97,6 +111,7 @@ __all__ = [
     "DEFAULT_ASSIGNMENTS",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_PRICE_PER_ASSIGNMENT",
+    "EscalateOnLowConfidence",
     "FakeMTurkService",
     "FixedLatency",
     "HIT",
@@ -104,7 +119,10 @@ __all__ = [
     "HITExpiry",
     "InMemoryCrowdBackend",
     "LatencyModel",
+    "LikelihoodAwareWorker",
     "LognormalLatency",
+    "MAX_TRACKED_ACCURACY",
+    "MIN_TRACKED_ACCURACY",
     "MTurkBackend",
     "MTurkRequestError",
     "ManualClock",
@@ -114,6 +132,7 @@ __all__ = [
     "PlatformStats",
     "PollingPlatformClient",
     "QualificationTest",
+    "QuorumError",
     "RecordReplayBackend",
     "ReplayDivergenceError",
     "RestCrowdBackend",
@@ -123,7 +142,10 @@ __all__ = [
     "SimulatedPlatformClient",
     "ThrottlePolicy",
     "TimeoutPolicy",
+    "VoteSummary",
+    "WeightedAggregation",
     "Worker",
+    "WorkerAccuracyTracker",
     "WorkerModel",
     "ZeroLatency",
     "aggregate_assignments",
@@ -136,5 +158,7 @@ __all__ = [
     "run_non_parallel",
     "run_non_transitive",
     "run_transitive",
+    "summarize_assignments",
+    "summarize_votes",
     "unanimous_or",
 ]

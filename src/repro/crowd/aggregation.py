@@ -2,15 +2,102 @@
 
 Paper Section 6.4: "each HIT was replicated into three assignments ... the
 final decision for each pair was made by majority vote."
+
+Two aggregation strategies live here:
+
+* **Flat majority** (:func:`majority_vote`, :func:`aggregate_assignments`) —
+  the paper's scheme: every worker's answer counts equally.
+* **Quality-aware weighted majority** (:class:`WeightedAggregation`) — each
+  worker's vote is weighted by the log-odds of their estimated accuracy,
+  maintained online by a :class:`WorkerAccuracyTracker` from gold questions
+  (pairs with known labels, cf. ``repro.crowd.worker.QualificationTest``) and
+  agreement history.  With uniform accuracy estimates the weighted scheme
+  reduces exactly to flat majority.
+
+Both expose per-pair :class:`VoteSummary` records carrying the vote margin
+and a confidence score, so review policies (and operators) can distinguish a
+3-0 consensus from a coin-flip tie-break instead of receiving a bare label.
+
+Missing answers are *abstentions*: a worker who abandoned a HIT mid-way, or
+a drained leftover completion from an expired HIT whose pair set has since
+shrunk, contributes votes only for the pairs it actually answered.  Pairs
+whose vote count falls below the quorum are reported explicitly (strict
+mode raises :class:`QuorumError`; lenient mode drops them so the runtime can
+re-issue) — never a bare ``KeyError``.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.pairs import Label, Pair
 from .hit import Assignment
+
+#: Default clamp for estimated worker accuracy: keeps log-odds weights finite
+#: and stops a run of lucky gold answers from giving one worker veto power.
+MIN_TRACKED_ACCURACY = 0.05
+MAX_TRACKED_ACCURACY = 0.95
+
+
+class QuorumError(ValueError):
+    """Raised when a pair has fewer votes than the required quorum.
+
+    Attributes:
+        pairs: the under-quorum pairs and their observed vote counts.
+    """
+
+    def __init__(self, pairs: Mapping[Pair, int], min_votes: int) -> None:
+        self.pairs = dict(pairs)
+        self.min_votes = min_votes
+        listing = ", ".join(
+            f"{pair!r} ({count} vote{'s' if count != 1 else ''})"
+            for pair, count in sorted(self.pairs.items(), key=lambda kv: repr(kv[0]))
+        )
+        super().__init__(
+            f"quorum not met (need >= {min_votes} votes per pair): {listing}; "
+            "workers abstained on these pairs — re-issue them or aggregate "
+            "with strict=False to drop them"
+        )
+
+
+@dataclass(frozen=True)
+class VoteSummary:
+    """The outcome of aggregating one pair's votes.
+
+    Attributes:
+        label: the aggregated label.
+        matching_weight: total vote weight behind MATCHING (vote count for
+            flat majority).
+        non_matching_weight: total vote weight behind NON_MATCHING.
+        n_votes: number of answers cast for this pair.
+        n_abstentions: assignments that covered the HIT but not this pair.
+        tie_broken: True when the two sides tied exactly and ``label`` is the
+            tie-break fallback, not a worker consensus.
+        margin: winning weight minus losing weight (0 on a tie).
+        confidence: winning share of the total weight, in [0.5, 1].  A 3-0
+            consensus scores 1.0; a tie scores 0.5.
+    """
+
+    label: Label
+    matching_weight: float
+    non_matching_weight: float
+    n_votes: int
+    n_abstentions: int = 0
+    tie_broken: bool = False
+
+    @property
+    def margin(self) -> float:
+        return abs(self.matching_weight - self.non_matching_weight)
+
+    @property
+    def confidence(self) -> float:
+        total = self.matching_weight + self.non_matching_weight
+        if total <= 0:
+            return 0.5
+        return max(self.matching_weight, self.non_matching_weight) / total
 
 
 def majority_vote(answers: Sequence[Label], tie_break: Label = Label.NON_MATCHING) -> Label:
@@ -18,20 +105,55 @@ def majority_vote(answers: Sequence[Label], tie_break: Label = Label.NON_MATCHIN
 
     The paper uses an odd replication factor (3) so ties cannot occur there;
     the tie-break default is conservative (prefer not asserting a match).
+    Callers who need to *see* the tie should use :func:`summarize_votes`.
 
     Raises:
         ValueError: when no answers were given.
     """
+    return summarize_votes(answers, tie_break=tie_break).label
+
+
+def summarize_votes(
+    answers: Sequence[Label],
+    tie_break: Label = Label.NON_MATCHING,
+    n_abstentions: int = 0,
+    weights: Optional[Sequence[float]] = None,
+) -> VoteSummary:
+    """Aggregate one pair's answers into a :class:`VoteSummary`.
+
+    With ``weights`` (parallel to ``answers``) this is a weighted majority;
+    without, every answer counts 1.0 and the result is the flat majority.
+
+    Raises:
+        ValueError: when no answers were given, or weights do not line up.
+    """
     if not answers:
         raise ValueError("cannot aggregate zero answers")
-    counts = Counter(answers)
-    matching = counts.get(Label.MATCHING, 0)
-    non_matching = counts.get(Label.NON_MATCHING, 0)
+    if weights is None:
+        counts = Counter(answers)
+        matching = float(counts.get(Label.MATCHING, 0))
+        non_matching = float(counts.get(Label.NON_MATCHING, 0))
+    else:
+        if len(weights) != len(answers):
+            raise ValueError(
+                f"{len(answers)} answers but {len(weights)} weights"
+            )
+        matching = sum(w for a, w in zip(answers, weights) if a is Label.MATCHING)
+        non_matching = sum(w for a, w in zip(answers, weights) if a is Label.NON_MATCHING)
     if matching > non_matching:
-        return Label.MATCHING
-    if non_matching > matching:
-        return Label.NON_MATCHING
-    return tie_break
+        label, tie_broken = Label.MATCHING, False
+    elif non_matching > matching:
+        label, tie_broken = Label.NON_MATCHING, False
+    else:
+        label, tie_broken = tie_break, True
+    return VoteSummary(
+        label=label,
+        matching_weight=matching,
+        non_matching_weight=non_matching,
+        n_votes=len(answers),
+        n_abstentions=n_abstentions,
+        tie_broken=tie_broken,
+    )
 
 
 def unanimous_or(answers: Sequence[Label], fallback: Label) -> Label:
@@ -48,40 +170,343 @@ def unanimous_or(answers: Sequence[Label], fallback: Label) -> Label:
     return fallback
 
 
-def aggregate_assignments(
-    assignments: Iterable[Assignment],
-    tie_break: Label = Label.NON_MATCHING,
-) -> dict[Pair, Label]:
-    """Majority-vote every pair across a HIT's completed assignments.
-
-    All assignments must belong to the same HIT (same pair set).
-
-    Raises:
-        ValueError: when assignments is empty or covers inconsistent HITs.
-    """
-    assignments = list(assignments)
+def _check_same_hit(assignments: List[Assignment]) -> Tuple[Pair, ...]:
     if not assignments:
         raise ValueError("cannot aggregate zero assignments")
     pair_sets = {frozenset(a.hit.pairs) for a in assignments}
     if len(pair_sets) != 1:
         raise ValueError("assignments cover different HITs")
-    aggregated: dict[Pair, Label] = {}
-    for pair in assignments[0].hit.pairs:
-        votes: List[Label] = [a.answers[pair] for a in assignments]
-        aggregated[pair] = majority_vote(votes, tie_break=tie_break)
-    return aggregated
+    return assignments[0].hit.pairs
+
+
+def summarize_assignments(
+    assignments: Iterable[Assignment],
+    tie_break: Label = Label.NON_MATCHING,
+    min_votes: int = 1,
+    strict: bool = True,
+    worker_weights: Optional[Mapping[int, float]] = None,
+) -> Dict[Pair, VoteSummary]:
+    """Aggregate every pair of a HIT across its completed assignments.
+
+    Missing answers count as abstentions; a pair's quorum is the number of
+    answers actually cast for it.  All assignments must belong to the same
+    HIT (same pair set).
+
+    Args:
+        assignments: the HIT's completed assignments.
+        tie_break: label applied on an exact tie.
+        min_votes: per-pair quorum; pairs with fewer answers fail it.
+        strict: raise :class:`QuorumError` on quorum failure (True) or drop
+            the under-quorum pairs from the result so the caller can re-issue
+            them (False).
+        worker_weights: optional per-worker vote weight (weighted majority);
+            absent workers default to 1.0.
+
+    Raises:
+        ValueError: when assignments is empty or covers inconsistent HITs.
+        QuorumError: under ``strict`` when any pair misses the quorum.
+    """
+    assignments = list(assignments)
+    pairs = _check_same_hit(assignments)
+    summaries: Dict[Pair, VoteSummary] = {}
+    under_quorum: Dict[Pair, int] = {}
+    for pair in pairs:
+        votes: List[Label] = []
+        weights: List[float] = []
+        abstentions = 0
+        for assignment in assignments:
+            answer = assignment.answers.get(pair)
+            if answer is None:
+                abstentions += 1
+                continue
+            votes.append(answer)
+            if worker_weights is not None:
+                weights.append(worker_weights.get(assignment.worker_id, 1.0))
+        if len(votes) < max(min_votes, 1):
+            under_quorum[pair] = len(votes)
+            continue
+        summaries[pair] = summarize_votes(
+            votes,
+            tie_break=tie_break,
+            n_abstentions=abstentions,
+            weights=weights if worker_weights is not None else None,
+        )
+    if under_quorum and strict:
+        raise QuorumError(under_quorum, max(min_votes, 1))
+    return summaries
+
+
+def aggregate_assignments(
+    assignments: Iterable[Assignment],
+    tie_break: Label = Label.NON_MATCHING,
+    min_votes: int = 1,
+    strict: bool = True,
+) -> dict[Pair, Label]:
+    """Majority-vote every pair across a HIT's completed assignments.
+
+    All assignments must belong to the same HIT (same pair set).  Missing
+    answers are abstentions (see module docstring); under-quorum pairs raise
+    a clear :class:`QuorumError` (or are dropped with ``strict=False``).
+
+    Raises:
+        ValueError: when assignments is empty or covers inconsistent HITs.
+        QuorumError: under ``strict`` when any pair misses the quorum.
+    """
+    summaries = summarize_assignments(
+        assignments, tie_break=tie_break, min_votes=min_votes, strict=strict
+    )
+    return {pair: summary.label for pair, summary in summaries.items()}
 
 
 def agreement_rate(assignments: Sequence[Assignment]) -> float:
-    """Fraction of pairs on which all assignments agree — a cheap quality
-    signal used by the experiment reports."""
+    """Fraction of answered pairs on which all cast votes agree — a cheap
+    quality signal used by the experiment reports.
+
+    Pairs nobody answered are excluded from the denominator; abstentions on
+    an otherwise-answered pair do not break unanimity.
+
+    Raises:
+        ValueError: over zero assignments, or when no pair has any answer.
+    """
     assignments = list(assignments)
     if not assignments:
         raise ValueError("cannot compute agreement over zero assignments")
     pairs = assignments[0].hit.pairs
     unanimous = 0
+    answered = 0
     for pair in pairs:
-        votes = {a.answers[pair] for a in assignments}
+        votes = {a.answers[pair] for a in assignments if pair in a.answers}
+        if not votes:
+            continue
+        answered += 1
         if len(votes) == 1:
             unanimous += 1
-    return unanimous / len(pairs)
+    if not answered:
+        raise ValueError("no pair has any answer to agree on")
+    return unanimous / answered
+
+
+# ----------------------------------------------------------------------
+# quality-aware aggregation
+# ----------------------------------------------------------------------
+class WorkerAccuracyTracker:
+    """Online per-worker accuracy estimate from gold questions and agreement.
+
+    A Beta-style pseudo-count model: every worker starts at
+    ``prior_accuracy`` backed by ``prior_strength`` pseudo-observations, and
+    each observed outcome shifts the estimate.  Gold questions (pairs whose
+    true label is known, e.g. qualification probes) count with full weight;
+    agreement with the aggregated consensus is a noisier signal and counts
+    with ``agreement_weight``.
+
+    Estimates are clamped to ``[min_accuracy, max_accuracy]`` so log-odds
+    vote weights stay finite and no worker earns veto power from a short
+    lucky streak.  **Caveat:** the agreement signal is circular by
+    construction — a worker who agrees with a *wrong* majority is credited —
+    so estimates are only as good as the crowd on pairs without gold; seed
+    campaigns with gold probes before trusting the weights.
+    """
+
+    STATE_VERSION = 1
+
+    def __init__(
+        self,
+        prior_accuracy: float = 0.7,
+        prior_strength: float = 8.0,
+        agreement_weight: float = 0.5,
+        min_accuracy: float = MIN_TRACKED_ACCURACY,
+        max_accuracy: float = MAX_TRACKED_ACCURACY,
+    ) -> None:
+        if not 0.0 < prior_accuracy < 1.0:
+            raise ValueError(f"prior_accuracy must be in (0, 1), got {prior_accuracy}")
+        if prior_strength <= 0:
+            raise ValueError(f"prior_strength must be positive, got {prior_strength}")
+        if not 0.0 < min_accuracy < max_accuracy < 1.0:
+            raise ValueError(
+                f"need 0 < min_accuracy < max_accuracy < 1, got "
+                f"[{min_accuracy}, {max_accuracy}]"
+            )
+        self.prior_accuracy = prior_accuracy
+        self.prior_strength = prior_strength
+        self.agreement_weight = agreement_weight
+        self.min_accuracy = min_accuracy
+        self.max_accuracy = max_accuracy
+        # worker_id -> [correct pseudo-count, total pseudo-count]
+        self._counts: Dict[int, List[float]] = {}
+
+    def _cell(self, worker_id: int) -> List[float]:
+        cell = self._counts.get(worker_id)
+        if cell is None:
+            cell = self._counts[worker_id] = [
+                self.prior_accuracy * self.prior_strength,
+                self.prior_strength,
+            ]
+        return cell
+
+    def record_gold(self, worker_id: int, correct: bool) -> None:
+        """Record a gold-question outcome (known true label) for a worker."""
+        cell = self._cell(worker_id)
+        cell[0] += 1.0 if correct else 0.0
+        cell[1] += 1.0
+
+    def record_agreement(self, worker_id: int, agreed: bool) -> None:
+        """Record whether a worker's vote agreed with the aggregated label."""
+        cell = self._cell(worker_id)
+        cell[0] += self.agreement_weight if agreed else 0.0
+        cell[1] += self.agreement_weight
+
+    def accuracy(self, worker_id: int) -> float:
+        """Current accuracy estimate for ``worker_id``, clamped."""
+        cell = self._counts.get(worker_id)
+        if cell is None:
+            estimate = self.prior_accuracy
+        else:
+            estimate = cell[0] / cell[1]
+        return min(self.max_accuracy, max(self.min_accuracy, estimate))
+
+    def weight(self, worker_id: int) -> float:
+        """Log-odds vote weight: ``log(acc / (1 - acc))``.
+
+        Positive for better-than-chance workers, zero at 0.5, negative for
+        workers estimated worse than chance (their vote counts *against*).
+        """
+        accuracy = self.accuracy(worker_id)
+        return math.log(accuracy / (1.0 - accuracy))
+
+    def n_observations(self, worker_id: int) -> float:
+        """Evidence (pseudo-count) accumulated beyond the prior."""
+        cell = self._counts.get(worker_id)
+        if cell is None:
+            return 0.0
+        return cell[1] - self.prior_strength
+
+    def known_workers(self) -> List[int]:
+        """Worker ids with any recorded evidence, sorted."""
+        return sorted(self._counts)
+
+    # -- persistence ---------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-serialisable state (rides the service's snapshot records)."""
+        return {
+            "version": self.STATE_VERSION,
+            "counts": [
+                [worker_id, cell[0], cell[1]]
+                for worker_id, cell in sorted(self._counts.items())
+            ],
+        }
+
+    def restore_state(self, state: Mapping) -> None:
+        """Restore counts captured by :meth:`snapshot_state`.
+
+        Raises:
+            ValueError: on an unknown state version.
+        """
+        version = state.get("version")
+        if version != self.STATE_VERSION:
+            raise ValueError(f"unknown WorkerAccuracyTracker state version {version!r}")
+        self._counts = {
+            int(worker_id): [float(correct), float(total)]
+            for worker_id, correct, total in state.get("counts", [])
+        }
+
+
+@dataclass
+class WeightedAggregation:
+    """Quality-aware replacement for flat majority voting.
+
+    Aggregates a HIT's assignments by weighted majority, weighting each
+    worker's vote by the log-odds of their tracked accuracy, then feeds the
+    observed agreement back into the tracker.  With a fresh tracker (uniform
+    estimates) the aggregate is exactly the flat majority.
+
+    Attributes:
+        tracker: the accuracy estimator (a default one is created if omitted).
+        min_votes: per-pair quorum forwarded to :func:`summarize_assignments`.
+        update_from_agreement: feed each aggregation's consensus back into
+            the tracker (set False to freeze weights, e.g. for replay).
+    """
+
+    tracker: WorkerAccuracyTracker = field(default_factory=WorkerAccuracyTracker)
+    min_votes: int = 1
+    update_from_agreement: bool = True
+
+    def aggregate(
+        self,
+        assignments: Iterable[Assignment],
+        tie_break: Label = Label.NON_MATCHING,
+        strict: bool = True,
+    ) -> Dict[Pair, VoteSummary]:
+        """Weighted-majority aggregate of one HIT's assignments.
+
+        Weights are read from the tracker *before* this HIT's agreement
+        evidence is folded in, so aggregation is deterministic in the
+        completion sequence.
+
+        Raises:
+            ValueError / QuorumError: as :func:`summarize_assignments`.
+        """
+        assignments = list(assignments)
+        weights = {
+            a.worker_id: self.tracker.weight(a.worker_id) for a in assignments
+        }
+        summaries = summarize_assignments(
+            assignments,
+            tie_break=tie_break,
+            min_votes=self.min_votes,
+            strict=strict,
+            worker_weights=weights,
+        )
+        if self.update_from_agreement:
+            for assignment in assignments:
+                for pair, answer in assignment.answers.items():
+                    summary = summaries.get(pair)
+                    if summary is None or summary.tie_broken:
+                        continue  # no consensus to agree with
+                    self.tracker.record_agreement(
+                        assignment.worker_id, answer is summary.label
+                    )
+        return summaries
+
+    def aggregate_labels(
+        self,
+        assignments: Iterable[Assignment],
+        tie_break: Label = Label.NON_MATCHING,
+        strict: bool = True,
+    ) -> Dict[Pair, Label]:
+        """Like :meth:`aggregate` but returns bare labels."""
+        return {
+            pair: summary.label
+            for pair, summary in self.aggregate(
+                assignments, tie_break=tie_break, strict=strict
+            ).items()
+        }
+
+    def score_gold(self, assignment: Assignment, gold: Mapping[Pair, Label]) -> int:
+        """Fold gold-question outcomes from one assignment into the tracker.
+
+        Returns the number of gold pairs the assignment answered.
+        """
+        scored = 0
+        for pair, truth in gold.items():
+            answer = assignment.answers.get(pair)
+            if answer is None:
+                continue
+            self.tracker.record_gold(assignment.worker_id, answer is truth)
+            scored += 1
+        return scored
+
+    # -- persistence ---------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-serialisable state for the service's snapshot records."""
+        return {"version": 1, "tracker": self.tracker.snapshot_state()}
+
+    def restore_state(self, state: Mapping) -> None:
+        """Restore state captured by :meth:`snapshot_state`.
+
+        Raises:
+            ValueError: on an unknown state version.
+        """
+        version = state.get("version")
+        if version != 1:
+            raise ValueError(f"unknown WeightedAggregation state version {version!r}")
+        self.tracker.restore_state(state["tracker"])

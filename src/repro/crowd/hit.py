@@ -56,6 +56,12 @@ class Assignment:
         answers: the worker's label for every pair in the HIT.
         accepted_at: simulation time the worker picked the HIT up.
         submitted_at: simulation time the answers came back.
+        partial: declare the assignment intentionally incomplete.  A worker
+            who abandons a HIT mid-way, or a drained leftover completion from
+            an expired HIT whose pair set has since shrunk, legitimately
+            covers only a subset of the HIT's pairs; aggregation treats each
+            missing answer as an abstention.  Without the flag, a missing
+            answer is still a construction error.
     """
 
     hit: HIT
@@ -63,8 +69,11 @@ class Assignment:
     answers: Dict[Pair, Label]
     accepted_at: float = 0.0
     submitted_at: float = 0.0
+    partial: bool = False
 
     def __post_init__(self) -> None:
+        if self.partial:
+            return
         missing = set(self.hit.pairs) - set(self.answers)
         if missing:
             raise ValueError(f"assignment is missing answers for {sorted(map(repr, missing))}")

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.oracle import LabelOracle
 from ..core.pairs import Label, Pair
-from .aggregation import aggregate_assignments
+from .aggregation import VoteSummary, WeightedAggregation, summarize_assignments
 from .budget import CostLedger, CostModel
 from .hit import DEFAULT_ASSIGNMENTS, DEFAULT_BATCH_SIZE, HIT, Assignment, batch_pairs
 from .latency import LatencyModel, LognormalLatency
@@ -38,15 +38,19 @@ class HITCompletion:
 
     Attributes:
         hit: the completed HIT.
-        labels: majority-vote label per pair.
+        labels: aggregated label per pair (majority vote by default).
         completed_at: simulation time (hours) of the last assignment.
         assignments: the raw assignments (for agreement diagnostics).
+        summaries: optional per-pair vote diagnostics (margin, tie-break,
+            confidence) when the producer aggregated with that detail;
+            empty for sources that only surface bare labels.
     """
 
     hit: HIT
     labels: Dict[Pair, Label]
     completed_at: float
     assignments: Tuple[Assignment, ...]
+    summaries: Dict[Pair, VoteSummary] = field(default_factory=dict)
 
 
 @dataclass
@@ -82,6 +86,10 @@ class SimulatedPlatform:
         tie_break: label used on aggregation ties (only possible with an
             even replication factor).
         seed: RNG seed controlling latency draws and worker choice.
+        aggregation: optional :class:`~repro.crowd.aggregation.WeightedAggregation`
+            instance; when set, HITs aggregate by quality-weighted majority
+            (and feed agreement evidence back into its tracker) instead of
+            flat majority.
     """
 
     def __init__(
@@ -95,6 +103,7 @@ class SimulatedPlatform:
         n_assignments: int = DEFAULT_ASSIGNMENTS,
         tie_break: Label = Label.NON_MATCHING,
         seed: int = 0,
+        aggregation: Optional[WeightedAggregation] = None,
     ) -> None:
         if len(workers) < n_assignments:
             raise ValueError(
@@ -109,6 +118,7 @@ class SimulatedPlatform:
         self._batch_size = batch_size
         self._n_assignments = n_assignments
         self._tie_break = tie_break
+        self._aggregation = aggregation
         self._rng = random.Random(seed)
 
         self._now = 0.0
@@ -257,12 +267,18 @@ class SimulatedPlatform:
             self._dispatch()
             if len(done) == assignment.hit.n_assignments:
                 self._incomplete_hits.discard(hit_id)
-                labels = aggregate_assignments(done, tie_break=self._tie_break)
+                if self._aggregation is not None:
+                    summaries = self._aggregation.aggregate(
+                        done, tie_break=self._tie_break
+                    )
+                else:
+                    summaries = summarize_assignments(done, tie_break=self._tie_break)
                 return HITCompletion(
                     hit=assignment.hit,
-                    labels=labels,
+                    labels={p: s.label for p, s in summaries.items()},
                     completed_at=finish,
                     assignments=tuple(done),
+                    summaries=summaries,
                 )
         return None
 

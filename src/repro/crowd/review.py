@@ -18,8 +18,9 @@ answers came back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
 
+from ..core.pairs import Pair
 from .platform import HITCompletion
 
 
@@ -34,11 +35,16 @@ class ReviewDecision:
             does not always know platform assignment ids).
         approve: approve (pay) or reject.
         feedback: requester feedback attached to the verdict.
+        escalate_pairs: pairs whose aggregated label the policy does not
+            trust; the runtime withholds these labels and re-issues the
+            pairs for fresh assignments instead of applying them.
+            Escalation never implies rejection — workers are still paid.
     """
 
     assignment_id: Optional[str] = None
     approve: bool = True
     feedback: str = ""
+    escalate_pairs: Tuple[Pair, ...] = ()
 
 
 @runtime_checkable
@@ -57,3 +63,50 @@ class ApproveAll:
 
     def review(self, completion: HITCompletion) -> Sequence[ReviewDecision]:
         return (ReviewDecision(assignment_id=None, approve=True, feedback=self.feedback),)
+
+
+@dataclass(frozen=True)
+class EscalateOnLowConfidence:
+    """Approve everyone, but escalate pairs the votes did not settle.
+
+    A tie-broken aggregation is a coin flip wearing a label; a low-margin
+    one is barely better.  This policy reads the per-pair
+    :class:`~repro.crowd.aggregation.VoteSummary` diagnostics attached to a
+    completion and asks the runtime to *re-issue* any pair whose aggregation
+    was tie-broken or whose confidence (winning share of the vote weight)
+    falls below ``min_confidence``, instead of accepting the dubious label.
+    The runtime bounds re-asks per pair (see
+    ``CrowdRuntime``'s ``max_escalations``), so a persistently split crowd
+    eventually settles for the tie-break rather than looping forever.
+
+    Completions without vote diagnostics (bare-label sources) are approved
+    unchanged — there is nothing to judge confidence by.
+
+    Attributes:
+        min_confidence: escalate below this winning share, in [0.5, 1].
+        feedback: requester feedback attached to the approval.
+    """
+
+    min_confidence: float = 0.75
+    feedback: str = "Thank you!"
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in [0.5, 1], got {self.min_confidence}"
+            )
+
+    def review(self, completion: HITCompletion) -> Sequence[ReviewDecision]:
+        escalate = tuple(
+            pair
+            for pair, summary in completion.summaries.items()
+            if summary.tie_broken or summary.confidence < self.min_confidence
+        )
+        return (
+            ReviewDecision(
+                assignment_id=None,
+                approve=True,
+                feedback=self.feedback,
+                escalate_pairs=escalate,
+            ),
+        )

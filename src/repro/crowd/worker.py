@@ -141,6 +141,19 @@ class AmbiguityAwareWorker:
         return true_label
 
 
+class LikelihoodAwareWorker(AmbiguityAwareWorker):
+    """A worker whose error rate is driven by the pair's machine likelihood.
+
+    This is :class:`AmbiguityAwareWorker` under the name the aggregation
+    experiments use: the noise model is parameterised by the matcher's
+    likelihood (pairs near 0.5 are hard, pairs near 0 or 1 are easy), which
+    is exactly the signal the quality-aware aggregation layer must cope
+    with — workers are *heteroscedastic*, so a single global accuracy number
+    under-describes them.  The subclass exists so experiment code reads as
+    intended; behaviour is identical.
+    """
+
+
 @dataclass(frozen=True)
 class QualificationTest:
     """The paper's quality-control gate: three specified pairs a worker must

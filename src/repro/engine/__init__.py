@@ -35,6 +35,11 @@ Public surface:
 * strategies: :class:`SequentialDispatch`, :class:`RoundParallelDispatch`,
               :class:`InstantDispatch` (+ :class:`AnswerPolicy`,
               :class:`InstantRunResult`, :class:`AvailabilityPoint`)
+* ordering:   :class:`ExpectedValueDispatch`,
+              :class:`ExpectedDeductionScorer`,
+              :func:`expected_value_choice` — adaptive next-question
+              selection by expected transitive deductions (also available
+              on the runtime via ``ordering="expected-value"``)
 * adapter:    :class:`HITDispatchAdapter` (HIT-granularity campaigns)
 
 The legacy labeler classes in :mod:`repro.core` remain available as thin
@@ -58,6 +63,11 @@ from .dispatch import (
     SequentialDispatch,
 )
 from .engine import DEFAULT_SHARD_THRESHOLD, EngineBackend, LabelingEngine
+from .expected import (
+    ExpectedDeductionScorer,
+    ExpectedValueDispatch,
+    expected_value_choice,
+)
 from .frontier import FrontierCursor, OptimisticGraph, must_crowdsource_frontier
 from .hit_adapter import HITDispatchAdapter
 from .parallel import (
@@ -82,6 +92,8 @@ __all__ = [
     "DEFAULT_SHARD_THRESHOLD",
     "DispatchStrategy",
     "EngineBackend",
+    "ExpectedDeductionScorer",
+    "ExpectedValueDispatch",
     "FrontierCursor",
     "HITDispatchAdapter",
     "InstantDispatch",
@@ -100,6 +112,7 @@ __all__ = [
     "ShardedFrontier",
     "VectorizedClusterGraph",
     "VectorizedEngineCore",
+    "expected_value_choice",
     "must_crowdsource_frontier",
     "vectorized_available",
 ]

@@ -37,12 +37,12 @@ from __future__ import annotations
 import asyncio
 import enum
 from array import array
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.cluster_graph import ConflictPolicy
 from ..core.oracle import LabelOracle
-from ..core.pairs import CandidatePair, Pair
+from ..core.pairs import CandidatePair, Label, Pair
 from ..core.result import LabelingResult
 from ..crowd.budget import BudgetPolicy
 from ..crowd.clients import (
@@ -53,7 +53,7 @@ from ..crowd.clients import (
 from ..crowd.hit import HIT, n_hits_needed
 from ..crowd.latency import TimeoutPolicy
 from ..crowd.platform import HITCompletion
-from ..crowd.review import ReviewPolicy
+from ..crowd.review import ReviewDecision, ReviewPolicy
 from .engine import (
     DEFAULT_SHARD_THRESHOLD,
     LabelingEngine,
@@ -66,6 +66,17 @@ from .parallel import DEFAULT_PARALLEL_THRESHOLD
 #: Sentinel distinguishing "argument not given" from an explicit ``None``
 #: (with a spec, an explicit ``None`` *overrides* the spec's policy).
 _UNSET = object()
+
+#: Labeling orders the runtime knows how to drive: ``"static"`` walks the
+#: order/frontier as given (the paper's behaviour), ``"expected-value"``
+#: re-picks the next question adaptively by expected transitive deductions
+#: (SEQUENTIAL mode only — there is exactly one question in flight to pick).
+ORDERINGS = ("static", "expected-value")
+
+#: Aggregations whose winning side holds less than this share of the vote
+#: weight are counted as low-margin in the report (matches the default
+#: :class:`~repro.crowd.review.EscalateOnLowConfidence` threshold).
+LOW_CONFIDENCE = 0.75
 
 
 def _pack_hit_batches(hit_batches, position) -> dict:
@@ -123,6 +134,14 @@ class RuntimeReport:
         assignments_committed: assignments submitted (the budget metric).
         n_assignments_approved: assignments approved by the review policy.
         n_assignments_rejected: assignments rejected by the review policy.
+        n_tie_broken: pairs whose aggregation was decided by the tie-break
+            fallback, not a worker consensus (a coin flip wearing a label).
+        n_low_margin: non-tied aggregations whose winning share fell below
+            :data:`LOW_CONFIDENCE`.
+        n_escalations: aggregated labels the review policy refused and the
+            runtime re-issued for fresh assignments instead of applying.
+        vote_margins: last observed vote margin per pair (winning weight
+            minus losing weight), for completions carrying vote summaries.
         leftovers: completions that arrived after the campaign was already
             decided (outstanding work settled by ``drain``); still shown
             to the review policy — the work was done and must be paid.
@@ -138,6 +157,10 @@ class RuntimeReport:
     assignments_committed: int = 0
     n_assignments_approved: int = 0
     n_assignments_rejected: int = 0
+    n_tie_broken: int = 0
+    n_low_margin: int = 0
+    n_escalations: int = 0
+    vote_margins: Dict[Pair, float] = field(default_factory=dict)
     leftovers: List[HITCompletion] = field(default_factory=list)
 
     def defer_restore(self, thunk) -> None:
@@ -240,8 +263,24 @@ class CrowdRuntime:
             underlying assignments; clients without a review surface skip
             it silently).  Live campaigns should always set one: unreviewed
             work leaves workers waiting on the platform's auto-approval.
+            A policy may also *escalate* pairs (see
+            :class:`~repro.crowd.review.EscalateOnLowConfidence`): their
+            aggregated labels are withheld and the pairs re-issued for
+            fresh assignments, at most ``max_escalations`` times per pair.
         max_rounds: ROUNDS-mode safety cap (the algorithm provably
             terminates; the cap exists to fail fast on bugs).
+        ordering: labeling-order strategy, one of :data:`ORDERINGS`.
+            ``"expected-value"`` (SEQUENTIAL mode only) picks each next
+            question adaptively by expected transitive deductions via
+            :class:`~repro.engine.expected.ExpectedDeductionScorer`
+            instead of walking the static order.
+        aggregation: optional
+            :class:`~repro.crowd.aggregation.WeightedAggregation` — when
+            set, completions carrying raw assignments are re-aggregated
+            with quality-aware weighted majority before their labels are
+            applied (completions without assignments pass through).
+        max_escalations: per-pair bound on review-policy escalations; once
+            exhausted the dubious label is accepted rather than re-asked.
         preplanned: SERIAL-mode HIT contents, one inner sequence per HIT.
         gate: optional :class:`PauseGate` for operator pause/resume; while
             paused the runtime defers all new HIT issuance but still
@@ -262,6 +301,9 @@ class CrowdRuntime:
         timeout=_UNSET,
         review=_UNSET,
         max_rounds=_UNSET,
+        ordering: Optional[str] = None,
+        aggregation=_UNSET,
+        max_escalations: int = 1,
         preplanned: Optional[Sequence[Sequence[Pair]]] = None,
         gate: Optional[PauseGate] = None,
     ) -> None:
@@ -275,13 +317,34 @@ class CrowdRuntime:
             review = spec.review if spec is not None else None
         if max_rounds is _UNSET:
             max_rounds = spec.max_rounds if spec is not None else None
+        if ordering is None:
+            ordering = spec.ordering if spec is not None else "static"
+        if aggregation is _UNSET:
+            aggregation = spec.make_aggregation() if spec is not None else None
         self._engine = engine
         self._client = client
         self._mode = RuntimeMode(mode)
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+            )
+        if ordering == "expected-value" and self._mode is not RuntimeMode.SEQUENTIAL:
+            raise ValueError(
+                "expected-value ordering requires SEQUENTIAL mode (it picks "
+                "one next question at a time), got mode "
+                f"{self._mode.value!r}"
+            )
+        if max_escalations < 0:
+            raise ValueError(
+                f"max_escalations must be non-negative, got {max_escalations}"
+            )
         self._budget = budget
         self._timeout = timeout
         self._review = review
         self._max_rounds = max_rounds
+        self._ordering = ordering
+        self._aggregation = aggregation
+        self._max_escalations = max_escalations
         self._gate = gate
         self._kick_pending = False
         if (preplanned is not None) != (self._mode is RuntimeMode.SERIAL):
@@ -298,6 +361,16 @@ class CrowdRuntime:
         self._cursor = 0  # SEQUENTIAL: next unvisited order position
         self._round_batch: List[Pair] = []
         self._round_outstanding: Set[Pair] = set()
+        # Expected-value ordering: an ExpectedDeductionScorer built lazily
+        # on the first advance (its evidence state is a pure function of
+        # engine.labeled, so restores need no extra payload — sync()
+        # rebuilds it).  Imported late: repro.engine.expected reaches
+        # repro.core.expected_cost, which imports this module's package.
+        self._scorer = None
+        # Escalation state: times each pair's label was refused so far, and
+        # the refused pairs awaiting re-issue.
+        self._escalation_counts: Dict[Pair, int] = {}
+        self._pending_escalations: List[Pair] = []
         self._adapter: Optional[HITDispatchAdapter] = None
         if self._mode in (RuntimeMode.HIT_INSTANT, RuntimeMode.HIT_ROUNDS):
             self._adapter = HITDispatchAdapter(
@@ -344,8 +417,9 @@ class CrowdRuntime:
         position = self._engine._position
         report = self.report
         return {
-            "version": 1,
+            "version": 2,
             "mode": self._mode.value,
+            "ordering": self._ordering,
             "round_index": self._round_index,
             "cursor": self._cursor,
             "round_batch": [position[p] for p in self._round_batch],
@@ -359,6 +433,18 @@ class CrowdRuntime:
             ),
             "kick_pending": self._kick_pending,
             "reissue_counts": sorted(self._reissue_counts.items()),
+            "escalation_counts": sorted(
+                [position[p], count]
+                for p, count in self._escalation_counts.items()
+            ),
+            "pending_escalations": [
+                position[p] for p in self._pending_escalations
+            ],
+            "aggregation": (
+                self._aggregation.snapshot_state()
+                if self._aggregation is not None
+                else None
+            ),
             "report": {
                 # The burst/batch histories grow with the record count
                 # (one HIT per batch_size pairs): packed columns keep the
@@ -380,6 +466,13 @@ class CrowdRuntime:
                 "assignments_committed": report.assignments_committed,
                 "n_assignments_approved": report.n_assignments_approved,
                 "n_assignments_rejected": report.n_assignments_rejected,
+                "n_tie_broken": report.n_tie_broken,
+                "n_low_margin": report.n_low_margin,
+                "n_escalations": report.n_escalations,
+                "vote_margins": sorted(
+                    [position[p], margin]
+                    for p, margin in report.vote_margins.items()
+                ),
             },
         }
 
@@ -390,7 +483,7 @@ class CrowdRuntime:
         """
         if self._ran:
             raise ValueError("cannot restore into a runtime that already ran")
-        if snapshot.get("version") != 1:
+        if snapshot.get("version") not in (1, 2):
             raise ValueError(
                 f"unsupported runtime snapshot version {snapshot.get('version')!r}"
             )
@@ -398,6 +491,12 @@ class CrowdRuntime:
             raise ValueError(
                 f"snapshot mode {snapshot['mode']!r} does not match runtime "
                 f"mode {self._mode.value!r}"
+            )
+        snap_ordering = snapshot.get("ordering")
+        if snap_ordering is not None and snap_ordering != self._ordering:
+            raise ValueError(
+                f"snapshot ordering {snap_ordering!r} does not match runtime "
+                f"ordering {self._ordering!r}"
             )
         pairs = self._engine.pairs
         self._round_index = int(snapshot["round_index"])
@@ -415,6 +514,16 @@ class CrowdRuntime:
             int(hit_id): int(count)
             for hit_id, count in snapshot["reissue_counts"]
         }
+        self._escalation_counts = {
+            pairs[int(i)]: int(count)
+            for i, count in snapshot.get("escalation_counts", [])
+        }
+        self._pending_escalations = [
+            pairs[int(i)] for i in snapshot.get("pending_escalations", [])
+        ]
+        agg_state = snapshot.get("aggregation")
+        if agg_state is not None and self._aggregation is not None:
+            self._aggregation.restore_state(agg_state)
         report = self.report
         payload = snapshot["report"]
         bursts = payload["publish_events"]
@@ -452,6 +561,13 @@ class CrowdRuntime:
         report.assignments_committed = int(payload["assignments_committed"])
         report.n_assignments_approved = int(payload["n_assignments_approved"])
         report.n_assignments_rejected = int(payload["n_assignments_rejected"])
+        report.n_tie_broken = int(payload.get("n_tie_broken", 0))
+        report.n_low_margin = int(payload.get("n_low_margin", 0))
+        report.n_escalations = int(payload.get("n_escalations", 0))
+        report.vote_margins = {
+            pairs[int(i)]: float(margin)
+            for i, margin in payload.get("vote_margins", [])
+        }
         self._restored = True
 
     # ------------------------------------------------------------------
@@ -534,12 +650,20 @@ class CrowdRuntime:
     async def _kick(self) -> None:
         """Fire the publish that a pause deferred (mode-appropriate)."""
         self._kick_pending = False
+        if self._pending_escalations:
+            await self._flush_escalations()
         if self._engine.is_done:
             return
         if self._mode is RuntimeMode.SEQUENTIAL:
-            await self._advance_sequential()
+            # Only advance with the platform quiet: a flushed escalation is
+            # the one in-flight question sequential mode allows.
+            if self._client.n_outstanding_hits == 0:
+                await self._advance_sequential()
         elif self._mode is RuntimeMode.ROUNDS:
-            await self._start_round()
+            # An escalation keeps its round open (the pair is still in
+            # _round_outstanding); start a fresh round only between rounds.
+            if not self._round_outstanding:
+                await self._start_round()
         elif self._adapter is not None:
             self._adapter.select_new()
             await self._flush_chunks()
@@ -643,32 +767,130 @@ class CrowdRuntime:
         self, event: HITCompletion, round_index: int, track_conflicts: bool = False
     ) -> List[Pair]:
         """Fold a completion's answers into the engine, skipping pairs a
-        re-issue race already answered.  Returns the pairs applied."""
+        re-issue race already answered.  Returns the pairs applied.
+
+        This is the one quality gate on the answer path: completions
+        carrying raw assignments are re-aggregated first (quality-aware
+        weighted majority when configured), vote diagnostics are folded
+        into the report, and the review policy sees the completion *before*
+        its labels land — pairs it escalates are withheld and queued for
+        re-issue instead of applied.
+        """
         engine = self._engine
+        event = self._reaggregate(event)
+        self._record_vote_quality(event)
+        decisions: Sequence[ReviewDecision] = (
+            self._review.review(event) if self._review is not None else ()
+        )
+        held = self._escalations(decisions)
         applied: List[Pair] = []
         for pair, label in event.labels.items():
             if pair in engine.labeled:
                 continue  # duplicate delivery (expired HIT completed late)
+            if pair in held:
+                continue  # escalated: re-issued instead of applied
             ok = engine.record_answer(pair, label, round_index)
             if track_conflicts and not ok:
                 self.report.conflicts.append(pair)
             applied.append(pair)
         self.report.completion_hours = event.completed_at
-        self._review_completion(event)
+        self._forward_review(event.hit.hit_id, decisions)
         return applied
 
-    def _review_completion(self, event: HITCompletion) -> None:
-        """Run the review policy over one completion (live platforms pay
-        or reject the workers; clients without a review surface skip)."""
-        if self._review is None:
+    def _reaggregate(self, event: HITCompletion) -> HITCompletion:
+        """Re-derive a completion's labels from its raw assignments with
+        the configured quality-aware aggregation.
+
+        Completions without assignment payloads (the journaled service
+        path, live polling clients) pass through untouched — their labels
+        were already final when journaled, so replay stays deterministic.
+        Pairs every assignment abstained on (no votes at all) are queued
+        for re-issue without charging the escalation bound — there is no
+        label to fall back on.
+        """
+        if self._aggregation is None or not event.assignments:
+            return event
+        summaries = self._aggregation.aggregate(
+            event.assignments, tie_break=Label.NON_MATCHING, strict=False
+        )
+        labels = {pair: summary.label for pair, summary in summaries.items()}
+        for pair in event.labels:
+            if pair not in summaries and pair not in self._engine.labeled:
+                self._pending_escalations.append(pair)
+        return replace(event, labels=labels, summaries=summaries)
+
+    def _record_vote_quality(self, event: HITCompletion) -> None:
+        """Fold a completion's vote diagnostics into the report."""
+        report = self.report
+        for pair, summary in event.summaries.items():
+            report.vote_margins[pair] = summary.margin
+            if summary.tie_broken:
+                report.n_tie_broken += 1
+            elif summary.confidence < LOW_CONFIDENCE:
+                report.n_low_margin += 1
+
+    def _escalations(self, decisions: Sequence[ReviewDecision]) -> Set[Pair]:
+        """Collect the pairs the review decisions escalate, bounded by
+        ``max_escalations`` per pair; queues them for re-issue and returns
+        the set to withhold from this completion."""
+        held: Set[Pair] = set()
+        for decision in decisions:
+            for pair in decision.escalate_pairs:
+                if pair in self._engine.labeled or pair in held:
+                    continue
+                count = self._escalation_counts.get(pair, 0)
+                if count >= self._max_escalations:
+                    continue  # bound exhausted: accept the dubious label
+                self._escalation_counts[pair] = count + 1
+                held.add(pair)
+                self._pending_escalations.append(pair)
+        self.report.n_escalations += len(held)
+        return held
+
+    def _forward_review(
+        self, hit_id: int, decisions: Sequence[ReviewDecision]
+    ) -> None:
+        """Forward review verdicts to the client (live platforms pay or
+        reject the workers; clients without a review surface skip)."""
+        if not decisions:
             return
         review_hit = getattr(self._client, "review_hit", None)
         if review_hit is None:
             return
-        decisions = self._review.review(event)
-        approved, rejected = review_hit(event.hit.hit_id, decisions)
+        approved, rejected = review_hit(hit_id, decisions)
         self.report.n_assignments_approved += approved
         self.report.n_assignments_rejected += rejected
+
+    def _review_completion(self, event: HITCompletion) -> None:
+        """Review one completion outside the application path (leftovers:
+        the campaign is decided, so escalations are moot — workers still
+        must be paid)."""
+        if self._review is None:
+            return
+        self._forward_review(event.hit.hit_id, self._review.review(event))
+
+    async def _flush_escalations(self) -> List[HIT]:
+        """Re-issue the queued escalated pairs as fresh HITs.
+
+        The pairs were already published (their first assignments came
+        back); like the expiry path this re-submits without touching the
+        engine's publish bookkeeping.  The budget is charged — escalation
+        buys new assignments.
+        """
+        pending, self._pending_escalations = self._pending_escalations, []
+        batch = [p for p in pending if p not in self._engine.labeled]
+        if not batch:
+            return []
+        return await self._submit(batch)
+
+    async def _settle_escalations(self) -> None:
+        """Flush queued escalations, or defer the flush while paused."""
+        if not self._pending_escalations:
+            return
+        if self._paused():
+            self._kick_pending = True
+        else:
+            await self._flush_escalations()
 
     async def _on_completion(self, event: HITCompletion) -> None:
         mode = self._mode
@@ -680,11 +902,18 @@ class CrowdRuntime:
             if self._paused():
                 self._kick_pending = True
             else:
-                await self._advance_sequential()
+                await self._flush_escalations()
+                # An escalated pair is the one in-flight question sequential
+                # mode allows; pick the next only once the platform is quiet.
+                if self._client.n_outstanding_hits == 0:
+                    await self._advance_sequential()
         elif mode is RuntimeMode.ROUNDS:
             applied = self._apply_labels(event, self._round_index)
             self._round_outstanding.difference_update(applied)
             self.report.n_completions += 1
+            # Escalated pairs stay in _round_outstanding, keeping the round
+            # open until their fresh assignments land.
+            await self._settle_escalations()
             if not self._round_outstanding:
                 self._engine.result.rounds.append(self._round_batch)
                 # Deduction sweep (Algorithm 2 lines 6-8): incremental —
@@ -699,6 +928,7 @@ class CrowdRuntime:
         elif mode is RuntimeMode.FLOOD:
             self._apply_labels(event, self.report.n_completions)
             self.report.n_completions += 1
+            await self._settle_escalations()
         else:  # HIT_INSTANT / HIT_ROUNDS
             self._apply_labels(
                 event, self.report.n_completions, track_conflicts=True
@@ -727,6 +957,11 @@ class CrowdRuntime:
             # stay withheld from the sweep (the crowd will answer them).
             self._adapter.sweep(self.report.n_completions)
             self.report.n_completions += 1
+            # Escalated pairs must go back out here in *both* HIT modes:
+            # they are already published, so the adapter never re-selects
+            # them, and HIT_ROUNDS would otherwise stall waiting on a drain
+            # that never comes.
+            await self._settle_escalations()
             if not self._engine.is_done and mode is RuntimeMode.HIT_INSTANT:
                 if self._paused():
                     self._kick_pending = True
@@ -739,6 +974,9 @@ class CrowdRuntime:
     # ------------------------------------------------------------------
     async def _advance_sequential(self) -> None:
         """Visit the order: deduce for free, submit the next paid pair."""
+        if self._ordering == "expected-value":
+            await self._advance_expected()
+            return
         engine = self._engine
         while self._cursor < len(engine.pairs):
             pair = engine.pairs[self._cursor]
@@ -753,6 +991,43 @@ class CrowdRuntime:
             self._cursor += 1
             engine.publish([pair])
             await self._submit([pair])
+            return
+
+    async def _advance_expected(self) -> None:
+        """Expected-value ordering: pick the next question by expected
+        transitive deductions, settling deducible pairs for free first.
+
+        The scorer's evidence state is a pure function of
+        ``engine.labeled`` (``sync`` is idempotent), so snapshot restores
+        rebuild it here with no extra payload.
+        """
+        engine = self._engine
+        if self._scorer is None:
+            from .expected import ExpectedDeductionScorer
+
+            self._scorer = ExpectedDeductionScorer()
+        scorer = self._scorer
+        scorer.sync(engine.labeled)
+        while not engine.is_done:
+            unresolved = [
+                CandidatePair(pair, engine.likelihoods[pair])
+                for pair in engine.pairs
+                if pair not in engine.labeled
+            ]
+            chosen = scorer.choose(unresolved)
+            if chosen is None:
+                # Every remaining pair is deducible: sweep them for free.
+                before = engine.n_labeled
+                engine.sweep(self._round_index)
+                scorer.sync(engine.labeled)
+                if engine.n_labeled == before:
+                    raise RuntimeError(
+                        "expected-value ordering stalled: no pair worth "
+                        "asking, none deducible"
+                    )
+                continue
+            engine.publish([chosen.pair])
+            await self._submit([chosen.pair])
             return
 
     async def _start_round(self) -> None:
@@ -788,6 +1063,11 @@ class CrowdRuntime:
                 self._apply_labels(event, self.report.n_completions)
                 self._engine.result.rounds.append(list(event.hit.pairs))
                 self.report.n_completions += 1
+                if self._pending_escalations:
+                    # Escalated pairs re-enter this chunk's wait set: serial
+                    # mode publishes the next HIT only once they settle.
+                    reissued = await self._flush_escalations()
+                    waiting.update(h.hit_id for h in reissued)
 
 
 class AsyncDispatch:
@@ -822,6 +1102,12 @@ class AsyncDispatch:
         timeout: optional per-HIT expiry deadline + re-issue cap.
         review: optional assignment review policy (see :class:`CrowdRuntime`).
         max_rounds: ROUNDS-mode safety cap.
+        ordering: labeling-order strategy (``"static"`` or
+            ``"expected-value"``; see :class:`CrowdRuntime`).
+        aggregation: optional quality-aware
+            :class:`~repro.crowd.aggregation.WeightedAggregation` applied
+            to assignment-bearing completions.
+        max_escalations: per-pair bound on review-policy escalations.
 
     After a run, :attr:`last_report` holds the runtime's
     :class:`RuntimeReport` (publish bursts, expiries, re-issues, spend).
@@ -842,6 +1128,9 @@ class AsyncDispatch:
         timeout=_UNSET,
         review=_UNSET,
         max_rounds=_UNSET,
+        ordering: Optional[str] = None,
+        aggregation=_UNSET,
+        max_escalations: int = 1,
     ) -> None:
         if mode is None:
             mode = spec.mode if spec is not None else RuntimeMode.ROUNDS
@@ -873,6 +1162,19 @@ class AsyncDispatch:
             review = spec.review if spec is not None else None
         if max_rounds is _UNSET:
             max_rounds = spec.max_rounds if spec is not None else None
+        if ordering is None:
+            ordering = spec.ordering if spec is not None else "static"
+        if aggregation is _UNSET:
+            aggregation = spec.make_aggregation() if spec is not None else None
+        if ordering not in ORDERINGS:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+            )
+        if ordering == "expected-value" and mode is not RuntimeMode.SEQUENTIAL:
+            raise ValueError(
+                "expected-value ordering requires SEQUENTIAL mode, got "
+                f"{mode.value!r}"
+            )
         self._mode = mode
         self._client_factory = client_factory
         self._policy = policy
@@ -885,6 +1187,9 @@ class AsyncDispatch:
         self._timeout = timeout
         self._review = review
         self._max_rounds = max_rounds
+        self._ordering = ordering
+        self._aggregation = aggregation
+        self._max_escalations = max_escalations
         self.last_report: Optional[RuntimeReport] = None
 
     def _make_client(self, oracle: LabelOracle) -> PlatformClient:
@@ -901,9 +1206,14 @@ class AsyncDispatch:
         engine = LabelingEngine(
             order,
             policy=self._policy,
-            # The sequential loop deduces at visit time and never sweeps,
-            # so the incremental index would be pure overhead.
-            use_index=self._mode is not RuntimeMode.SEQUENTIAL,
+            # The static sequential loop deduces at visit time and never
+            # sweeps, so the incremental index would be pure overhead; the
+            # expected-value ordering sweeps whenever every remaining pair
+            # became deducible, so it keeps the index.
+            use_index=(
+                self._mode is not RuntimeMode.SEQUENTIAL
+                or self._ordering == "expected-value"
+            ),
             backend=self._backend,
             shard_threshold=self._shard_threshold,
             parallel_threshold=self._parallel_threshold,
@@ -918,6 +1228,9 @@ class AsyncDispatch:
             timeout=self._timeout,
             review=self._review,
             max_rounds=self._max_rounds,
+            ordering=self._ordering,
+            aggregation=self._aggregation,
+            max_escalations=self._max_escalations,
         )
         self.last_report = await runtime.run()
         return engine.result

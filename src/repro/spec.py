@@ -44,13 +44,20 @@ from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from .core.cluster_graph import ConflictPolicy
 from .core.pairs import CandidatePair, Label, Pair
+from .crowd.aggregation import WeightedAggregation, WorkerAccuracyTracker
 from .crowd.budget import BudgetPolicy, CostModel
 from .crowd.hit import DEFAULT_ASSIGNMENTS, DEFAULT_BATCH_SIZE
 from .crowd.latency import TimeoutPolicy
-from .crowd.review import ApproveAll, ReviewPolicy
+from .crowd.review import ApproveAll, EscalateOnLowConfidence, ReviewPolicy
 
 #: Current wire-format version of the spec schema (also the journal header's).
-SPEC_SCHEMA_VERSION = 1
+#: Version 2 added ``ordering``, ``aggregation``, and the
+#: ``escalate-low-confidence`` review kind; version-1 documents decode with
+#: the pre-2 defaults (static ordering, flat majority aggregation).
+SPEC_SCHEMA_VERSION = 2
+
+#: Spec schema versions :meth:`CampaignSpec.from_dict` accepts.
+_READABLE_SPEC_VERSIONS = (1, 2)
 
 _SCALARS = (str, int, float, bool)
 
@@ -207,6 +214,96 @@ class JournalConfig:
         )
 
 
+@dataclass(frozen=True)
+class AggregationConfig:
+    """How a campaign turns replicated assignments into labels.
+
+    Attributes:
+        kind: ``"majority"`` (the paper's flat majority vote, applied by
+            the platform/client layer — the runtime adds nothing) or
+            ``"weighted"`` (quality-aware weighted majority: the runtime
+            re-aggregates assignment-bearing completions with per-worker
+            accuracy weights; see
+            :class:`~repro.crowd.aggregation.WeightedAggregation`).
+        prior_accuracy / prior_strength / agreement_weight: the
+            :class:`~repro.crowd.aggregation.WorkerAccuracyTracker` prior
+            (``"weighted"`` only).
+        min_votes: per-pair quorum; pairs with fewer cast votes are
+            re-issued instead of being aggregated.
+    """
+
+    kind: str = "majority"
+    prior_accuracy: float = 0.7
+    prior_strength: float = 8.0
+    agreement_weight: float = 0.5
+    min_votes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("majority", "weighted"):
+            raise SpecError(
+                f"unknown aggregation kind {self.kind!r}; "
+                "expected 'majority' or 'weighted'"
+            )
+        if not 0.0 < self.prior_accuracy < 1.0:
+            raise SpecError(
+                f"prior_accuracy must be in (0, 1), got {self.prior_accuracy}"
+            )
+        if self.prior_strength <= 0:
+            raise SpecError(
+                f"prior_strength must be positive, got {self.prior_strength}"
+            )
+        if self.agreement_weight < 0:
+            raise SpecError(
+                f"agreement_weight must be non-negative, got {self.agreement_weight}"
+            )
+        if self.min_votes < 1:
+            raise SpecError(f"min_votes must be >= 1, got {self.min_votes}")
+
+    def build(self) -> Optional[WeightedAggregation]:
+        """The runtime-side aggregator this config describes.
+
+        ``None`` for ``"majority"``: flat majority is what the platform
+        layer already computes, so the runtime applies labels as-is.
+        """
+        if self.kind == "majority":
+            return None
+        return WeightedAggregation(
+            tracker=WorkerAccuracyTracker(
+                prior_accuracy=self.prior_accuracy,
+                prior_strength=self.prior_strength,
+                agreement_weight=self.agreement_weight,
+            ),
+            min_votes=self.min_votes,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "prior_accuracy": self.prior_accuracy,
+            "prior_strength": self.prior_strength,
+            "agreement_weight": self.agreement_weight,
+            "min_votes": self.min_votes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> "AggregationConfig":
+        data = data or {}
+        defaults = cls()
+        return cls(
+            kind=data.get("kind", defaults.kind),
+            prior_accuracy=float(
+                data.get("prior_accuracy", defaults.prior_accuracy)
+            ),
+            prior_strength=float(
+                data.get("prior_strength", defaults.prior_strength)
+            ),
+            agreement_weight=float(
+                data.get("agreement_weight", defaults.agreement_weight)
+            ),
+            min_votes=int(data.get("min_votes", defaults.min_votes)),
+        )
+
+
 def _encode_budget(budget: Optional[BudgetPolicy]) -> Optional[dict]:
     if budget is None:
         return None
@@ -249,12 +346,18 @@ def _decode_timeout(data: Optional[Mapping[str, Any]]) -> Optional[TimeoutPolicy
 def _encode_review(review: Optional[ReviewPolicy]) -> Optional[dict]:
     if review is None:
         return None
+    if isinstance(review, EscalateOnLowConfidence):
+        return {
+            "kind": "escalate-low-confidence",
+            "min_confidence": review.min_confidence,
+            "feedback": review.feedback,
+        }
     if isinstance(review, ApproveAll):
         return {"kind": "approve-all", "feedback": review.feedback}
     raise SpecError(
         f"review policy {type(review).__name__} has no JSON form; only "
-        "ApproveAll (or None) can be carried by a CampaignSpec — wire custom "
-        "policies into the runtime directly"
+        "ApproveAll and EscalateOnLowConfidence (or None) can be carried by "
+        "a CampaignSpec — wire custom policies into the runtime directly"
     )
 
 
@@ -264,6 +367,14 @@ def _decode_review(data: Optional[Mapping[str, Any]]) -> Optional[ReviewPolicy]:
     kind = data.get("kind")
     if kind == "approve-all":
         return ApproveAll(feedback=data.get("feedback", ApproveAll().feedback))
+    if kind == "escalate-low-confidence":
+        defaults = EscalateOnLowConfidence()
+        return EscalateOnLowConfidence(
+            min_confidence=float(
+                data.get("min_confidence", defaults.min_confidence)
+            ),
+            feedback=data.get("feedback", defaults.feedback),
+        )
     raise SpecError(f"unknown review policy kind {kind!r}")
 
 
@@ -289,6 +400,12 @@ class CampaignSpec:
         review: optional assignment review policy (JSON-serializable kinds
             only; see :func:`_encode_review`).
         max_rounds: ROUNDS-mode safety cap.
+        ordering: labeling-order strategy — ``"static"`` (walk the order /
+            frontier as given) or ``"expected-value"`` (the runtime re-picks
+            each next question adaptively by expected transitive deductions;
+            requires ``mode="sequential"``).
+        aggregation: how replicated assignments become labels
+            (:class:`AggregationConfig`).
         platform: the platform shape (:class:`PlatformConfig`).
         journal: per-campaign journal durability/compaction knobs
             (:class:`JournalConfig`); only the campaign service reads it.
@@ -309,6 +426,8 @@ class CampaignSpec:
     timeout: Optional[TimeoutPolicy] = None
     review: Optional[ReviewPolicy] = None
     max_rounds: Optional[int] = None
+    ordering: str = "static"
+    aggregation: AggregationConfig = field(default_factory=AggregationConfig)
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     journal: JournalConfig = field(default_factory=JournalConfig)
 
@@ -341,11 +460,25 @@ class CampaignSpec:
         # Validate mode/policy eagerly so a bad spec fails at construction,
         # not deep inside a runtime build.  RuntimeMode itself is imported
         # lazily to keep this module on the engine's import path.
-        from .engine.async_dispatch import RuntimeMode
+        from .engine.async_dispatch import ORDERINGS, RuntimeMode
 
         RuntimeMode(self.mode)
+        if self.ordering not in ORDERINGS:
+            raise SpecError(
+                f"unknown ordering {self.ordering!r}; "
+                f"expected one of {ORDERINGS}"
+            )
+        if self.ordering == "expected-value" and self.mode != "sequential":
+            raise SpecError(
+                "expected-value ordering requires mode='sequential' (it "
+                f"picks one next question at a time), got mode={self.mode!r}"
+            )
         if not isinstance(self.policy, ConflictPolicy):
             object.__setattr__(self, "policy", ConflictPolicy(self.policy))
+        if not isinstance(self.aggregation, AggregationConfig):
+            object.__setattr__(
+                self, "aggregation", AggregationConfig.from_dict(self.aggregation)
+            )
         if not isinstance(self.journal, JournalConfig):
             object.__setattr__(
                 self, "journal", JournalConfig.from_dict(self.journal)
@@ -390,15 +523,19 @@ class CampaignSpec:
     def build_engine(self):
         """Construct the :class:`LabelingEngine` this spec describes.
 
-        The sequential mode deduces at visit time and never sweeps, so the
-        incremental pending-pair index would be pure overhead — the same
-        optimisation every pre-spec entry point applied by hand.
+        The static sequential mode deduces at visit time and never sweeps,
+        so the incremental pending-pair index would be pure overhead — the
+        same optimisation every pre-spec entry point applied by hand.  The
+        expected-value ordering sweeps (whenever every remaining pair became
+        deducible), so it keeps the index.
         """
         from .engine.engine import LabelingEngine
 
         return LabelingEngine(
             list(self.order),
-            use_index=self.mode != "sequential",
+            use_index=(
+                self.mode != "sequential" or self.ordering == "expected-value"
+            ),
             **self.engine_kwargs(),
         )
 
@@ -407,6 +544,14 @@ class CampaignSpec:
     ) -> "CampaignSpec":
         """A copy of this spec over a different labeling order."""
         return replace(self, order=tuple(order))
+
+    def make_aggregation(self) -> Optional[WeightedAggregation]:
+        """The runtime-side aggregator this spec configures.
+
+        A fresh instance per call (trackers are stateful); ``None`` when
+        the spec keeps the platform layer's flat majority.
+        """
+        return self.aggregation.build()
 
     # ------------------------------------------------------------------
     # JSON round trip (the HTTP create schema == the journal header schema)
@@ -428,6 +573,8 @@ class CampaignSpec:
             "timeout": _encode_timeout(self.timeout),
             "review": _encode_review(self.review),
             "max_rounds": self.max_rounds,
+            "ordering": self.ordering,
+            "aggregation": self.aggregation.to_dict(),
             "platform": self.platform.to_dict(),
             "journal": self.journal.to_dict(),
         }
@@ -443,10 +590,10 @@ class CampaignSpec:
         :func:`decode_canonical_pair`, skipping re-canonicalisation.
         """
         version = data.get("version", SPEC_SCHEMA_VERSION)
-        if version != SPEC_SCHEMA_VERSION:
+        if version not in _READABLE_SPEC_VERSIONS:
             raise SpecError(
                 f"unsupported spec schema version {version!r} "
-                f"(this build reads version {SPEC_SCHEMA_VERSION})"
+                f"(this build reads versions {_READABLE_SPEC_VERSIONS})"
             )
         try:
             if trusted_order:
@@ -499,6 +646,10 @@ class CampaignSpec:
             timeout=_decode_timeout(data.get("timeout")),
             review=_decode_review(data.get("review")),
             max_rounds=data.get("max_rounds"),
+            # Version-1 documents predate these fields; their absence decodes
+            # to the pre-2 behaviour (static order, flat majority).
+            ordering=data.get("ordering", "static"),
+            aggregation=AggregationConfig.from_dict(data.get("aggregation")),
             platform=PlatformConfig.from_dict(data.get("platform", {})),
             journal=JournalConfig.from_dict(data.get("journal")),
         )

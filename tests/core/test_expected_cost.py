@@ -10,6 +10,9 @@ from hypothesis import strategies as st
 from repro.core.expected_cost import (
     MAX_BRUTE_FORCE_PAIRS,
     MAX_ENUMERATION_PAIRS,
+    adaptive_expected_cost,
+    adaptive_optimal_choice,
+    brute_force_adaptive_optimal,
     brute_force_expected_optimal,
     consistent_assignments_count,
     crowdsourced_count,
@@ -17,8 +20,11 @@ from repro.core.expected_cost import (
     enumerate_consistent_assignments,
     expected_cost,
     heuristic_gap,
+    posterior_assignments,
+    posterior_match_probability,
     sample_assignment,
 )
+from repro.core.pairs import Pair
 from repro.core.oracle import GroundTruthOracle
 from repro.core.ordering import expected_order
 from repro.core.pairs import Label, candidate
@@ -194,3 +200,93 @@ class TestHeuristicQuality:
             return
         heuristic, optimum = heuristic_gap(informed)
         assert heuristic <= optimum + 1.0
+
+
+class TestPosteriors:
+    """Conditioning on evidence: the posterior machinery behind the adaptive
+    dispatch, anchored on the Example 4 triangle."""
+
+    def test_no_evidence_is_the_prior(self, example4_candidates):
+        posterior = posterior_assignments(example4_candidates, {})
+        prior = enumerate_consistent_assignments(example4_candidates)
+        assert len(posterior) == len(prior)
+        for after, before in zip(posterior, prior):
+            assert after.labels == before.labels
+            assert after.weight == pytest.approx(before.weight)
+
+    def test_evidence_prunes_and_renormalises(self, example4_candidates):
+        p1 = example4_candidates[0].pair
+        posterior = posterior_assignments(
+            example4_candidates, {p1: Label.MATCHING}
+        )
+        assert sum(a.weight for a in posterior) == pytest.approx(1.0)
+        index = {c.pair: i for i, c in enumerate(example4_candidates)}
+        for assignment in posterior:
+            assert assignment.labels[index[p1]] is Label.MATCHING
+
+    def test_transitive_evidence_forces_the_third_edge(self, example4_candidates):
+        """Given p1 and p2 both matching, p3 is matching with certainty."""
+        p1, p2, p3 = (c.pair for c in example4_candidates)
+        probability = posterior_match_probability(
+            example4_candidates,
+            {p1: Label.MATCHING, p2: Label.MATCHING},
+            p3,
+        )
+        assert probability == pytest.approx(1.0)
+
+    def test_posterior_differs_from_raw_likelihood(self, example4_candidates):
+        """One matching edge of the triangle raises the odds on the rest."""
+        p1, p2, _ = (c.pair for c in example4_candidates)
+        conditioned = posterior_match_probability(
+            example4_candidates, {p1: Label.MATCHING}, p2
+        )
+        assert conditioned != pytest.approx(example4_candidates[1].likelihood)
+
+    def test_unknown_evidence_pair_rejected(self, example4_candidates):
+        with pytest.raises(ValueError, match="not a candidate"):
+            posterior_assignments(
+                example4_candidates, {Pair("x", "y"): Label.MATCHING}
+            )
+
+    def test_zero_mass_evidence_rejected(self):
+        """Evidence contradicting a certain pair has no posterior."""
+        certain = [candidate("a", "b", 1.0), candidate("b", "c", 0.5)]
+        with pytest.raises(ValueError, match="zero posterior"):
+            posterior_assignments(certain, {certain[0].pair: Label.NON_MATCHING})
+
+
+class TestAdaptivePolicies:
+    def test_adaptive_lower_bounds_the_static_optimum(self, example4_candidates):
+        adaptive = brute_force_adaptive_optimal(example4_candidates)
+        _, static = brute_force_expected_optimal(example4_candidates)
+        assert adaptive <= static + 1e-9
+
+    def test_static_policy_evaluates_to_its_static_cost(self, example4_candidates):
+        """adaptive_expected_cost over an answer-blind policy reproduces
+        expected_cost of the same order exactly."""
+
+        def static_policy(unresolved, evidence):
+            order = {c.pair: i for i, c in enumerate(example4_candidates)}
+            return min(unresolved, key=lambda c: order[c.pair])
+
+        cost = adaptive_expected_cost(example4_candidates, static_policy)
+        assert cost == pytest.approx(expected_cost(example4_candidates), abs=1e-9)
+
+    def test_optimal_choice_resolves_to_none_when_evidence_closes_all(
+        self, example4_candidates
+    ):
+        p1, p2, _ = (c.pair for c in example4_candidates)
+        evidence = {p1: Label.MATCHING, p2: Label.MATCHING}
+        assert adaptive_optimal_choice(example4_candidates, evidence) is None
+
+    def test_optimal_choice_is_a_candidate(self, example4_candidates):
+        chosen = adaptive_optimal_choice(example4_candidates)
+        assert chosen in example4_candidates
+
+    def test_adaptive_brute_force_rejects_oversized_instances(self):
+        too_many = [
+            candidate(f"a{i}", f"b{i}", 0.5)
+            for i in range(2 * MAX_BRUTE_FORCE_PAIRS + 1)
+        ]
+        with pytest.raises(ValueError, match="infeasible"):
+            brute_force_adaptive_optimal(too_many)

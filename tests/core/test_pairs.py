@@ -90,6 +90,50 @@ class TestPair:
             assert hash(Pair(a, b)) == hash(Pair(b, a))
 
 
+class _Opaque:
+    """Deliberately keeps object.__repr__ (address-based)."""
+
+
+class _Identified:
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"_Identified({self.key!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Identified) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+
+class TestReprGuard:
+    """Regression: canonicalisation orders members by ``(type, repr)``, so
+    an address-based default repr would shuffle left/right across processes
+    and silently break journal encoding and state fingerprints.  Such
+    objects are rejected at construction with a pointer at the scalar-id
+    contract."""
+
+    def test_default_repr_objects_are_rejected(self):
+        with pytest.raises(TypeError, match="scalar object ids"):
+            Pair(_Opaque(), _Opaque())
+
+    def test_error_names_the_offending_type(self):
+        with pytest.raises(TypeError, match="_Opaque"):
+            Pair(_Opaque(), "a")
+
+    def test_custom_deterministic_repr_is_accepted(self):
+        pair = Pair(_Identified("z"), _Identified("a"))
+        assert pair == Pair(_Identified("a"), _Identified("z"))
+        assert pair.left == _Identified("a")
+
+    @pytest.mark.parametrize("obj", ["x", 3, 2.5, True, None])
+    def test_scalar_ids_are_accepted(self, obj):
+        pair = Pair(obj, "other" if obj != "other" else "another")
+        assert obj in pair
+
+
 class TestCandidatePair:
     def test_likelihood_bounds(self):
         with pytest.raises(ValueError):

@@ -6,14 +6,26 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.oracle import GroundTruthOracle
 from repro.core.pairs import Label, Pair
 from repro.crowd.aggregation import (
+    QuorumError,
+    WeightedAggregation,
     aggregate_assignments,
     agreement_rate,
     majority_vote,
+    summarize_assignments,
+    summarize_votes,
     unanimous_or,
 )
 from repro.crowd.hit import HIT, Assignment
+from repro.crowd.latency import ZeroLatency
+from repro.crowd.platform import SimulatedPlatform
+from repro.crowd.clients import SimulatedPlatformClient
+from repro.crowd.worker import make_worker_pool
+from repro.engine import AsyncDispatch, RuntimeMode
+
+from ..conftest import FIGURE3_ENTITIES
 
 M, N = Label.MATCHING, Label.NON_MATCHING
 
@@ -106,3 +118,138 @@ class TestAggregateAssignments:
     def test_agreement_rate_empty_raises(self):
         with pytest.raises(ValueError):
             agreement_rate([])
+
+
+def _partial(hit, worker_id, answers):
+    return Assignment(hit=hit, worker_id=worker_id, answers=answers, partial=True)
+
+
+class TestPartialAssignments:
+    """Regression: partial assignments (abandoned mid-HIT, or drained
+    leftovers from an expired HIT) used to crash aggregation with a bare
+    ``KeyError``.  Missing answers are abstentions; quorum failures surface
+    as an explicit :class:`QuorumError` or a droppable pair."""
+
+    @pytest.fixture
+    def hit(self):
+        return HIT(hit_id=0, pairs=(Pair("a", "b"), Pair("c", "d")), n_assignments=3)
+
+    def test_missing_answer_counts_as_abstention_not_keyerror(self, hit):
+        assignments = [
+            _assignment(hit, 1, [M, N]),
+            _assignment(hit, 2, [M, M]),
+            _partial(hit, 3, {hit.pairs[0]: N}),  # abandoned the second pair
+        ]
+        summaries = summarize_assignments(assignments)
+        assert summaries[hit.pairs[0]].n_votes == 3
+        assert summaries[hit.pairs[0]].n_abstentions == 0
+        assert summaries[hit.pairs[1]].n_votes == 2
+        assert summaries[hit.pairs[1]].n_abstentions == 1
+        labels = aggregate_assignments(assignments)
+        assert labels[hit.pairs[0]] is M
+        assert labels[hit.pairs[1]] is N  # 1-1 tie falls back conservatively
+
+    def test_complete_assignment_still_requires_every_answer(self, hit):
+        with pytest.raises(ValueError, match="missing answers"):
+            Assignment(hit=hit, worker_id=1, answers={hit.pairs[0]: M})
+
+    def test_under_quorum_raises_a_clear_quorum_error(self, hit):
+        assignments = [
+            _assignment(hit, 1, [M, N]),
+            _partial(hit, 2, {hit.pairs[0]: M}),
+        ]
+        with pytest.raises(QuorumError, match="quorum not met") as excinfo:
+            aggregate_assignments(assignments, min_votes=2)
+        assert excinfo.value.pairs == {hit.pairs[1]: 1}
+        assert excinfo.value.min_votes == 2
+
+    def test_lenient_mode_drops_under_quorum_pairs_for_reissue(self, hit):
+        assignments = [
+            _assignment(hit, 1, [M, N]),
+            _partial(hit, 2, {hit.pairs[0]: M}),
+        ]
+        labels = aggregate_assignments(assignments, min_votes=2, strict=False)
+        assert labels == {hit.pairs[0]: M}
+
+    def test_pair_nobody_answered_is_never_silently_labeled(self, hit):
+        assignments = [
+            _partial(hit, 1, {hit.pairs[0]: M}),
+            _partial(hit, 2, {hit.pairs[0]: M}),
+        ]
+        with pytest.raises(QuorumError):
+            aggregate_assignments(assignments)
+        lenient = aggregate_assignments(assignments, strict=False)
+        assert hit.pairs[1] not in lenient
+
+
+class TestVoteDiagnostics:
+    """Regression: tie-breaks used to be invisible — an even split silently
+    became NON_MATCHING.  Summaries expose margin/confidence/tie_broken."""
+
+    def test_exact_tie_is_flagged(self):
+        summary = summarize_votes([M, N])
+        assert summary.label is N
+        assert summary.tie_broken
+        assert summary.margin == 0.0
+        assert summary.confidence == 0.5
+
+    def test_consensus_margins(self):
+        summary = summarize_votes([M, M, M, N])
+        assert summary.label is M
+        assert not summary.tie_broken
+        assert summary.margin == pytest.approx(2.0)
+        assert summary.confidence == pytest.approx(0.75)
+
+    def test_weighted_votes_can_overturn_a_flat_tie(self):
+        summary = summarize_votes([M, N], weights=[2.5, 1.0])
+        assert summary.label is M
+        assert not summary.tie_broken
+        assert summary.margin == pytest.approx(1.5)
+
+    @given(st.lists(st.sampled_from([M, N]), min_size=1, max_size=8))
+    def test_margin_and_confidence_are_consistent(self, answers):
+        summary = summarize_votes(answers)
+        total = summary.matching_weight + summary.non_matching_weight
+        assert total == pytest.approx(len(answers))
+        assert summary.margin >= 0.0
+        assert 0.5 <= summary.confidence <= 1.0
+        assert summary.tie_broken == (summary.margin == 0.0)
+
+
+class TestExpiryReissueRegression:
+    """The full aggregation path stays correct across expired-and-reissued
+    HITs: a seeded fraction of HITs is abandoned, re-issued, and aggregated
+    by the quality-aware layer — every pair still ends with its true label."""
+
+    def test_labels_survive_expiry_reissue_with_weighted_aggregation(self):
+        truth = GroundTruthOracle(FIGURE3_ENTITIES)
+        objects = sorted(FIGURE3_ENTITIES)
+        pairs = [
+            Pair(a, b)
+            for i, a in enumerate(objects)
+            for b in objects[i + 1 :]
+        ]
+
+        def client_factory(oracle):
+            platform = SimulatedPlatform(
+                workers=make_worker_pool(6, seed=5),
+                truth=oracle,
+                latency=ZeroLatency(),
+                batch_size=2,
+                n_assignments=3,
+                seed=5,
+                aggregation=WeightedAggregation(),
+            )
+            return SimulatedPlatformClient(
+                platform, expire_probability=0.4, expire_seed=7
+            )
+
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            client_factory=client_factory,
+            aggregation=WeightedAggregation(),
+        )
+        result = dispatch.run(pairs, truth)
+        assert set(result.labels()) == set(pairs)
+        for pair, label in result.labels().items():
+            assert label is truth.label(pair)

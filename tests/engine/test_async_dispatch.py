@@ -18,11 +18,14 @@ runtime to the frozen pre-refactor loops in ``tests/engine/reference.py``:
 
 from __future__ import annotations
 
+import json
+
 import pytest
 from hypothesis import given, settings
 
 from repro.core.oracle import GroundTruthOracle
-from repro.core.pairs import Pair
+from repro.core.pairs import Label, Pair
+from repro.crowd.aggregation import WeightedAggregation
 from repro.crowd.budget import BudgetExceededError, BudgetPolicy
 from repro.crowd.clients import (
     InMemoryCrowdBackend,
@@ -30,9 +33,10 @@ from repro.crowd.clients import (
     PollingPlatformClient,
     SimulatedPlatformClient,
 )
-from repro.crowd.latency import LognormalLatency, TimeoutPolicy
+from repro.crowd.latency import LognormalLatency, TimeoutPolicy, ZeroLatency
 from repro.crowd.platform import HITCompletion, SimulatedPlatform
-from repro.crowd.worker import make_worker_pool
+from repro.crowd.review import EscalateOnLowConfidence
+from repro.crowd.worker import PerfectWorker, Worker, make_worker_pool
 from repro.engine import AsyncDispatch, CrowdRuntime, LabelingEngine, RuntimeMode
 
 from ..aio import run_async
@@ -323,6 +327,278 @@ class TestRuntimePolicies:
         assert engine.is_done
         with pytest.raises(RuntimeError, match="single-shot"):
             run_async(runtime.run())
+
+
+#: Three disjoint (no shared objects, so no transitivity) matching pairs —
+#: the smallest workload where every vote-quality counter is predictable.
+DISJOINT_ENTITIES = {"a0": 0, "b0": 0, "a1": 1, "b1": 1, "a2": 2, "b2": 2}
+DISJOINT_PAIRS = [Pair(f"a{i}", f"b{i}") for i in range(3)]
+
+
+class _Contrarian:
+    """Always answers the negation of the truth: paired with a perfect
+    worker at two assignments per HIT, every aggregation is an exact tie."""
+
+    def answer(self, pair, true_label, likelihood):
+        return true_label.negate()
+
+
+class _SecondThoughts:
+    """Wrong the first time it sees a pair, right ever after — a crowd
+    that settles once a question is re-asked."""
+
+    def __init__(self) -> None:
+        self._seen = set()
+
+    def answer(self, pair, true_label, likelihood):
+        if pair not in self._seen:
+            self._seen.add(pair)
+            return true_label.negate()
+        return true_label
+
+
+def split_crowd_factory(second_model):
+    """One perfect worker against ``second_model``, two assignments per
+    HIT: the first wave of votes on every pair is a 1-1 tie."""
+
+    def factory(oracle):
+        platform = SimulatedPlatform(
+            workers=[
+                Worker(worker_id=0, model=PerfectWorker(), speed=1.0),
+                Worker(worker_id=1, model=second_model, speed=1.0),
+            ],
+            truth=oracle,
+            latency=ZeroLatency(),
+            batch_size=1,
+            n_assignments=2,
+            seed=0,
+        )
+        return SimulatedPlatformClient(platform)
+
+    return factory
+
+
+class TestEscalation:
+    """Regression: a tied aggregation used to become a silent NON_MATCHING.
+    With :class:`EscalateOnLowConfidence` the runtime re-issues the pair for
+    fresh assignments instead, bounded by ``max_escalations``."""
+
+    def _dispatch(self, second_model, **kwargs):
+        return AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            client_factory=split_crowd_factory(second_model),
+            aggregation=WeightedAggregation(update_from_agreement=False),
+            review=EscalateOnLowConfidence(),
+            **kwargs,
+        )
+
+    def test_escalation_rescues_labels_a_tie_break_would_get_wrong(self):
+        """First wave ties on every pair; the re-ask is unanimous — every
+        label ends correct where the plain tie-break would have been wrong
+        (all pairs match, the tie-break says NON_MATCHING)."""
+        truth = GroundTruthOracle(DISJOINT_ENTITIES)
+        dispatch = self._dispatch(_SecondThoughts())
+        result = dispatch.run(DISJOINT_PAIRS, truth)
+        report = dispatch.last_report
+        assert report.n_escalations == len(DISJOINT_PAIRS)
+        assert report.n_tie_broken == len(DISJOINT_PAIRS)  # the first wave
+        for pair in DISJOINT_PAIRS:
+            assert result.label_of(pair) is truth.label(pair)
+            # The last observed vote on each pair was unanimous.
+            assert report.vote_margins[pair] > 0.0
+
+    def test_persistent_ties_settle_at_the_escalation_bound(self):
+        """A crowd that stays split forever is re-asked ``max_escalations``
+        times, then the tie-break label is accepted — no infinite loop."""
+        truth = GroundTruthOracle(DISJOINT_ENTITIES)
+        dispatch = self._dispatch(_Contrarian(), max_escalations=1)
+        result = dispatch.run(DISJOINT_PAIRS, truth)
+        report = dispatch.last_report
+        assert report.n_escalations == len(DISJOINT_PAIRS)
+        # Both waves (original + escalated re-ask) were coin flips.
+        assert report.n_tie_broken == 2 * len(DISJOINT_PAIRS)
+        assert report.n_completions == 2 * len(DISJOINT_PAIRS)
+        assert len(report.hit_batches) == 2 * len(DISJOINT_PAIRS)
+        for pair in DISJOINT_PAIRS:
+            assert report.vote_margins[pair] == 0.0
+            assert result.label_of(pair) is Label.NON_MATCHING  # tie-break
+
+    def test_zero_max_escalations_disables_reissue(self):
+        truth = GroundTruthOracle(DISJOINT_ENTITIES)
+        dispatch = self._dispatch(_Contrarian(), max_escalations=0)
+        dispatch.run(DISJOINT_PAIRS, truth)
+        report = dispatch.last_report
+        assert report.n_escalations == 0
+        assert report.n_completions == len(DISJOINT_PAIRS)
+        assert report.n_tie_broken == len(DISJOINT_PAIRS)
+
+    def test_negative_max_escalations_rejected(self):
+        with pytest.raises(ValueError, match="max_escalations"):
+            CrowdRuntime(
+                LabelingEngine(DISJOINT_PAIRS),
+                SimulatedPlatformClient.for_oracle(
+                    GroundTruthOracle(DISJOINT_ENTITIES)
+                ),
+                mode=RuntimeMode.ROUNDS,
+                max_escalations=-1,
+            )
+
+
+class TestVoteQualityReport:
+    def test_low_margin_aggregations_are_counted(self):
+        """Two perfect workers against one contrarian: every pair resolves
+        correctly but 2-1, below the LOW_CONFIDENCE share — counted as
+        low-margin, never as tie-broken."""
+
+        def factory(oracle):
+            platform = SimulatedPlatform(
+                workers=[
+                    Worker(worker_id=0, model=PerfectWorker(), speed=1.0),
+                    Worker(worker_id=1, model=PerfectWorker(), speed=1.0),
+                    Worker(worker_id=2, model=_Contrarian(), speed=1.0),
+                ],
+                truth=oracle,
+                latency=ZeroLatency(),
+                batch_size=1,
+                n_assignments=3,
+                seed=0,
+            )
+            return SimulatedPlatformClient(platform)
+
+        truth = GroundTruthOracle(DISJOINT_ENTITIES)
+        dispatch = AsyncDispatch(
+            RuntimeMode.ROUNDS,
+            client_factory=factory,
+            aggregation=WeightedAggregation(update_from_agreement=False),
+        )
+        result = dispatch.run(DISJOINT_PAIRS, truth)
+        report = dispatch.last_report
+        assert report.n_low_margin == len(DISJOINT_PAIRS)
+        assert report.n_tie_broken == 0
+        assert report.n_escalations == 0
+        for pair in DISJOINT_PAIRS:
+            assert result.label_of(pair) is truth.label(pair)
+            assert report.vote_margins[pair] > 0.0
+
+
+class TestRuntimeSnapshotV2:
+    """The quality-aware dispatch state — escalation bookkeeping, vote
+    diagnostics, the worker-accuracy tracker — rides the v2 runtime
+    snapshot; v1 snapshots (pre-quality) still restore."""
+
+    def _runtime(self, aggregation=None, mode=RuntimeMode.ROUNDS, ordering="static"):
+        return CrowdRuntime(
+            LabelingEngine(DISJOINT_PAIRS),
+            SimulatedPlatformClient.for_oracle(
+                GroundTruthOracle(DISJOINT_ENTITIES)
+            ),
+            mode=mode,
+            ordering=ordering,
+            aggregation=aggregation,
+        )
+
+    def test_escalation_and_aggregation_state_round_trips(self):
+        source = self._runtime(aggregation=WeightedAggregation())
+        pairs = source.engine.pairs
+        source._escalation_counts = {pairs[0]: 1}
+        source._pending_escalations = [pairs[1]]
+        source._aggregation.tracker.record_gold(4, correct=True)
+        source._aggregation.tracker.record_agreement(9, agreed=False)
+        source.report.n_tie_broken = 2
+        source.report.n_low_margin = 1
+        source.report.n_escalations = 1
+        source.report.vote_margins = {pairs[0]: 0.0, pairs[2]: 1.5}
+        # The JSON round trip is part of the contract: snapshots live
+        # inside journal records.
+        snapshot = json.loads(json.dumps(source.snapshot_state()))
+        assert snapshot["version"] == 2
+        assert snapshot["ordering"] == "static"
+        restored = self._runtime(aggregation=WeightedAggregation())
+        restored.restore_state(snapshot)
+        assert restored._escalation_counts == {pairs[0]: 1}
+        assert restored._pending_escalations == [pairs[1]]
+        tracker = restored._aggregation.tracker
+        assert tracker.known_workers() == [4, 9]
+        for worker_id in (4, 9, 99):
+            assert tracker.accuracy(worker_id) == source._aggregation.tracker.accuracy(worker_id)
+        assert restored.report.n_tie_broken == 2
+        assert restored.report.n_low_margin == 1
+        assert restored.report.n_escalations == 1
+        assert restored.report.vote_margins == {pairs[0]: 0.0, pairs[2]: 1.5}
+
+    def test_v1_snapshot_restores_with_pre_quality_defaults(self):
+        source = self._runtime()
+        snapshot = json.loads(json.dumps(source.snapshot_state()))
+        snapshot["version"] = 1
+        for key in ("ordering", "escalation_counts", "pending_escalations", "aggregation"):
+            del snapshot[key]
+        for key in ("n_tie_broken", "n_low_margin", "n_escalations", "vote_margins"):
+            del snapshot["report"][key]
+        restored = self._runtime(aggregation=WeightedAggregation())
+        restored.restore_state(snapshot)
+        assert restored._escalation_counts == {}
+        assert restored._pending_escalations == []
+        assert restored._aggregation.tracker.known_workers() == []
+        assert restored.report.n_escalations == 0
+        assert restored.report.vote_margins == {}
+
+    def test_ordering_mismatch_is_rejected(self):
+        source = self._runtime(
+            mode=RuntimeMode.SEQUENTIAL, ordering="expected-value"
+        )
+        snapshot = source.snapshot_state()
+        target = self._runtime(mode=RuntimeMode.SEQUENTIAL)
+        with pytest.raises(ValueError, match="ordering"):
+            target.restore_state(snapshot)
+
+    def test_unknown_snapshot_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            self._runtime().restore_state({"version": 3, "mode": "rounds"})
+
+    def test_live_tracker_state_is_captured_at_safe_points(self):
+        """The service journals ``snapshot_state()`` at safe points: the
+        agreement feedback the tracker accrued mid-run must ride along, so
+        a crash-recovered campaign keeps its learned worker weights."""
+        truth = GroundTruthOracle(FIGURE3_ENTITIES)
+        order = [FIGURE3_PAIRS[f"p{i}"] for i in range(1, 9)]
+        engine = LabelingEngine(order)
+        platform = SimulatedPlatform(
+            workers=[
+                Worker(worker_id=i, model=PerfectWorker(), speed=1.0)
+                for i in range(3)
+            ],
+            truth=truth,
+            latency=ZeroLatency(),
+            batch_size=1,
+            n_assignments=3,
+            seed=3,
+        )
+        runtime = CrowdRuntime(
+            engine,
+            SimulatedPlatformClient(platform),
+            mode=RuntimeMode.ROUNDS,
+            aggregation=WeightedAggregation(),
+        )
+        tracker = runtime._aggregation.tracker
+        captures = []
+
+        def capture():
+            # Pair each snapshot with the accuracies observed at the same
+            # safe point, so the round trip below checks mid-run state.
+            accuracies = {
+                w: tracker.accuracy(w) for w in tracker.known_workers()
+            }
+            captures.append((json.dumps(runtime.snapshot_state()), accuracies))
+
+        runtime.on_safe_point = capture
+        run_async(runtime.run())
+        snapshot, accuracies = captures[-1]
+        assert accuracies, "agreement feedback never reached the tracker"
+        restored = WeightedAggregation()
+        restored.restore_state(json.loads(snapshot)["aggregation"])
+        assert restored.tracker.known_workers() == sorted(accuracies)
+        for worker_id, accuracy in accuracies.items():
+            assert restored.tracker.accuracy(worker_id) == accuracy
 
 
 class TestAwaitableEntryPoint:

@@ -6,6 +6,7 @@ import pytest
 
 import repro
 from repro import (
+    AggregationConfig,
     CampaignSpec,
     EngineBackend,
     InstantDispatch,
@@ -21,7 +22,8 @@ from repro.core.pairs import CandidatePair, make_pair
 from repro.crowd.budget import BudgetPolicy, CostModel
 from repro.crowd.campaign import run_transitive
 from repro.crowd.latency import TimeoutPolicy
-from repro.crowd.review import ApproveAll
+from repro.crowd.aggregation import WeightedAggregation
+from repro.crowd.review import ApproveAll, EscalateOnLowConfidence
 from repro.engine.async_dispatch import AsyncDispatch, CrowdRuntime, RuntimeMode
 from repro.spec import SPEC_SCHEMA_VERSION
 
@@ -245,3 +247,105 @@ def test_label_wrappers_do_not_warn():
         warnings.simplefilter("error", DeprecationWarning)
         repro.label_sequential(PAIRS_AS_PAIRS(), oracle)
         repro.label_parallel(PAIRS_AS_PAIRS(), oracle)
+
+
+class TestOrderingField:
+    def test_default_is_static(self):
+        assert CampaignSpec(order=PAIRS).ordering == "static"
+
+    def test_expected_value_requires_sequential_mode(self):
+        with pytest.raises(SpecError, match="sequential"):
+            CampaignSpec(order=PAIRS, mode="rounds", ordering="expected-value")
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(SpecError, match="ordering"):
+            CampaignSpec(order=PAIRS, ordering="psychic")
+
+    def test_ordering_round_trips(self):
+        spec = CampaignSpec(
+            order=PAIRS, mode="sequential", ordering="expected-value"
+        )
+        restored = CampaignSpec.from_json(spec.to_json())
+        assert restored.ordering == "expected-value"
+        assert restored == spec
+
+
+class TestAggregationConfig:
+    def test_default_is_flat_majority_with_no_runtime_aggregator(self):
+        spec = CampaignSpec(order=PAIRS)
+        assert spec.aggregation == AggregationConfig()
+        assert spec.make_aggregation() is None
+
+    def test_weighted_config_builds_a_fresh_aggregator_each_call(self):
+        spec = CampaignSpec(
+            order=PAIRS,
+            aggregation=AggregationConfig(
+                kind="weighted", prior_accuracy=0.8, min_votes=2
+            ),
+        )
+        first = spec.make_aggregation()
+        second = spec.make_aggregation()
+        assert isinstance(first, WeightedAggregation)
+        assert first is not second
+        assert first.tracker is not second.tracker
+        assert first.tracker.prior_accuracy == 0.8
+        assert first.min_votes == 2
+
+    def test_mapping_in_constructor_normalises(self):
+        spec = CampaignSpec(order=PAIRS, aggregation={"kind": "weighted"})
+        assert spec.aggregation == AggregationConfig(kind="weighted")
+
+    def test_round_trips_through_json(self):
+        spec = CampaignSpec(
+            order=PAIRS,
+            aggregation=AggregationConfig(
+                kind="weighted",
+                prior_accuracy=0.75,
+                prior_strength=4.0,
+                agreement_weight=0.25,
+                min_votes=2,
+            ),
+        )
+        restored = CampaignSpec.from_json(spec.to_json())
+        assert restored.aggregation == spec.aggregation
+        assert restored == spec
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"kind": "alchemy"}, "aggregation kind"),
+            ({"prior_accuracy": 0.0}, "prior_accuracy"),
+            ({"prior_strength": -1.0}, "prior_strength"),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs, match):
+        with pytest.raises(SpecError, match=match):
+            AggregationConfig(**kwargs)
+
+
+class TestSchemaVersion2:
+    def test_escalation_review_round_trips(self):
+        spec = CampaignSpec(
+            order=PAIRS,
+            review=EscalateOnLowConfidence(min_confidence=0.8, feedback="check"),
+        )
+        restored = CampaignSpec.from_json(spec.to_json())
+        assert isinstance(restored.review, EscalateOnLowConfidence)
+        assert restored.review.min_confidence == 0.8
+        assert restored.review.feedback == "check"
+
+    def test_version_1_documents_decode_with_pre_2_defaults(self):
+        data = CampaignSpec(order=PAIRS).to_dict()
+        data["version"] = 1
+        del data["ordering"]
+        del data["aggregation"]
+        spec = CampaignSpec.from_dict(data)
+        assert spec.ordering == "static"
+        assert spec.aggregation == AggregationConfig()
+
+    def test_current_documents_carry_version_2(self):
+        assert SPEC_SCHEMA_VERSION == 2
+        data = CampaignSpec(order=PAIRS).to_dict()
+        assert data["version"] == 2
+        assert data["ordering"] == "static"
+        assert data["aggregation"]["kind"] == "majority"
