@@ -30,6 +30,13 @@ Public surface:
               :class:`ParallelShardedClusterGraph`, :class:`ShardWorkerError`
               (+ ``DEFAULT_PARALLEL_THRESHOLD``) — the sharded decomposition
               fanned out across worker processes (``backend="parallel"``)
+* distributed: :class:`ShardCoordinator`, :class:`ShardWorkerHost`
+              (+ :func:`encode_frame`, :class:`FrameDecoder`,
+              :class:`ProtocolError`, ``PROTOCOL_VERSION``) — the same
+              command protocol over TCP sockets with heartbeat-based
+              worker-loss re-assignment (``backend="distributed"``;
+              runbook: ``python -m repro.engine.distributed --worker
+              host:port``)
 * runtime:    :class:`CrowdRuntime`, :class:`RuntimeMode`,
               :class:`RuntimeReport`, :class:`AsyncDispatch`
 * strategies: :class:`SequentialDispatch`, :class:`RoundParallelDispatch`,
@@ -61,6 +68,14 @@ from .dispatch import (
     InstantRunResult,
     RoundParallelDispatch,
     SequentialDispatch,
+)
+from .distributed import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    ShardCoordinator,
+    ShardWorkerHost,
+    encode_frame,
 )
 from .engine import DEFAULT_SHARD_THRESHOLD, EngineBackend, LabelingEngine
 from .expected import (
@@ -94,24 +109,30 @@ __all__ = [
     "EngineBackend",
     "ExpectedDeductionScorer",
     "ExpectedValueDispatch",
+    "FrameDecoder",
     "FrontierCursor",
     "HITDispatchAdapter",
     "InstantDispatch",
     "InstantRunResult",
     "LabelingEngine",
     "OptimisticGraph",
+    "PROTOCOL_VERSION",
     "ParallelShardedClusterGraph",
     "PauseGate",
     "ProcessShardExecutor",
+    "ProtocolError",
     "RoundParallelDispatch",
     "RuntimeMode",
     "RuntimeReport",
     "SequentialDispatch",
+    "ShardCoordinator",
     "ShardWorkerError",
+    "ShardWorkerHost",
     "ShardedClusterGraph",
     "ShardedFrontier",
     "VectorizedClusterGraph",
     "VectorizedEngineCore",
+    "encode_frame",
     "expected_value_choice",
     "must_crowdsource_frontier",
     "vectorized_available",

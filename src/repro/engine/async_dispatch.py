@@ -1095,9 +1095,13 @@ class AsyncDispatch:
             not consult the oracle (live platforms) may ignore it.
         policy: conflict policy for the engine's deduction graph.
         backend: engine backend (``"auto"``, ``"monolithic"``, ``"sharded"``,
-            ``"vectorized"``, or ``"parallel"``, as a string or
-            :class:`~repro.engine.engine.EngineBackend`).
+            ``"vectorized"``, ``"parallel"``, or ``"distributed"``, as a
+            string or :class:`~repro.engine.engine.EngineBackend`).
         shard_threshold: the ``auto`` backend's cut-over point.
+        workers: ``"host:port"`` addresses of already-running shard worker
+            hosts (``backend="distributed"`` only).
+        spawn_local_workers: spawn this many local worker hosts instead of
+            (or in addition to) ``workers`` (``backend="distributed"`` only).
         budget: optional runtime spending cap.
         timeout: optional per-HIT expiry deadline + re-issue cap.
         review: optional assignment review policy (see :class:`CrowdRuntime`).
@@ -1124,6 +1128,8 @@ class AsyncDispatch:
         shard_threshold: Optional[int] = None,
         parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
+        workers: Optional[Sequence[str]] = None,
+        spawn_local_workers: Optional[int] = None,
         budget=_UNSET,
         timeout=_UNSET,
         review=_UNSET,
@@ -1154,6 +1160,10 @@ class AsyncDispatch:
                 parallel_threshold = DEFAULT_PARALLEL_THRESHOLD
         if n_workers is None and spec is not None:
             n_workers = spec.n_workers
+        if workers is None and spec is not None:
+            workers = spec.workers
+        if spawn_local_workers is None and spec is not None:
+            spawn_local_workers = spec.spawn_local_workers
         if budget is _UNSET:
             budget = spec.budget if spec is not None else None
         if timeout is _UNSET:
@@ -1182,6 +1192,8 @@ class AsyncDispatch:
         self._shard_threshold = shard_threshold
         self._parallel_threshold = parallel_threshold
         self._n_workers = n_workers
+        self._workers = workers
+        self._spawn_local_workers = spawn_local_workers
         self._mp_start_method = spec.mp_start_method if spec is not None else None
         self._budget = budget
         self._timeout = timeout
@@ -1218,6 +1230,8 @@ class AsyncDispatch:
             shard_threshold=self._shard_threshold,
             parallel_threshold=self._parallel_threshold,
             n_workers=self._n_workers,
+            workers=self._workers,
+            spawn_local_workers=self._spawn_local_workers,
             mp_start_method=self._mp_start_method,
         )
         runtime = CrowdRuntime(

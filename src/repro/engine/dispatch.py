@@ -56,6 +56,8 @@ def _engine_config(
     shard_threshold=None,
     parallel_threshold=None,
     n_workers=None,
+    workers=None,
+    spawn_local_workers=None,
 ) -> dict:
     """Resolve engine kwargs: explicit argument > spec value > default.
 
@@ -73,6 +75,8 @@ def _engine_config(
             "parallel_threshold": DEFAULT_PARALLEL_THRESHOLD,
             "n_workers": None,
             "mp_start_method": None,
+            "workers": None,
+            "spawn_local_workers": None,
         }
     overrides = {
         "policy": policy,
@@ -80,6 +84,8 @@ def _engine_config(
         "shard_threshold": shard_threshold,
         "parallel_threshold": parallel_threshold,
         "n_workers": n_workers,
+        "workers": workers,
+        "spawn_local_workers": spawn_local_workers,
     }
     resolved.update({k: v for k, v in overrides.items() if v is not None})
     return resolved
@@ -114,6 +120,8 @@ class SequentialDispatch:
         shard_threshold: Optional[int] = None,
         parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
+        workers: Optional[Sequence[str]] = None,
+        spawn_local_workers: Optional[int] = None,
         *,
         spec=None,
     ) -> None:
@@ -124,6 +132,8 @@ class SequentialDispatch:
             shard_threshold=shard_threshold,
             parallel_threshold=parallel_threshold,
             n_workers=n_workers,
+            workers=workers,
+            spawn_local_workers=spawn_local_workers,
         )
 
     def run(
@@ -173,6 +183,8 @@ class RoundParallelDispatch:
         shard_threshold: Optional[int] = None,
         parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
+        workers: Optional[Sequence[str]] = None,
+        spawn_local_workers: Optional[int] = None,
         *,
         spec=None,
     ) -> None:
@@ -183,6 +195,8 @@ class RoundParallelDispatch:
             shard_threshold=shard_threshold,
             parallel_threshold=parallel_threshold,
             n_workers=n_workers,
+            workers=workers,
+            spawn_local_workers=spawn_local_workers,
         )
 
     def run(
@@ -321,6 +335,8 @@ class InstantDispatch:
         shard_threshold: Optional[int] = None,
         parallel_threshold: Optional[int] = None,
         n_workers: Optional[int] = None,
+        workers: Optional[Sequence[str]] = None,
+        spawn_local_workers: Optional[int] = None,
         *,
         spec=None,
     ) -> None:
@@ -335,6 +351,8 @@ class InstantDispatch:
             shard_threshold=shard_threshold,
             parallel_threshold=parallel_threshold,
             n_workers=n_workers,
+            workers=workers,
+            spawn_local_workers=spawn_local_workers,
         )
 
     def run(

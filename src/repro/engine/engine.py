@@ -62,7 +62,14 @@ from .vectorized import (
 #: :mod:`repro.engine.vectorized`), else the pure-Python sharded one.
 DEFAULT_SHARD_THRESHOLD = 100_000
 
-_BACKENDS = ("auto", "monolithic", "sharded", "vectorized", "parallel")
+_BACKENDS = (
+    "auto",
+    "monolithic",
+    "sharded",
+    "vectorized",
+    "parallel",
+    "distributed",
+)
 
 #: Version stamp of the :meth:`LabelingEngine.snapshot_state` encoding.
 ENGINE_SNAPSHOT_VERSION = 1
@@ -115,6 +122,7 @@ class EngineBackend(str, enum.Enum):
     SHARDED = "sharded"
     VECTORIZED = "vectorized"
     PARALLEL = "parallel"
+    DISTRIBUTED = "distributed"
 
 
 class LabelingEngine:
@@ -144,6 +152,11 @@ class LabelingEngine:
             out across a :class:`~repro.engine.parallel.ProcessShardExecutor`
             worker pool; falls back to in-process sharding below
             ``parallel_threshold`` pairs, where pipe latency would dominate),
+            ``"distributed"`` (the same decomposition across socket-attached
+            :class:`~repro.engine.distributed.ShardWorkerHost` processes —
+            local or remote — with re-assignment on worker loss; never
+            auto-selected and never silently downgraded: requesting remote
+            workers is an explicit topology decision),
             or ``"auto"`` — monolithic below ``shard_threshold`` pairs,
             vectorized at or above it when numpy is importable, sharded
             otherwise (process parallelism is never auto-selected).  All
@@ -155,9 +168,18 @@ class LabelingEngine:
             silently uses the in-process sharded backend instead (pass 0 to
             force worker processes, as the differential tests do).
         n_workers: worker process count for the parallel backend (defaults
-            to the available CPUs, capped at 8).
+            to the available CPUs, capped at 8); on the distributed backend
+            it is the ``spawn_local_workers`` default when neither
+            ``workers`` nor ``spawn_local_workers`` is given.
         mp_start_method: multiprocessing start method for the parallel
-            backend (default: ``fork`` where available, else ``spawn``).
+            backend and for spawned local distributed workers (default:
+            ``fork`` where available, else ``spawn``).
+        workers: distributed backend only — ``"host:port"`` addresses of
+            running :class:`~repro.engine.distributed.ShardWorkerHost`
+            processes the coordinator should connect to.
+        spawn_local_workers: distributed backend only — spawn this many
+            loopback worker-host child processes (the tests/examples
+            convenience; combinable with ``workers``).
     """
 
     def __init__(
@@ -172,6 +194,8 @@ class LabelingEngine:
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
         n_workers: Optional[int] = None,
         mp_start_method: Optional[str] = None,
+        workers: Optional[Sequence[str]] = None,
+        spawn_local_workers: Optional[int] = None,
     ) -> None:
         if isinstance(backend, EngineBackend):
             backend = backend.value
@@ -216,7 +240,7 @@ class LabelingEngine:
             # monolithic path: its contents cannot be redistributed.
             # Explicitly requesting sharding alongside one is a contradiction
             # the caller must resolve, not a silent downgrade.
-            if backend in ("sharded", "vectorized", "parallel"):
+            if backend in ("sharded", "vectorized", "parallel", "distributed"):
                 raise ValueError(
                     f"backend={backend!r} cannot be combined with an explicit "
                     "graph: a pre-populated graph cannot be redistributed "
@@ -252,6 +276,24 @@ class LabelingEngine:
                     policy=policy,
                     n_workers=n_workers,
                     start_method=mp_start_method,
+                )
+                self.graph = ParallelShardedClusterGraph(self._executor, policy)
+            elif backend == "distributed":
+                # Imported lazily: the coordinator reuses this module's
+                # snapshot packing, so a top-level import would be circular.
+                from .distributed import ShardCoordinator
+
+                if workers is None and spawn_local_workers is None:
+                    # No explicit topology: n_workers doubles as the local
+                    # worker count, mirroring the parallel backend's knob.
+                    spawn_local_workers = n_workers
+                self._executor = ShardCoordinator(
+                    self.pairs,
+                    positions=self._position,
+                    policy=policy,
+                    workers=workers,
+                    spawn_local_workers=spawn_local_workers,
+                    mp_start_method=mp_start_method,
                 )
                 self.graph = ParallelShardedClusterGraph(self._executor, policy)
             elif backend == "sharded":

@@ -52,12 +52,14 @@ from .crowd.review import ApproveAll, EscalateOnLowConfidence, ReviewPolicy
 
 #: Current wire-format version of the spec schema (also the journal header's).
 #: Version 2 added ``ordering``, ``aggregation``, and the
-#: ``escalate-low-confidence`` review kind; version-1 documents decode with
-#: the pre-2 defaults (static ordering, flat majority aggregation).
-SPEC_SCHEMA_VERSION = 2
+#: ``escalate-low-confidence`` review kind; version 3 added the
+#: ``backend="distributed"`` knobs ``workers`` and ``spawn_local_workers``.
+#: Older documents decode with the newer fields' defaults (static ordering,
+#: flat majority aggregation, no distributed workers).
+SPEC_SCHEMA_VERSION = 3
 
 #: Spec schema versions :meth:`CampaignSpec.from_dict` accepts.
-_READABLE_SPEC_VERSIONS = (1, 2)
+_READABLE_SPEC_VERSIONS = (1, 2, 3)
 
 _SCALARS = (str, int, float, bool)
 
@@ -395,6 +397,9 @@ class CampaignSpec:
         shard_threshold / parallel_threshold / n_workers / mp_start_method:
             engine scaling knobs, exactly as :class:`LabelingEngine` takes
             them.
+        workers / spawn_local_workers: ``backend="distributed"`` knobs —
+            ``"host:port"`` addresses of running shard worker hosts, and/or
+            a count of local worker hosts to spawn.
         budget: optional spending cap (:class:`BudgetPolicy`).
         timeout: optional per-HIT expiry policy (:class:`TimeoutPolicy`).
         review: optional assignment review policy (JSON-serializable kinds
@@ -422,6 +427,8 @@ class CampaignSpec:
     parallel_threshold: Optional[int] = None
     n_workers: Optional[int] = None
     mp_start_method: Optional[str] = None
+    workers: Optional[Tuple[str, ...]] = None
+    spawn_local_workers: Optional[int] = None
     budget: Optional[BudgetPolicy] = None
     timeout: Optional[TimeoutPolicy] = None
     review: Optional[ReviewPolicy] = None
@@ -475,6 +482,19 @@ class CampaignSpec:
             )
         if not isinstance(self.policy, ConflictPolicy):
             object.__setattr__(self, "policy", ConflictPolicy(self.policy))
+        if self.workers is not None:
+            if isinstance(self.workers, str):
+                raise SpecError(
+                    "workers must be a sequence of 'host:port' strings, "
+                    f"got the bare string {self.workers!r}"
+                )
+            object.__setattr__(self, "workers", tuple(self.workers))
+            for address in self.workers:
+                if not isinstance(address, str) or ":" not in address:
+                    raise SpecError(
+                        f"workers entries must be 'host:port' strings, "
+                        f"got {address!r}"
+                    )
         if not isinstance(self.aggregation, AggregationConfig):
             object.__setattr__(
                 self, "aggregation", AggregationConfig.from_dict(self.aggregation)
@@ -518,6 +538,8 @@ class CampaignSpec:
             ),
             "n_workers": self.n_workers,
             "mp_start_method": self.mp_start_method,
+            "workers": self.workers,
+            "spawn_local_workers": self.spawn_local_workers,
         }
 
     def build_engine(self):
@@ -569,6 +591,8 @@ class CampaignSpec:
             "parallel_threshold": self.parallel_threshold,
             "n_workers": self.n_workers,
             "mp_start_method": self.mp_start_method,
+            "workers": list(self.workers) if self.workers is not None else None,
+            "spawn_local_workers": self.spawn_local_workers,
             "budget": _encode_budget(self.budget),
             "timeout": _encode_timeout(self.timeout),
             "review": _encode_review(self.review),
@@ -642,6 +666,10 @@ class CampaignSpec:
             parallel_threshold=data.get("parallel_threshold"),
             n_workers=data.get("n_workers"),
             mp_start_method=data.get("mp_start_method"),
+            # Version <3 documents predate the distributed backend; their
+            # absence decodes to "no remote workers".
+            workers=data.get("workers"),
+            spawn_local_workers=data.get("spawn_local_workers"),
             budget=_decode_budget(data.get("budget")),
             timeout=_decode_timeout(data.get("timeout")),
             review=_decode_review(data.get("review")),

@@ -12,7 +12,9 @@ error instead of hanging the tier-1 job.  CI additionally installs
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, TypeVar
+import contextlib
+import threading
+from typing import Awaitable, Iterator, TypeVar
 
 T = TypeVar("T")
 
@@ -28,3 +30,54 @@ def run_async(coro: Awaitable[T], timeout: float = ASYNC_TEST_TIMEOUT_S) -> T:
         return await asyncio.wait_for(coro, timeout)
 
     return asyncio.run(_guarded())
+
+
+class BackgroundLoop:
+    """An event loop running on a daemon thread, for serving async peers.
+
+    The distributed-backend suite drives a *synchronous* coordinator against
+    an *asyncio* :class:`repro.engine.distributed.ShardWorkerHost`; the host
+    needs a live loop while the test thread blocks on sockets.  ``submit``
+    schedules a coroutine on the loop and returns its
+    :class:`concurrent.futures.Future`; ``run`` additionally waits for the
+    result with the suite's standard timeout.
+    """
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._serve, name="aio-background-loop", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def submit(self, coro: Awaitable[T]) -> "asyncio.Future[T]":
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+    def run(self, coro: Awaitable[T], timeout: float = ASYNC_TEST_TIMEOUT_S) -> T:
+        return self.submit(coro).result(timeout)
+
+    def close(self) -> None:
+        if self.loop.is_closed():
+            return
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(ASYNC_TEST_TIMEOUT_S)
+        # Cancel whatever is still pending (e.g. a serve_forever task) so
+        # closing the loop doesn't warn about destroyed pending tasks.
+        for task in asyncio.all_tasks(self.loop):
+            task.cancel()
+        self.loop.run_until_complete(self.loop.shutdown_asyncgens())
+        self.loop.close()
+
+
+@contextlib.contextmanager
+def background_loop() -> Iterator[BackgroundLoop]:
+    """Context manager: a :class:`BackgroundLoop` torn down on exit."""
+    loop = BackgroundLoop()
+    try:
+        yield loop
+    finally:
+        loop.close()

@@ -6,17 +6,29 @@ shared :class:`repro.engine.LabelingEngine` — including their own copy of
 the optimistic must-crowdsource scan and the O(pending) full-rescan
 deduction sweep.  They deliberately share nothing with ``repro.engine`` so
 the parity property tests compare two independent implementations.
+
+Alongside the frozen references live the shared differential-test helpers
+every backend suite uses — :class:`RecordingOracle`, :func:`block_world`
+(a deterministic multi-component world, essential for worker-loss tests
+where single-component worlds collapse to one worker), and the
+shuffled/expiring simulated-client factories that exercise out-of-order
+completion and HIT re-issue.  The parallel- and distributed-backend suites
+import them from here instead of copy-pasting per file.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.cluster_graph import ClusterGraph, ConflictPolicy
-from repro.core.oracle import LabelOracle
+from repro.core.oracle import GroundTruthOracle, LabelOracle
 from repro.core.pairs import CandidatePair, Label, Pair, Provenance
 from repro.core.result import LabelingResult
 from repro.core.union_find import UnionFind
+from repro.crowd.clients import SimulatedPlatformClient
+from repro.crowd.latency import LognormalLatency
+from repro.crowd.platform import SimulatedPlatform
+from repro.crowd.worker import make_worker_pool
 
 
 class RecordingOracle(LabelOracle):
@@ -37,6 +49,58 @@ class RecordingOracle(LabelOracle):
 
 def _as_pairs(order: Sequence[Union[Pair, CandidatePair]]) -> List[Pair]:
     return [item.pair if isinstance(item, CandidatePair) else item for item in order]
+
+
+def block_world(
+    n_blocks: int = 8, objects_per_block: int = 5
+) -> Tuple[List[Pair], GroundTruthOracle]:
+    """A deterministic multi-component world: disjoint blocks, so the order
+    splits into ``n_blocks`` static components and genuinely exercises the
+    cross-worker routing and merge paths.  Worker-loss differentials need
+    this shape — a single-component world collapses to one worker, and
+    killing it is (correctly) unrecoverable."""
+    entity_of = {}
+    order = []
+    for b in range(n_blocks):
+        objs = [f"b{b}o{i}" for i in range(objects_per_block)]
+        for i, obj in enumerate(objs):
+            entity_of[obj] = b * objects_per_block + i // 2
+        for i in range(len(objs)):
+            for j in range(i + 1, len(objs)):
+                order.append(Pair(objs[i], objs[j]))
+    return order, GroundTruthOracle(entity_of)
+
+
+def shuffled_client_factory(seed: int):
+    """Simulated client whose completions arrive out of publication order:
+    a pool of perfect workers with distinct speeds plus lognormal pickup
+    delays, one pair per HIT."""
+
+    def factory(oracle):
+        platform = SimulatedPlatform(
+            workers=make_worker_pool(8, seed=seed),
+            truth=oracle,
+            latency=LognormalLatency(),
+            batch_size=1,
+            n_assignments=1,
+            seed=seed,
+        )
+        return SimulatedPlatformClient(platform)
+
+    return factory
+
+
+def expiring_client_factory(seed: int, probability: float = 0.4):
+    """Deterministic FIFO client that additionally abandons a seeded
+    fraction of HITs (each at most once), forcing the re-issue path."""
+
+    def factory(oracle):
+        client = SimulatedPlatformClient.for_oracle(oracle, seed=seed)
+        return SimulatedPlatformClient(
+            client.platform, expire_probability=probability, expire_seed=seed
+        )
+
+    return factory
 
 
 def reference_sequential(

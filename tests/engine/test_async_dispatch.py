@@ -42,41 +42,15 @@ from repro.engine import AsyncDispatch, CrowdRuntime, LabelingEngine, RuntimeMod
 from ..aio import run_async
 from ..conftest import FIGURE3_ENTITIES, FIGURE3_PAIRS
 from ..strategies import worlds
-from .reference import RecordingOracle, reference_parallel, reference_sequential
+from .reference import (
+    RecordingOracle,
+    expiring_client_factory,
+    reference_parallel,
+    reference_sequential,
+    shuffled_client_factory,
+)
 
 BACKENDS = ("monolithic", "sharded")
-
-
-def shuffled_client_factory(seed: int):
-    """Simulated client whose completions arrive out of publication order:
-    a pool of perfect workers with distinct speeds plus lognormal pickup
-    delays, one pair per HIT."""
-
-    def factory(oracle):
-        platform = SimulatedPlatform(
-            workers=make_worker_pool(8, seed=seed),
-            truth=oracle,
-            latency=LognormalLatency(),
-            batch_size=1,
-            n_assignments=1,
-            seed=seed,
-        )
-        return SimulatedPlatformClient(platform)
-
-    return factory
-
-
-def expiring_client_factory(seed: int, probability: float = 0.4):
-    """Deterministic FIFO client that additionally abandons a seeded
-    fraction of HITs (each at most once), forcing the re-issue path."""
-
-    def factory(oracle):
-        client = SimulatedPlatformClient.for_oracle(oracle, seed=seed)
-        return SimulatedPlatformClient(
-            client.platform, expire_probability=probability, expire_seed=seed
-        )
-
-    return factory
 
 
 class TestSequentialParity:

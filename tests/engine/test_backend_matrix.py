@@ -27,7 +27,11 @@ end-to-end differential test of the process-parallel executor.  The
 ``vectorized`` column exercises the array-native kernels when numpy is
 installed; without it the engine's documented fallback makes the column a
 second run of the sharded backend, so the matrix passes either way (the
-``no-extras`` CI leg relies on that).
+``no-extras`` CI leg relies on that).  The ``distributed`` column spawns
+local :class:`~repro.engine.distributed.ShardWorkerHost` processes and runs
+the whole command protocol over real TCP sockets, so every cell doubles as
+an end-to-end wire-protocol differential (fault injection lives in
+``test_distributed.py``).
 """
 
 from __future__ import annotations
@@ -48,7 +52,7 @@ from repro.engine import (
 from ..strategies import worlds
 from .reference import RecordingOracle, reference_parallel, reference_sequential
 
-BACKENDS = ("monolithic", "sharded", "vectorized", "parallel")
+BACKENDS = ("monolithic", "sharded", "vectorized", "parallel", "distributed")
 
 #: Worker processes per parallel-backend engine in this file: enough to
 #: split multi-component worlds, small enough to keep per-example spawn
@@ -61,6 +65,11 @@ def backend_options(backend: str) -> dict:
     options = {"backend": backend}
     if backend == "parallel":
         options.update(parallel_threshold=0, n_workers=PARALLEL_WORKERS)
+    elif backend == "distributed":
+        # Spawned local worker hosts over real TCP sockets; the coordinator
+        # caps the count at the world's component count, so tiny worlds run
+        # with however many workers they can actually use.
+        options.update(spawn_local_workers=PARALLEL_WORKERS)
     return options
 
 

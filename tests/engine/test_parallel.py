@@ -47,26 +47,14 @@ from repro.crowd.clients import SimulatedPlatformClient
 
 from ..aio import run_async
 from ..strategies import worlds
-from .reference import reference_parallel
-from .test_async_dispatch import expiring_client_factory, shuffled_client_factory
+from .reference import (
+    block_world,
+    expiring_client_factory,
+    reference_parallel,
+    shuffled_client_factory,
+)
 
 PARALLEL = dict(backend="parallel", parallel_threshold=0)
-
-
-def block_world(n_blocks: int = 8, objects_per_block: int = 5):
-    """A deterministic multi-component world: disjoint blocks, so the order
-    splits into ``n_blocks`` static components and genuinely exercises the
-    cross-worker routing and merge paths."""
-    entity_of = {}
-    order = []
-    for b in range(n_blocks):
-        objs = [f"b{b}o{i}" for i in range(objects_per_block)]
-        for i, obj in enumerate(objs):
-            entity_of[obj] = b * objects_per_block + i // 2
-        for i in range(len(objs)):
-            for j in range(i + 1, len(objs)):
-                order.append(Pair(objs[i], objs[j]))
-    return order, GroundTruthOracle(entity_of)
 
 
 # ----------------------------------------------------------------------

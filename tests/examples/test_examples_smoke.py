@@ -28,6 +28,7 @@ OFFLINE_EXAMPLES = [
     ("crowd_campaign.py", "audit"),
     ("expected_cost_analysis.py", "Heuristic vs brute force"),
     ("async_campaign.py", "async campaign over PollingPlatformClient"),
+    ("distributed_campaign.py", "distributed campaign over TCP shard workers"),
     ("mturk_campaign.py", "transitive-join campaign over MTurkBackend"),
     ("service_campaign.py", "campaign service over HTTP"),
 ]

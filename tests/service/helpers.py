@@ -53,6 +53,7 @@ def make_spec(
     n_clusters: int = 3,
     parallel_threshold: Optional[int] = None,
     n_workers: Optional[int] = None,
+    spawn_local_workers: Optional[int] = None,
     extra_options: Optional[dict] = None,
     kind: str = "in-memory",
     journal: Optional[JournalConfig] = None,
@@ -67,6 +68,7 @@ def make_spec(
         backend=backend,
         parallel_threshold=parallel_threshold,
         n_workers=n_workers,
+        spawn_local_workers=spawn_local_workers,
         journal=journal or JournalConfig(),
         platform=PlatformConfig(
             kind=kind,

@@ -99,6 +99,7 @@ def test_crash_at_any_record_boundary_resumes_identical(mode, tmp_path):
         ("sharded", {}),
         ("vectorized", {}),
         ("parallel", {"parallel_threshold": 0, "n_workers": 2}),
+        ("distributed", {"spawn_local_workers": 2}),
     ],
 )
 def test_torn_journal_resumes_identical_on_every_backend(backend, kwargs, tmp_path):

@@ -343,9 +343,37 @@ class TestSchemaVersion2:
         assert spec.ordering == "static"
         assert spec.aggregation == AggregationConfig()
 
-    def test_current_documents_carry_version_2(self):
-        assert SPEC_SCHEMA_VERSION == 2
+    def test_current_documents_carry_version_3(self):
+        assert SPEC_SCHEMA_VERSION == 3
         data = CampaignSpec(order=PAIRS).to_dict()
-        assert data["version"] == 2
+        assert data["version"] == 3
         assert data["ordering"] == "static"
         assert data["aggregation"]["kind"] == "majority"
+        assert data["workers"] is None
+        assert data["spawn_local_workers"] is None
+
+    def test_version_2_documents_decode_without_distributed_knobs(self):
+        data = CampaignSpec(order=PAIRS).to_dict()
+        data["version"] = 2
+        del data["workers"]
+        del data["spawn_local_workers"]
+        spec = CampaignSpec.from_dict(data)
+        assert spec.workers is None
+        assert spec.spawn_local_workers is None
+
+    def test_workers_round_trip_and_validation(self):
+        spec = CampaignSpec(
+            order=PAIRS,
+            backend="distributed",
+            workers=["alpha:9000", "beta:9001"],
+            spawn_local_workers=2,
+        )
+        assert spec.workers == ("alpha:9000", "beta:9001")
+        restored = CampaignSpec.from_json(spec.to_json())
+        assert restored.workers == ("alpha:9000", "beta:9001")
+        assert restored.spawn_local_workers == 2
+        assert restored == spec
+        with pytest.raises(SpecError):
+            CampaignSpec(order=PAIRS, workers="alpha:9000")
+        with pytest.raises(SpecError):
+            CampaignSpec(order=PAIRS, workers=["no-port"])
